@@ -1,0 +1,35 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each module regenerates one paper artifact (table II, table III,
+figures 4–7).  Saturation results are cached per (kernel, target,
+limits) in :mod:`repro.experiments`, so artifacts that share runs (the
+gemv figures) do not recompute them.  Rendered tables and CSVs are
+written to ``benchmarks/out/``.
+
+Environment knobs (see repro.experiments): ``REPRO_STEP_LIMIT``,
+``REPRO_NODE_LIMIT``, ``REPRO_KERNELS``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(name: str, content: str) -> Path:
+    """Write a rendered table/CSV under benchmarks/out and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(content)
+    print(f"\n[artifact] {path}\n{content}")
+    return path

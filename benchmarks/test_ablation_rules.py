@@ -1,0 +1,87 @@
+"""Ablation: which rule-set ingredients make latent idioms findable?
+
+DESIGN.md calls out three design choices; this bench measures each on
+the paper's flagship derivation (vsum → dot, §V-A):
+
+1. **Intro rules** (R-INTROLAMBDA / R-INTROINDEXBUILD): without them
+   the dot can never be manufactured — recognition-only rule sets
+   find nothing.
+2. **Scalar intro directions** (x → x·1): same story.
+3. **Candidate strategy** for R-INTROLAMBDA: variable-classes (our
+   default narrowing of the paper's all-classes enumeration) vs
+   atom-classes; both find the dot, the wider one pays in e-nodes.
+"""
+
+import pytest
+
+from repro.egraph import EGraph, Runner, ShapeAnalysis, atom_classes, var_classes
+from repro.ir import parse
+from repro.ir.shapes import vector
+from repro.kernels import registry
+from repro.rules import CoreRuleConfig, core_rules, scalar_rules
+from repro.rules.blas import dot_rule
+from repro.rules.scalar import scalar_elim_rules
+from repro.targets.cost import BlasCostModel
+
+from conftest import write_artifact
+
+TARGET = "dot(xs, build 64 (λ 1))"
+STEPS = 6
+NODES = 8000
+
+_RESULTS = {}
+
+
+def _run_vsum(rules):
+    kernel = registry.get("vsum")
+    egraph = EGraph(ShapeAnalysis(kernel.symbol_shapes))
+    root = egraph.add_term(kernel.term)
+    run = Runner(egraph, rules, step_limit=STEPS, node_limit=NODES).run(
+        root, cost_model=BlasCostModel()
+    )
+    found = egraph.equivalent(kernel.term, parse(TARGET))
+    return found, run
+
+
+@pytest.mark.parametrize(
+    "variant",
+    ["full", "no-intro-rules", "no-scalar-intros", "atom-candidates"],
+)
+def test_ablation_variant(benchmark, variant):
+    if variant == "full":
+        rules = [dot_rule()] + core_rules() + scalar_rules()
+    elif variant == "no-intro-rules":
+        config = CoreRuleConfig(
+            include_intro_lambda=False,
+            include_intro_index_build=False,
+            include_tuple_intros=False,
+        )
+        rules = [dot_rule()] + core_rules(config) + scalar_rules()
+    elif variant == "no-scalar-intros":
+        rules = [dot_rule()] + core_rules() + scalar_elim_rules()
+    else:  # atom-candidates: widen the y enumeration
+        config = CoreRuleConfig(intro_lambda_candidates=atom_classes)
+        rules = [dot_rule()] + core_rules(config) + scalar_rules()
+
+    found, run = benchmark.pedantic(
+        lambda: _run_vsum(rules), rounds=1, iterations=1
+    )
+    _RESULTS[variant] = (found, run.final.enodes, run.num_steps)
+
+    if variant in ("full", "atom-candidates"):
+        assert found, f"{variant}: latent dot not found"
+    else:
+        # The ablated rule sets cannot manufacture the ones vector.
+        assert not found, f"{variant}: unexpectedly found the dot"
+
+
+def test_emit_ablation(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _RESULTS
+    lines = ["variant,latent_dot_found,enodes,steps"]
+    for variant, (found, enodes, steps) in _RESULTS.items():
+        lines.append(f"{variant},{found},{enodes},{steps}")
+    write_artifact("ablation_rules.csv", "\n".join(lines) + "\n")
+    # The wider candidate strategy burns at least as many e-nodes.
+    if "full" in _RESULTS and "atom-candidates" in _RESULTS:
+        assert _RESULTS["atom-candidates"][1] >= _RESULTS["full"][1] * 0.5

@@ -1,0 +1,56 @@
+"""Figure 4: gemv solutions over time (BLAS and PyTorch).
+
+For each saturation step the paper plots the e-node count and the time
+per step, annotated with the best solution found at that step.  This
+bench regenerates both series and checks the qualitative progression:
+dot-product solutions first, converging to ``gemv`` (BLAS) /
+``mv``-based compositions (PyTorch).
+"""
+
+import io
+
+import pytest
+
+from repro.experiments import optimize_pair
+
+from conftest import write_artifact
+
+
+def _series(result) -> str:
+    out = io.StringIO()
+    out.write("step,enodes,seconds,solution\n")
+    for record in result.steps:
+        solution = record.solution_summary.replace(",", ";")
+        out.write(f"{record.step},{record.enodes},{record.seconds:.3f},{solution}\n")
+    return out.getvalue()
+
+
+@pytest.mark.parametrize("target_name", ["blas", "pytorch"])
+def test_gemv_solutions_over_time(benchmark, target_name):
+    result = benchmark.pedantic(
+        lambda: optimize_pair("gemv", target_name),
+        rounds=1, iterations=1,
+    )
+    write_artifact(f"fig4_gemv_{target_name}.csv", _series(result))
+
+    # e-nodes grow strongly overall (fig. 4's rising curve); small dips
+    # from congruence merges are allowed.
+    nodes = [s.enodes for s in result.steps]
+    assert nodes[-1] > nodes[0] * 10
+    assert all(b >= a * 0.9 for a, b in zip(nodes, nodes[1:]))
+
+    # The solution sequence starts with dots and converges (fig. 4a/4b).
+    summaries = [s.library_calls for s in result.steps]
+    assert summaries[0] == {}  # step 0: no idioms yet
+    first_idiom = next((s for s in summaries if s), None)
+    assert first_idiom is not None and "dot" in first_idiom
+
+    final = result.final.library_calls
+    if target_name == "blas":
+        assert final == {"gemv": 1}
+    else:
+        assert final == {"add": 1, "mul": 2, "mv": 1}
+
+    # Costs never regress: each step's best is at least as good.
+    costs = [s.best_cost for s in result.steps]
+    assert all(b <= a for a, b in zip(costs, costs[1:]))

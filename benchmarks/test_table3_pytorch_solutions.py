@@ -1,0 +1,68 @@
+"""Table III: solutions found per kernel when targeting PyTorch.
+
+Same layout as table II; marquee rows checked against the paper:
+gemv → add/mul/mv composition, vsum → ``sum``, memset → ``full``,
+1mm → ``mm``, doitgen → ``mm`` + ``transpose``, atax/mvt →
+``mv`` + ``transpose``.
+"""
+
+import pytest
+
+from repro.analysis.reporting import (
+    render_solution_table,
+    solution_row,
+    solutions_csv,
+)
+from repro.backend.executor import verify_solution
+from repro.experiments import optimize_pair, selected_kernels
+from repro.kernels import registry
+from repro.targets import pytorch_target
+
+from conftest import write_artifact
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("kernel_name", selected_kernels())
+def test_pytorch_solution(benchmark, kernel_name):
+    result = benchmark.pedantic(
+        lambda: optimize_pair(kernel_name, "pytorch"),
+        rounds=1, iterations=1,
+    )
+    _ROWS[kernel_name] = solution_row(result)
+    assert result.library_calls, f"{kernel_name}: no idioms found"
+    kernel = registry.get(kernel_name)
+    assert verify_solution(kernel, result.best_term, pytorch_target().runtime)
+
+
+def test_marquee_rows_match_paper(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    expectations = {
+        "gemv": {"add": 1, "mul": 2, "mv": 1},    # table III row
+        "vsum": {"sum": 1},
+        "memset": {"full": 1},
+        "axpy": {"add": 1, "mul": 1},
+        "1mm": {"mm": 1},
+        "doitgen": {"mm": 1, "transpose": 1},
+        "atax": {"mv": 2, "transpose": 1},
+        # Table III's gemm row: 1 x add + 1 x mm + 2 x mul.
+        "gemm": {"add": 1, "mm": 1, "mul": 2},
+    }
+    for kernel_name, expected in expectations.items():
+        if kernel_name not in _ROWS:
+            pytest.skip("kernel subset excludes marquee kernels")
+        result = optimize_pair(kernel_name, "pytorch")
+        assert result.library_calls == expected, (
+            kernel_name, result.library_calls
+        )
+
+
+def test_emit_table3(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [_ROWS[name] for name in selected_kernels() if name in _ROWS]
+    assert rows, "run the per-kernel benchmarks first"
+    write_artifact(
+        "table3_pytorch_solutions.txt",
+        render_solution_table(rows, "Table III: PyTorch solutions per kernel"),
+    )
+    write_artifact("pytorch-overview.csv", solutions_csv(rows))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's fig. 1 walkthrough: equality saturation in four moves.
+
+Expression ``a / 2 + 2`` is converted to an e-graph, saturated with the
+single rule ``x / N → x >> log2 N``, and an extractor that prefers the
+bitwise shift selects ``(a >> 1) + 2``.
+
+Also prints the e-graph in Graphviz DOT form (pipe through ``dot -Tpng``
+to reproduce the figure).
+
+Run:  python examples/fig1_div_shift.py
+"""
+
+import math
+
+from repro.egraph import EGraph, Extractor, Runner
+from repro.egraph.dot import to_dot
+from repro.egraph.extract import CostModel
+from repro.egraph.rewrite import Match, dynamic_rule
+from repro.ir import parse, pretty
+from repro.ir.terms import Call, Const
+from repro.rules.dsl import pcall, pconst, pv
+
+
+def div_to_shift_rule():
+    """``x / N → x >> log2 N`` for power-of-two constants N."""
+    lhs = pcall("/", pv("x"), pv("n", as_term=True))
+
+    def apply(egraph, match: Match):
+        binding = match.bindings["n"]
+        constant = binding.term
+        if not isinstance(constant, Const):
+            return []
+        value = constant.value
+        if not (isinstance(value, int) and value > 0 and (value & (value - 1)) == 0):
+            return []
+        from repro.egraph.pattern import ClassBinding
+
+        x = match.bindings["x"]
+        assert isinstance(x, ClassBinding)
+        from repro.egraph.egraph import ClassRef
+
+        return [Call("shr", (ClassRef(x.class_id), Const(int(math.log2(value)))))]
+
+    return dynamic_rule("div-to-shift", lhs, apply)
+
+
+class PreferShift(CostModel):
+    """Assigns a lower cost to shifts than to divisions (fig. 1's
+    extractor)."""
+
+    COSTS = {"/": 10.0, "shr": 1.0}
+
+    def enode_cost(self, egraph, class_id, enode, child_costs):
+        if enode.op == "call":
+            return self.COSTS.get(enode.payload, 1.0) + sum(child_costs)
+        return 1.0 + sum(child_costs)
+
+
+def main() -> None:
+    expr = parse("a / 2 + 2")
+    print(f"1  input expression : {pretty(expr)}")
+
+    egraph = EGraph()
+    root = egraph.add_term(expr)
+    print(f"2  initial e-graph  : {egraph.num_nodes} e-nodes, "
+          f"{egraph.num_classes} e-classes")
+
+    result = Runner(egraph, [div_to_shift_rule()], step_limit=5).run(root)
+    print(f"3  applied rule     : x / N → x >> log2 N")
+    print(f"4  saturated        : {egraph.num_nodes} e-nodes "
+          f"({result.stop_reason} after {result.num_steps} steps)")
+
+    extraction = Extractor(egraph, PreferShift()).extract(root)
+    print(f"5  extracted        : {pretty(extraction.term)}")
+    assert extraction.term == parse("shr(a, 1) + 2")
+
+    print("\nGraphviz DOT of the saturated e-graph:\n")
+    print(to_dot(egraph))
+
+
+if __name__ == "__main__":
+    main()

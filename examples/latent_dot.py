@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The paper's central example (§I, §V-A): the latent dot product.
+
+The vector sum ``sum(v) = fold (+) 0 v`` contains no multiplication
+and no second vector — yet it *is* a dot product with a vector of
+ones: ``sum(v) = dot(v, fill(1))``.  No syntactic pattern matcher can
+see that; equality saturation finds it by composing
+
+* ``E-MULONER`` (reversed):      ``xs[•1] → xs[•1] * 1``
+* ``R-INTROLAMBDA``:             ``1 → (λ 1) •1``
+* ``R-INTROINDEXBUILD``:         ``(λ 1) •1 → (build n (λ 1))[•1]``
+* ``I-DOT`` (recognition):       the ifold now matches the dot idiom.
+
+Run:  python examples/latent_dot.py
+"""
+
+import numpy as np
+
+from repro import blas_target, optimize, registry
+from repro.backend import run_solution
+from repro.ir import parse, pretty
+
+
+def main() -> None:
+    kernel = registry.get("vsum")
+    print(f"input program : {pretty(kernel.term)}")
+    print("library       : BLAS (dot, axpy, gemv, ...)\n")
+
+    result = optimize(kernel, blas_target(), step_limit=6, node_limit=8000)
+
+    print("solutions over time:")
+    for record in result.steps:
+        print(f"  step {record.step}: [{record.solution_summary}]")
+
+    print(f"\nextracted     : {pretty(result.best_term)}")
+
+    # The e-graph proved the equality; check it numerically too.
+    inputs = kernel.inputs(seed=42)
+    via_library = run_solution(result.best_term, inputs, blas_target().runtime)
+    direct = float(np.sum(inputs["xs"]))
+    print(f"dot(ones, xs) = {via_library:.6f}")
+    print(f"sum(xs)       = {direct:.6f}")
+    assert np.isclose(via_library, direct)
+
+    # The equality is in the e-graph itself: both expressions live in
+    # the same e-class.
+    expected = parse("dot(build 64 (λ 1), xs)")
+    print(
+        "\ne-graph equivalence sum(v) = dot(fill(1), v):",
+        result.egraph.equivalent(kernel.term, expected),
+    )
+
+
+if __name__ == "__main__":
+    main()

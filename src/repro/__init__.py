@@ -1,0 +1,42 @@
+"""LIAR — Latent Idiom Array Rewriting.
+
+A complete reproduction of "Latent Idiom Recognition for a Minimalist
+Functional Array Language using Equality Saturation" (CGO 2024):
+
+* :mod:`repro.ir` — the minimalist functional array IR (§IV);
+* :mod:`repro.egraph` — an egg-style equality-saturation engine (§II);
+* :mod:`repro.rules` — core / scalar / BLAS / PyTorch rewrite rules
+  (listings 2–5);
+* :mod:`repro.targets` — cost models (listings 6–8) and targets;
+* :mod:`repro.kernels` — the table I kernel suite;
+* :mod:`repro.pipeline` — the LIAR driver (fig. 2);
+* :mod:`repro.backend` — execution, timing, and C code generation;
+* :mod:`repro.analysis` — coverage and report generation.
+
+Quickstart::
+
+    from repro import optimize, blas_target, registry
+
+    result = optimize(registry.get("gemv"), blas_target())
+    print(result.solution_summary)     # "1 × gemv"
+    print(result.best_term)            # gemv(alpha, A, B, beta, C)
+"""
+
+from .kernels import all_kernels, registry
+from .pipeline import OptimizationResult, optimize, optimize_term
+from .targets import blas_target, make_target, pure_c_target, pytorch_target
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "optimize",
+    "optimize_term",
+    "OptimizationResult",
+    "registry",
+    "all_kernels",
+    "pure_c_target",
+    "blas_target",
+    "pytorch_target",
+    "make_target",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Measurement and reporting: coverage (fig. 5) and table/CSV emission
+(tables II/III, fig. 7)."""
+
+from .coverage import CoverageReport, measure_coverage
+from .reporting import (
+    SolutionRow,
+    SpeedupRow,
+    format_externs,
+    geomean,
+    render_solution_table,
+    render_speedup_table,
+    solution_row,
+    solutions_csv,
+    speedups_csv,
+)
+
+__all__ = [
+    "CoverageReport", "measure_coverage",
+    "SolutionRow", "SpeedupRow", "solution_row", "format_externs",
+    "render_solution_table", "render_speedup_table",
+    "solutions_csv", "speedups_csv", "geomean",
+]

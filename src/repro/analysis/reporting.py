@@ -1,0 +1,133 @@
+"""Report generation: the CSV/table layouts of the paper's artifact.
+
+The artifact derives table II from ``blas-overview.csv`` (columns
+name, externs, steps, nodes) and table III from
+``pytorch-overview.csv``; fig. 7 from per-kernel speedup data.  These
+helpers produce the same shapes from our
+:class:`~repro.pipeline.OptimizationResult` records.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "SolutionRow",
+    "solution_row",
+    "render_solution_table",
+    "solutions_csv",
+    "SpeedupRow",
+    "render_speedup_table",
+    "speedups_csv",
+    "geomean",
+    "format_externs",
+]
+
+
+def format_externs(library_calls: Dict[str, int]) -> str:
+    """Format a call-count dict the way tables II/III do:
+    ``"2 × axpy + 1 × dot"``."""
+    if not library_calls:
+        return "(none)"
+    return " + ".join(
+        f"{count} × {name}" for name, count in sorted(library_calls.items())
+    )
+
+
+@dataclass
+class SolutionRow:
+    """One row of table II/III."""
+
+    kernel: str
+    externs: str
+    steps: int
+    enodes: int
+
+
+def solution_row(result) -> SolutionRow:
+    """Build a table row from an OptimizationResult."""
+    return SolutionRow(
+        kernel=result.kernel_name,
+        externs=format_externs(result.library_calls),
+        steps=result.run.num_steps,
+        enodes=result.final.enodes,
+    )
+
+
+def render_solution_table(rows: Sequence[SolutionRow], title: str) -> str:
+    """Fixed-width text rendering of a solutions table."""
+    out = io.StringIO()
+    out.write(f"{title}\n")
+    out.write(f"{'Kernel':<12} {'Solution':<48} {'Steps':>5} {'e-Nodes':>10}\n")
+    out.write("-" * 78 + "\n")
+    for row in rows:
+        out.write(
+            f"{row.kernel:<12} {row.externs:<48} {row.steps:>5} {row.enodes:>10,}\n"
+        )
+    return out.getvalue()
+
+
+def solutions_csv(rows: Sequence[SolutionRow]) -> str:
+    """CSV in the artifact's ``*-overview.csv`` column layout."""
+    out = io.StringIO()
+    out.write("name,externs,steps,nodes\n")
+    for row in rows:
+        externs = row.externs.replace(",", ";")
+        out.write(f"{row.kernel},{externs},{row.steps},{row.enodes}\n")
+    return out.getvalue()
+
+
+@dataclass
+class SpeedupRow:
+    """One group of fig. 7 bars: speedups vs the reference."""
+
+    kernel: str
+    library_speedup: Optional[float]
+    pure_c_speedup: Optional[float]
+
+    @property
+    def best_speedup(self) -> Optional[float]:
+        values = [v for v in (self.library_speedup, self.pure_c_speedup) if v]
+        return max(values) if values else None
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's summary statistic for fig. 7)."""
+    values = [v for v in values if v is not None and v > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def render_speedup_table(rows: Sequence[SpeedupRow], title: str) -> str:
+    """Fixed-width text rendering of fig. 7's data."""
+    out = io.StringIO()
+    out.write(f"{title}\n")
+    out.write(f"{'Kernel':<12} {'Library':>10} {'Pure C':>10} {'Best':>10}\n")
+    out.write("-" * 46 + "\n")
+    for row in rows:
+        lib = f"{row.library_speedup:.2f}" if row.library_speedup else "-"
+        pc = f"{row.pure_c_speedup:.2f}" if row.pure_c_speedup else "-"
+        best = f"{row.best_speedup:.2f}" if row.best_speedup else "-"
+        out.write(f"{row.kernel:<12} {lib:>10} {pc:>10} {best:>10}\n")
+    lib_geo = geomean([r.library_speedup for r in rows if r.library_speedup])
+    pc_geo = geomean([r.pure_c_speedup for r in rows if r.pure_c_speedup])
+    best_geo = geomean([r.best_speedup for r in rows if r.best_speedup])
+    out.write("-" * 46 + "\n")
+    out.write(f"{'geomean':<12} {lib_geo:>10.2f} {pc_geo:>10.2f} {best_geo:>10.2f}\n")
+    return out.getvalue()
+
+
+def speedups_csv(rows: Sequence[SpeedupRow]) -> str:
+    """CSV of fig. 7's data."""
+    out = io.StringIO()
+    out.write("name,library_speedup,pure_c_speedup,best_speedup\n")
+    for row in rows:
+        lib = f"{row.library_speedup:.4f}" if row.library_speedup else ""
+        pc = f"{row.pure_c_speedup:.4f}" if row.pure_c_speedup else ""
+        best = f"{row.best_speedup:.4f}" if row.best_speedup else ""
+        out.write(f"{row.kernel},{lib},{pc},{best}\n")
+    return out.getvalue()

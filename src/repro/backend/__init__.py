@@ -1,0 +1,21 @@
+"""Execution substrates: interpreter-driven solution execution and
+timing, numpy-backed library runtimes, and the C code generator."""
+
+from .c_codegen import BLAS_SHIM, CodegenError, generate_c, generate_c_program
+from .executor import (
+    TimingResult,
+    outputs_match,
+    run_solution,
+    time_callable,
+    time_reference,
+    time_solution,
+    verify_solution,
+)
+from .library_runtime import blas_runtime, pytorch_runtime
+
+__all__ = [
+    "blas_runtime", "pytorch_runtime",
+    "run_solution", "time_solution", "time_reference", "time_callable",
+    "TimingResult", "outputs_match", "verify_solution",
+    "generate_c", "generate_c_program", "CodegenError", "BLAS_SHIM",
+]

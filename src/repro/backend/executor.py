@@ -1,0 +1,148 @@
+"""Execution and timing of kernel solutions (§VI-E's methodology).
+
+Three ways to run a kernel:
+
+* **reference** — the Python-loop transliteration of the C reference
+  (the baseline of fig. 7);
+* **pure C**    — the extracted expression interpreted with naive
+  loops and *no* library registry;
+* **library**   — the extracted expression with BLAS/PyTorch calls
+  dispatched to the numpy-backed runtimes.
+
+:func:`time_callable` mirrors the paper's measurement loop ("run each
+solution as many times as we can over the course of one minute and
+calculate the mean run time") with a configurable budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..ir.interp import evaluate
+from ..ir.terms import Term
+from ..kernels.base import Kernel
+
+__all__ = [
+    "TimingResult",
+    "time_callable",
+    "run_solution",
+    "time_solution",
+    "time_reference",
+    "time_compiled",
+    "compile_solution",
+    "outputs_match",
+    "verify_solution",
+]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Mean/best wall-clock seconds over ``runs`` executions."""
+
+    mean_seconds: float
+    best_seconds: float
+    runs: int
+
+
+def time_callable(
+    fn: Callable[[], Any],
+    budget_seconds: float = 0.5,
+    min_runs: int = 3,
+    max_runs: int = 1000,
+) -> TimingResult:
+    """Run ``fn`` repeatedly within a time budget; report mean and best."""
+    times = []
+    start = time.perf_counter()
+    while True:
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+        done = time.perf_counter() - start
+        if len(times) >= max_runs:
+            break
+        if len(times) >= min_runs and done >= budget_seconds:
+            break
+    return TimingResult(
+        mean_seconds=float(np.mean(times)),
+        best_seconds=float(min(times)),
+        runs=len(times),
+    )
+
+
+def run_solution(
+    term: Term,
+    inputs: Mapping[str, Any],
+    runtime: Optional[Dict[str, Callable]] = None,
+) -> Any:
+    """Execute an extracted expression on concrete inputs."""
+    return evaluate(term, inputs, runtime)
+
+
+def time_solution(
+    term: Term,
+    inputs: Mapping[str, Any],
+    runtime: Optional[Dict[str, Callable]] = None,
+    budget_seconds: float = 0.5,
+) -> TimingResult:
+    """Time an extracted expression."""
+    return time_callable(lambda: evaluate(term, inputs, runtime), budget_seconds)
+
+
+def time_reference(kernel: Kernel, inputs: Mapping[str, Any],
+                   budget_seconds: float = 0.5) -> TimingResult:
+    """Time the kernel's loop reference implementation."""
+    return time_callable(lambda: kernel.reference_loops(inputs), budget_seconds)
+
+
+def compile_solution(term: Term):
+    """Compile an extracted expression with the vectorizing numpy
+    backend (the substrate standing in for the paper's C compiler; see
+    repro.backend.numpy_compiler).  Returns ``callable(inputs)``.
+
+    Raises :class:`~repro.backend.numpy_compiler.CompileError` for
+    terms the backend cannot lower — callers fall back to the
+    interpreter.
+    """
+    from .numpy_compiler import compile_term
+
+    return compile_term(term)
+
+
+def time_compiled(
+    term: Term,
+    inputs: Mapping[str, Any],
+    budget_seconds: float = 0.5,
+) -> TimingResult:
+    """Time an extracted expression on the compiled substrate."""
+    compiled = compile_solution(term)
+    compiled(inputs)  # warm-up + fail fast on lowering gaps
+    return time_callable(lambda: compiled(inputs), budget_seconds)
+
+
+def outputs_match(got: Any, want: Any, rtol: float = 1e-8, atol: float = 1e-8) -> bool:
+    """Structural numeric comparison (handles the tuple outputs of mvt)."""
+    if isinstance(want, tuple):
+        if not isinstance(got, tuple) or len(got) != len(want):
+            return False
+        return all(outputs_match(g, w, rtol, atol) for g, w in zip(got, want))
+    return np.allclose(
+        np.asarray(got, dtype=float), np.asarray(want, dtype=float),
+        rtol=rtol, atol=atol,
+    )
+
+
+def verify_solution(
+    kernel: Kernel,
+    term: Term,
+    runtime: Optional[Dict[str, Callable]] = None,
+    seed: int = 0,
+) -> bool:
+    """True when the extracted expression computes the kernel's
+    reference output — rewriting must be semantics-preserving."""
+    inputs = kernel.inputs(seed)
+    got = run_solution(term, inputs, runtime)
+    return outputs_match(got, kernel.reference(inputs))

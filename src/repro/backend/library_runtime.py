@@ -1,0 +1,159 @@
+"""Executable library runtimes.
+
+The paper links extracted BLAS calls against OpenBLAS and treats
+PyTorch qualitatively.  This reproduction executes both through
+numpy — whose ``dot``/``matmul`` are BLAS-backed — which preserves the
+behaviour that matters for the run-time experiments: library calls
+process whole arrays in optimized native loops while "pure C" solutions
+run element at a time in the IR interpreter (see DESIGN.md §3.2).
+
+Each runtime is a registry mapping function names to Python callables,
+pluggable into :func:`repro.ir.interp.evaluate`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "blas_runtime",
+    "pytorch_runtime",
+    "BLAS_RUNTIME",
+    "PYTORCH_RUNTIME",
+]
+
+
+def _as_array(value: Any) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        return value
+    return np.asarray(value, dtype=float)
+
+
+# ---------------------------------------------------------------------------
+# BLAS (listing 4 semantics; see repro.rules.blas for the conventions)
+# ---------------------------------------------------------------------------
+
+
+def blas_dot(a: Any, b: Any) -> float:
+    """Vector dot product."""
+    return float(np.dot(_as_array(a), _as_array(b)))
+
+
+def blas_axpy(alpha: Any, a: Any, b: Any) -> np.ndarray:
+    """``α·A + B``."""
+    return float(alpha) * _as_array(a) + _as_array(b)
+
+
+def blas_gemv(alpha: Any, a: Any, b: Any, beta: Any, c: Any) -> np.ndarray:
+    """``α·A·B + β·C``."""
+    return float(alpha) * (_as_array(a) @ _as_array(b)) + float(beta) * _as_array(c)
+
+
+def blas_gemv_t(alpha: Any, a: Any, b: Any, beta: Any, c: Any) -> np.ndarray:
+    """``α·Aᵀ·B + β·C``."""
+    return float(alpha) * (_as_array(a).T @ _as_array(b)) + float(beta) * _as_array(c)
+
+
+def _gemm(transpose_a: bool, transpose_b: bool) -> Callable[..., np.ndarray]:
+    def gemm(alpha: Any, a: Any, b: Any, beta: Any, c: Any) -> np.ndarray:
+        mat_a = _as_array(a).T if transpose_a else _as_array(a)
+        mat_b = _as_array(b).T if transpose_b else _as_array(b)
+        return float(alpha) * (mat_a @ mat_b) + float(beta) * _as_array(c)
+
+    return gemm
+
+
+def blas_transpose(a: Any) -> np.ndarray:
+    """Matrix transpose (materialized, like the library's out-of-place
+    transpose the cost model prices at ``.9NM``)."""
+    return np.ascontiguousarray(_as_array(a).T)
+
+
+def blas_memset(value: Any, length: Any) -> np.ndarray:
+    """Length-``N`` constant vector (the C ``memset`` idiom)."""
+    return np.full(int(length), float(value))
+
+
+def blas_runtime() -> Dict[str, Callable[..., Any]]:
+    """Fresh BLAS registry (copy freely; entries are pure functions)."""
+    return {
+        "dot": blas_dot,
+        "axpy": blas_axpy,
+        "gemv": blas_gemv,
+        "gemv_t": blas_gemv_t,
+        "gemm_nn": _gemm(False, False),
+        "gemm_nt": _gemm(False, True),
+        "gemm_tn": _gemm(True, False),
+        "gemm_tt": _gemm(True, True),
+        "transpose": blas_transpose,
+        "memset": blas_memset,
+    }
+
+
+# ---------------------------------------------------------------------------
+# PyTorch (listing 5 semantics, numpy-backed; see DESIGN.md §3.3)
+# ---------------------------------------------------------------------------
+
+
+def torch_dot(a: Any, b: Any) -> float:
+    """``torch.dot``."""
+    return float(np.dot(_as_array(a), _as_array(b)))
+
+
+def torch_sum(a: Any) -> float:
+    """``torch.sum``."""
+    return float(_as_array(a).sum())
+
+
+def torch_mv(a: Any, b: Any) -> np.ndarray:
+    """``torch.mv``: matrix–vector product."""
+    return _as_array(a) @ _as_array(b)
+
+
+def torch_mm(a: Any, b: Any) -> np.ndarray:
+    """``torch.mm``: matrix–matrix product."""
+    return _as_array(a) @ _as_array(b)
+
+
+def torch_transpose(a: Any) -> np.ndarray:
+    """``torch.t`` (materialized)."""
+    return np.ascontiguousarray(_as_array(a).T)
+
+
+def torch_add(a: Any, b: Any) -> Any:
+    """``torch.add``: polymorphic elementwise addition."""
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a + b
+    return _as_array(a) + _as_array(b)
+
+
+def torch_mul(alpha: Any, a: Any) -> Any:
+    """``torch.mul``: polymorphic scalar–tensor product."""
+    if isinstance(a, (int, float)):
+        return float(alpha) * a
+    return float(alpha) * _as_array(a)
+
+
+def torch_full(value: Any, length: Any) -> np.ndarray:
+    """``torch.full``: length-``N`` constant vector."""
+    return np.full(int(length), float(value))
+
+
+def pytorch_runtime() -> Dict[str, Callable[..., Any]]:
+    """Fresh PyTorch registry."""
+    return {
+        "dot": torch_dot,
+        "sum": torch_sum,
+        "mv": torch_mv,
+        "mm": torch_mm,
+        "transpose": torch_transpose,
+        "add": torch_add,
+        "mul": torch_mul,
+        "full": torch_full,
+    }
+
+
+BLAS_RUNTIME = blas_runtime()
+PYTORCH_RUNTIME = pytorch_runtime()

@@ -1,0 +1,158 @@
+"""Command-line evaluation driver, mirroring the artifact's
+``evaluate_all.py`` workflow.
+
+Examples::
+
+    python -m repro                          # optimize all kernels, all targets
+    python -m repro gemv vsum -t blas        # subset of kernels/targets
+    python -m repro --steps 10 --nodes 12000 --out results/
+    python -m repro gemv --run               # also execute + time solutions
+
+Outputs per target: an ``<target>-overview.csv`` (the artifact's
+column layout: name, externs, steps, nodes), a rendered text table,
+and — with ``--run`` — a ``speedups.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.reporting import (
+    SpeedupRow,
+    render_solution_table,
+    render_speedup_table,
+    solution_row,
+    solutions_csv,
+    speedups_csv,
+)
+from .backend.executor import (
+    outputs_match,
+    run_solution,
+    time_callable,
+    time_solution,
+)
+from .kernels import registry
+from .pipeline import optimize
+from .targets import TARGET_NAMES, make_target
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LIAR evaluation driver (tables II/III, fig. 7 data)",
+    )
+    parser.add_argument(
+        "kernels", nargs="*",
+        help="kernel names to evaluate (default: the full table I suite)",
+    )
+    parser.add_argument(
+        "-t", "--targets", nargs="+", default=["blas", "pytorch"],
+        choices=list(TARGET_NAMES),
+        help="targets to optimize for (default: blas pytorch)",
+    )
+    parser.add_argument("--steps", type=int, default=8,
+                        help="saturation step limit (default 8)")
+    parser.add_argument("--nodes", type=int, default=8000,
+                        help="e-node limit (default 8000)")
+    parser.add_argument("--time-limit", type=float, default=300.0,
+                        help="wall-clock limit per kernel in seconds")
+    parser.add_argument("--run", action="store_true",
+                        help="execute and time the extracted solutions")
+    parser.add_argument("--budget", type=float, default=0.25,
+                        help="timing budget per measurement with --run")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for CSV/table outputs")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    kernel_names = args.kernels or registry.names()
+    try:
+        kernels = [registry.get(name) for name in kernel_names]
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    def emit(name: str, content: str) -> None:
+        if args.out:
+            (args.out / name).write_text(content)
+        if not args.quiet:
+            print(content)
+
+    exit_code = 0
+    for target_name in args.targets:
+        target = make_target(target_name)
+        rows = []
+        speedups = []
+        for kernel in kernels:
+            started = time.perf_counter()
+            result = optimize(
+                kernel, target,
+                step_limit=args.steps, node_limit=args.nodes,
+                time_limit=args.time_limit,
+            )
+            elapsed = time.perf_counter() - started
+            rows.append(solution_row(result))
+            if not args.quiet:
+                print(
+                    f"[{target_name}] {kernel.name:10s} {elapsed:6.1f}s "
+                    f"steps={result.run.num_steps} "
+                    f"nodes={result.final.enodes:6d} "
+                    f"[{result.solution_summary}]"
+                )
+            if args.run and result.best_term is not None:
+                inputs = kernel.inputs(0)
+                got = run_solution(result.best_term, inputs, target.runtime)
+                if not outputs_match(got, kernel.reference(inputs)):
+                    print(f"error: {kernel.name} solution mismatch",
+                          file=sys.stderr)
+                    exit_code = 1
+                    continue
+                # Time on the compiled substrate (the paper's compiled-C
+                # analogue); fall back to the interpreter for terms the
+                # vectorizer cannot lower.
+                from .backend.numpy_compiler import CompileError
+
+                try:
+                    from .backend.executor import time_compiled
+
+                    ref = time_compiled(kernel.term, inputs, args.budget)
+                    lib = time_compiled(result.best_term, inputs, args.budget)
+                except CompileError:
+                    ref = time_callable(
+                        lambda: kernel.reference_loops(inputs), args.budget
+                    )
+                    lib = time_solution(
+                        result.best_term, inputs, target.runtime, args.budget
+                    )
+                speedups.append(SpeedupRow(
+                    kernel=kernel.name,
+                    library_speedup=ref.mean_seconds / lib.mean_seconds,
+                    pure_c_speedup=None,
+                ))
+
+        title = f"Solutions for target {target_name} (steps<={args.steps}, nodes<={args.nodes})"
+        emit(f"{target_name}-overview.csv", solutions_csv(rows))
+        emit(f"{target_name}-table.txt", render_solution_table(rows, title))
+        if speedups:
+            emit(f"{target_name}-speedups.csv", speedups_csv(speedups))
+            emit(
+                f"{target_name}-speedups.txt",
+                render_speedup_table(speedups, f"Speedups vs reference ({target_name})"),
+            )
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

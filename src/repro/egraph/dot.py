@@ -1,0 +1,118 @@
+"""Graphviz (DOT) export of e-graphs, in the style of egg's
+``Dot`` output: one cluster per e-class, one record node per e-node,
+edges from e-node argument ports to child class clusters.
+
+Useful for debugging rule sets and for producing fig. 1-style diagrams
+of small graphs::
+
+    from repro.egraph.dot import to_dot
+    print(to_dot(egraph))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .egraph import EGraph
+from .enode import ENode
+
+__all__ = ["to_dot"]
+
+
+def _node_label(enode: ENode) -> str:
+    op = enode.op
+    if op == "var":
+        return f"•{enode.payload}"
+    if op == "const":
+        return str(enode.payload)
+    if op == "symbol":
+        return str(enode.payload)
+    if op == "call":
+        return str(enode.payload)
+    if op in ("build", "ifold"):
+        return f"{op} {enode.payload}"
+    if op == "lam":
+        return "λ"
+    if op == "app":
+        return "@"
+    if op == "index":
+        return "·[·]"
+    return op
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("{", "\\{")
+        .replace("}", "\\}")
+        .replace("<", "\\<")
+        .replace(">", "\\>")
+        .replace("|", "\\|")
+    )
+
+
+def to_dot(
+    egraph: EGraph,
+    *,
+    graph_name: str = "egraph",
+    max_classes: Optional[int] = None,
+) -> str:
+    """Render the e-graph as a DOT digraph string.
+
+    ``max_classes`` truncates huge graphs (a note is added when
+    truncation happens).
+    """
+    lines: List[str] = [
+        f"digraph {graph_name} {{",
+        "    compound=true;",
+        "    clusterrank=local;",
+        "    node [shape=record, fontname=\"monospace\"];",
+    ]
+    node_ids: Dict[tuple, str] = {}
+    class_anchor: Dict[int, str] = {}
+
+    classes = list(egraph.classes())
+    truncated = False
+    if max_classes is not None and len(classes) > max_classes:
+        classes = classes[:max_classes]
+        truncated = True
+
+    shown = {eclass.class_id for eclass in classes}
+
+    for eclass in classes:
+        class_id = eclass.class_id
+        lines.append(f"    subgraph cluster_{class_id} {{")
+        lines.append(f"        label=\"e-class {class_id}\";")
+        lines.append("        style=dashed;")
+        for index, enode in enumerate(sorted(eclass.nodes, key=repr)):
+            name = f"n{class_id}_{index}"
+            node_ids[(class_id, enode)] = name
+            if class_id not in class_anchor:
+                class_anchor[class_id] = name
+            label = _escape(_node_label(enode))
+            if enode.children:
+                ports = "|".join(
+                    f"<p{i}>" for i in range(len(enode.children))
+                )
+                lines.append(f"        {name} [label=\"{{{label}|{{{ports}}}}}\"];")
+            else:
+                lines.append(f"        {name} [label=\"{label}\"];")
+        lines.append("    }")
+
+    for (class_id, enode), name in node_ids.items():
+        for i, child in enumerate(enode.children):
+            child_id = egraph.find(child)
+            anchor = class_anchor.get(child_id)
+            if anchor is None:
+                continue  # truncated away
+            lines.append(
+                f"    {name}:p{i} -> {anchor} [lhead=cluster_{child_id}];"
+            )
+
+    if truncated:
+        lines.append(
+            f"    note [shape=plaintext, label=\"(truncated to {max_classes} classes)\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,440 @@
+"""The e-graph: hash-consed e-nodes partitioned into e-classes.
+
+Follows the design of egg (Willsey et al., POPL 2021): a union-find
+over e-class ids, a hashcons mapping canonical e-nodes to their class,
+per-class parent lists, and deferred congruence-closure maintenance via
+:meth:`EGraph.rebuild`.
+
+Extras needed by LIAR:
+
+* an optional per-class *analysis* (used for shape inference, which the
+  cost models consume);
+* ``add_term`` / ``extract_smallest`` to move between terms and
+  classes — rule application in LIAR extracts terms to run the De
+  Bruijn ``shift``/``subst`` operators on them (§IV-B3, approach 2);
+* :class:`ClassRef`, a pseudo-term that references an existing e-class
+  so rule right-hand sides can mention matched classes without
+  extracting them;
+* ``known_sizes``, the set of array sizes present in the graph, used to
+  instantiate the free size variable of ``R-INTRO-INDEXBUILD``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple as TupleT
+
+from ..ir.terms import Term
+from .enode import ENode, enode_to_term_shallow, term_to_parts
+from .unionfind import UnionFind
+
+__all__ = ["EGraph", "EClass", "ClassRef", "Analysis"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassRef(Term):
+    """Pseudo-term wrapping an e-class id.
+
+    Only meaningful inside :meth:`EGraph.add_term`: it splices a
+    reference to an existing class into a term under construction.
+    Never appears in extracted expressions.
+    """
+
+    class_id: int
+
+
+class Analysis:
+    """Base class for e-class analyses (egg-style).
+
+    ``make`` computes the analysis data of a fresh e-node from its
+    children's data; ``join`` combines the data of two merged classes.
+    The default implementation stores nothing.
+    """
+
+    def make(self, egraph: "EGraph", enode: ENode) -> object:
+        return None
+
+    def join(self, a: object, b: object) -> object:
+        return None
+
+
+@dataclass
+class EClass:
+    """One equivalence class of e-nodes.
+
+    ``nodes`` is a dict used as an insertion-ordered set: iteration
+    order is deterministic across processes (a plain set would iterate
+    in PYTHONHASHSEED-dependent order, making saturation runs — and
+    hence extracted solutions — irreproducible).
+    """
+
+    class_id: int
+    nodes: Dict[ENode, None] = field(default_factory=dict)
+    parents: List[TupleT[ENode, int]] = field(default_factory=list)
+    data: object = None
+
+
+class EGraph:
+    """A congruence-closed e-graph with hash-consing.
+
+    Invariants (after :meth:`rebuild`):
+
+    * every e-node in ``self._memo`` is canonical (children are
+      union-find roots) and maps to a canonical class id;
+    * congruent e-nodes (same op/payload, same canonical children)
+      are in the same class.
+    """
+
+    def __init__(self, analysis: Optional[Analysis] = None) -> None:
+        self._uf = UnionFind()
+        self._memo: Dict[ENode, int] = {}
+        self._classes: Dict[int, EClass] = {}
+        self._pending: List[int] = []
+        self._analysis = analysis
+        self._analysis_pending: List[int] = []
+        self.known_sizes: Set[int] = set()
+        # Bumped on every mutation; used for fixpoint detection.
+        self.version = 0
+        # Bumped only by rebuild(); the smallest-term table caches off
+        # this so that rule appliers running inside one saturation step
+        # share a single table instead of recomputing per mutation.
+        # Terms read from a slightly stale table are still valid class
+        # members (classes only ever grow).
+        self.generation = 0
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def find(self, class_id: int) -> int:
+        """Canonical id of the class containing ``class_id``."""
+        return self._uf.find(class_id)
+
+    def canonicalize(self, enode: ENode) -> ENode:
+        """Canonicalize an e-node's children."""
+        return enode.map_children(self._uf.find)
+
+    def classes(self) -> Iterable[EClass]:
+        """Iterate over all canonical e-classes."""
+        return self._classes.values()
+
+    def class_ids(self) -> List[int]:
+        """All canonical class ids (snapshot list, safe to mutate over)."""
+        return list(self._classes.keys())
+
+    def nodes_of(self, class_id: int):
+        """The e-nodes of the class containing ``class_id`` (an
+        insertion-ordered, set-like view)."""
+        return self._classes[self.find(class_id)].nodes
+
+    def data_of(self, class_id: int) -> object:
+        """Analysis data of the class containing ``class_id``."""
+        return self._classes[self.find(class_id)].data
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._classes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of unique (canonical) e-nodes in the graph."""
+        return len(self._memo)
+
+    def same(self, a: int, b: int) -> bool:
+        """True when classes ``a`` and ``b`` have been merged."""
+        return self._uf.same(a, b)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def add_enode(self, enode: ENode) -> int:
+        """Insert an e-node (children must be valid class ids); returns
+        the id of its class, reusing an existing class when hash-consing
+        finds the node already present."""
+        enode = self.canonicalize(enode)
+        existing = self._memo.get(enode)
+        if existing is not None:
+            return self._uf.find(existing)
+        class_id = self._uf.make_set()
+        eclass = EClass(class_id)
+        eclass.nodes[enode] = None
+        self._classes[class_id] = eclass
+        self._memo[enode] = class_id
+        for child in enode.children:
+            self._classes[self._uf.find(child)].parents.append((enode, class_id))
+        if enode.op in ("build", "ifold"):
+            self.known_sizes.add(enode.payload)  # type: ignore[arg-type]
+        if self._analysis is not None:
+            eclass.data = self._analysis.make(self, enode)
+        self.version += 1
+        return class_id
+
+    def add_term(self, term: Term) -> int:
+        """Insert a term bottom-up; returns the id of the root's class.
+
+        ``ClassRef`` leaves splice in existing classes.
+        """
+        if isinstance(term, ClassRef):
+            return self._uf.find(term.class_id)
+        op, payload, child_terms = term_to_parts(term)
+        children = tuple(self.add_term(child) for child in child_terms)
+        return self.add_enode(ENode(op, payload, children))
+
+    # ------------------------------------------------------------------
+    # Merging and rebuilding
+    # ------------------------------------------------------------------
+
+    def merge(self, a: int, b: int) -> int:
+        """Union two classes; congruence repair is deferred to
+        :meth:`rebuild`."""
+        root_a = self._uf.find(a)
+        root_b = self._uf.find(b)
+        if root_a == root_b:
+            return root_a
+        self.version += 1
+        new_root = self._uf.union(root_a, root_b)
+        other = root_b if new_root == root_a else root_a
+        winner = self._classes[new_root]
+        loser = self._classes.pop(other)
+        winner.nodes.update(loser.nodes)
+        winner.parents.extend(loser.parents)
+        if self._analysis is not None:
+            winner.data = self._analysis.join(winner.data, loser.data)
+            self._analysis_pending.append(new_root)
+        self._pending.append(new_root)
+        return new_root
+
+    def rebuild(self) -> int:
+        """Restore the congruence invariant; returns the number of
+        congruence-induced unions performed."""
+        unions = 0
+        while True:
+            while self._pending:
+                todo = {self._uf.find(class_id) for class_id in self._pending}
+                self._pending.clear()
+                for class_id in todo:
+                    unions += self._repair(class_id)
+            # Parent-list repair can miss hashcons entries whose stored
+            # form predates earlier merges; sweep the memo so every key
+            # is canonical (egg's post-rebuild invariant).  Sweeping can
+            # itself discover congruences, hence the outer loop.
+            unions += self._sweep_memo()
+            if not self._pending:
+                break
+        if self._analysis is not None:
+            self._propagate_analysis()
+        self.generation += 1
+        return unions
+
+    def _sweep_memo(self) -> int:
+        unions = 0
+        stale = [
+            (node, class_id)
+            for node, class_id in self._memo.items()
+            if self.canonicalize(node) != node or self._uf.find(class_id) != class_id
+        ]
+        for node, class_id in stale:
+            del self._memo[node]
+        for node, class_id in stale:
+            canonical = self.canonicalize(node)
+            class_id = self._uf.find(class_id)
+            existing = self._memo.get(canonical)
+            if existing is not None and not self._uf.same(existing, class_id):
+                class_id = self.merge(existing, class_id)
+                unions += 1
+            self._memo[canonical] = self._uf.find(class_id)
+        return unions
+
+    def _repair(self, class_id: int) -> int:
+        """Re-canonicalize the parents of a recently merged class,
+        merging classes of now-congruent parents (egg's ``repair``)."""
+        unions = 0
+        class_id = self._uf.find(class_id)
+        eclass = self._classes.get(class_id)
+        if eclass is None:
+            return 0
+        old_parents = eclass.parents
+        # Take the parent list out before any merging below: if this
+        # class itself gets merged mid-repair, the surviving class's
+        # other parents must not be clobbered.
+        eclass.parents = []
+        # Pass 1: refresh the hashcons for every parent e-node.
+        for parent_node, parent_class in old_parents:
+            self._memo.pop(parent_node, None)
+            canonical = self.canonicalize(parent_node)
+            self._memo[canonical] = self._uf.find(parent_class)
+        # Pass 2: merge classes of parents that became congruent.
+        new_parents: Dict[ENode, int] = {}
+        for parent_node, parent_class in old_parents:
+            canonical = self.canonicalize(parent_node)
+            previous = new_parents.get(canonical)
+            if previous is not None and not self._uf.same(previous, parent_class):
+                parent_class = self.merge(previous, parent_class)
+                unions += 1
+            new_parents[canonical] = self._uf.find(parent_class)
+        survivor = self._classes.get(self._uf.find(class_id))
+        if survivor is not None:
+            survivor.parents.extend(new_parents.items())
+            survivor.nodes = {
+                self.canonicalize(node): None for node in survivor.nodes
+            }
+            for canonical, parent_class in new_parents.items():
+                self._memo[canonical] = self._uf.find(parent_class)
+        return unions
+
+    def _propagate_analysis(self) -> None:
+        """Re-run ``make`` upwards from classes whose data changed."""
+        assert self._analysis is not None
+        worklist = [self._uf.find(c) for c in self._analysis_pending]
+        self._analysis_pending.clear()
+        seen_rounds = 0
+        while worklist and seen_rounds < 1000:
+            seen_rounds += 1
+            next_work: List[int] = []
+            for class_id in worklist:
+                class_id = self._uf.find(class_id)
+                eclass = self._classes.get(class_id)
+                if eclass is None:
+                    continue
+                for parent_node, parent_class in list(eclass.parents):
+                    parent_class = self._uf.find(parent_class)
+                    parent = self._classes.get(parent_class)
+                    if parent is None:
+                        continue
+                    made = self._analysis.make(self, self.canonicalize(parent_node))
+                    joined = self._analysis.join(parent.data, made)
+                    if joined != parent.data:
+                        parent.data = joined
+                        next_work.append(parent_class)
+            worklist = next_work
+
+    # ------------------------------------------------------------------
+    # Extraction of small representative terms (used by rule appliers)
+    # ------------------------------------------------------------------
+
+    def _size_table(self) -> Dict[int, TupleT[int, ENode]]:
+        """Smallest-term size and witness e-node per class (fixpoint).
+
+        Cached per :attr:`version`.
+        """
+        cached = getattr(self, "_size_cache", None)
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        table: Dict[int, TupleT[int, ENode]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for class_id, eclass in self._classes.items():
+                best = table.get(class_id)
+                for node in eclass.nodes:
+                    size = 1
+                    ok = True
+                    for child in node.children:
+                        entry = table.get(self._uf.find(child))
+                        if entry is None:
+                            ok = False
+                            break
+                        size += entry[0]
+                    if ok and (best is None or size < best[0]):
+                        best = (size, node)
+                        table[class_id] = best
+                        changed = True
+        self._size_cache = (self.generation, table)
+        return table
+
+    def extract_smallest(self, class_id: int) -> Optional[Term]:
+        """Smallest term represented by ``class_id`` (node count), or
+        ``None`` when the class has no finite (acyclic) term."""
+        table = self._size_table()
+        return self._build_term(self._uf.find(class_id), table)
+
+    def _build_term(
+        self, class_id: int, table: Dict[int, TupleT[int, ENode]]
+    ) -> Optional[Term]:
+        # The table may be one rebuild stale; try both the canonical id
+        # and the raw id (one of a merged pair keeps its id as root).
+        entry = table.get(self._uf.find(class_id))
+        if entry is None:
+            entry = table.get(class_id)
+        if entry is None:
+            return None
+        node = entry[1]
+        children = []
+        for child in node.children:
+            child_term = self._build_term(child, table)
+            if child_term is None:
+                return None
+            children.append(child_term)
+        return enode_to_term_shallow(node.op, node.payload, tuple(children))
+
+    def classes_by_op(self) -> Dict[str, List[int]]:
+        """Map each operator tag to the classes containing an e-node
+        with that tag.  Cached per generation; pattern search uses it to
+        skip classes that cannot match a pattern's root."""
+        cached = getattr(self, "_op_index_cache", None)
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        index: Dict[str, List[int]] = {}
+        for class_id, eclass in self._classes.items():
+            seen_ops = {node.op for node in eclass.nodes}
+            for op in seen_ops:
+                index.setdefault(op, []).append(class_id)
+        self._op_index_cache = (self.generation, index)
+        return index
+
+    def extract_candidates(self, class_id: int, limit: int = 4) -> List[Term]:
+        """A few small distinct terms represented by ``class_id``.
+
+        The smallest term comes first; the remainder vary the root
+        e-node (children still use smallest subterms).  Rule appliers
+        use these when matching shifted pattern variables: if the
+        smallest representative mentions a forbidden bound variable, an
+        alternative representative may still avoid it.
+        """
+        table = self._size_table()
+        class_id = self._uf.find(class_id)
+        results: List[Term] = []
+        smallest = self._build_term(class_id, table)
+        if smallest is not None:
+            results.append(smallest)
+        if class_id not in self._classes:
+            return results
+        ranked = []
+        for node in self._classes[class_id].nodes:
+            size = 1
+            ok = True
+            for child in node.children:
+                entry = table.get(self._uf.find(child))
+                if entry is None:
+                    ok = False
+                    break
+                size += entry[0]
+            if ok:
+                ranked.append((size, node))
+        ranked.sort(key=lambda pair: pair[0])
+        for _, node in ranked:
+            if len(results) >= limit:
+                break
+            children = []
+            ok = True
+            for child in node.children:
+                child_term = self._build_term(child, table)
+                if child_term is None:
+                    ok = False
+                    break
+                children.append(child_term)
+            if not ok:
+                continue
+            term = enode_to_term_shallow(node.op, node.payload, tuple(children))
+            if term not in results:
+                results.append(term)
+        return results
+
+    # ------------------------------------------------------------------
+    # Equality checking helpers (used heavily by tests)
+    # ------------------------------------------------------------------
+
+    def equivalent(self, term_a: Term, term_b: Term) -> bool:
+        """True when both terms are currently in the same e-class."""
+        return self.same(self.add_term(term_a), self.add_term(term_b))

@@ -1,0 +1,137 @@
+"""E-node representation and term ⇄ e-node conversion helpers.
+
+An e-node is an operator applied to e-class ids.  We represent it as a
+frozen dataclass ``ENode(op, payload, children)`` where:
+
+* ``op`` is a short operator tag (``"lam"``, ``"app"``, ``"build"``,
+  ``"index"``, ``"ifold"``, ``"tuple"``, ``"fst"``, ``"snd"``,
+  ``"call"``, ``"var"``, ``"const"``, ``"symbol"``);
+* ``payload`` carries static data (De Bruijn index, build/ifold size,
+  call name, constant value, symbol name), ``None`` otherwise;
+* ``children`` is a tuple of e-class ids.
+
+The mapping from :mod:`repro.ir.terms` nodes is:
+
+====================  ======  ==================  ==================
+Term                  op      payload             children
+====================  ======  ==================  ==================
+``Var(i)``            var     ``i``               —
+``Lam(e)``            lam     —                   ``(e,)``
+``App(f, x)``         app     —                   ``(f, x)``
+``Build(N, f)``       build   ``N``               ``(f,)``
+``Index(a, i)``       index   —                   ``(a, i)``
+``IFold(N, z, f)``    ifold   ``N``               ``(z, f)``
+``Tuple(a, b)``       tuple   —                   ``(a, b)``
+``Fst(t)``            fst     —                   ``(t,)``
+``Snd(t)``            snd     —                   ``(t,)``
+``Call(name, args)``  call    ``name``            ``args``
+``Const(v)``          const   ``v``               —
+``Symbol(name)``      symbol  ``name``            —
+====================  ======  ==================  ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple as TupleT
+
+from ..ir.terms import (
+    App,
+    Build,
+    Call,
+    Const,
+    Fst,
+    IFold,
+    Index,
+    Lam,
+    Snd,
+    Symbol,
+    Term,
+    Tuple,
+    Var,
+)
+
+__all__ = ["ENode", "term_to_parts", "enode_to_term_shallow", "LEAF_OPS"]
+
+LEAF_OPS = frozenset({"var", "const", "symbol"})
+
+
+@dataclass(frozen=True, slots=True)
+class ENode:
+    """An operator over e-class ids.  Hashable; used as the hashcons key."""
+
+    op: str
+    payload: object
+    children: TupleT[int, ...]
+
+    def map_children(self, fn: Callable[[int], int]) -> "ENode":
+        """Return a copy with every child id passed through ``fn``."""
+        if not self.children:
+            return self
+        return ENode(self.op, self.payload, tuple(fn(c) for c in self.children))
+
+
+def term_to_parts(term: Term) -> TupleT[str, object, TupleT[Term, ...]]:
+    """Decompose a term into ``(op, payload, child_terms)``."""
+    if isinstance(term, Var):
+        return "var", term.index, ()
+    if isinstance(term, Lam):
+        return "lam", None, (term.body,)
+    if isinstance(term, App):
+        return "app", None, (term.fn, term.arg)
+    if isinstance(term, Build):
+        return "build", term.size, (term.fn,)
+    if isinstance(term, Index):
+        return "index", None, (term.array, term.index)
+    if isinstance(term, IFold):
+        return "ifold", term.size, (term.init, term.fn)
+    if isinstance(term, Tuple):
+        return "tuple", None, (term.fst, term.snd)
+    if isinstance(term, Fst):
+        return "fst", None, (term.tup,)
+    if isinstance(term, Snd):
+        return "snd", None, (term.tup,)
+    if isinstance(term, Call):
+        return "call", term.name, term.args
+    if isinstance(term, Const):
+        return "const", term.value, ()
+    if isinstance(term, Symbol):
+        return "symbol", term.name, ()
+    raise TypeError(f"unknown term type: {type(term).__name__}")
+
+
+def enode_to_term_shallow(op: str, payload: object, children: TupleT[Term, ...]) -> Term:
+    """Rebuild a term from an operator tag and already-built child terms."""
+    if op == "var":
+        return Var(payload)  # type: ignore[arg-type]
+    if op == "lam":
+        (body,) = children
+        return Lam(body)
+    if op == "app":
+        fn, arg = children
+        return App(fn, arg)
+    if op == "build":
+        (fn,) = children
+        return Build(payload, fn)  # type: ignore[arg-type]
+    if op == "index":
+        array, index = children
+        return Index(array, index)
+    if op == "ifold":
+        init, fn = children
+        return IFold(payload, init, fn)  # type: ignore[arg-type]
+    if op == "tuple":
+        fst, snd = children
+        return Tuple(fst, snd)
+    if op == "fst":
+        (tup,) = children
+        return Fst(tup)
+    if op == "snd":
+        (tup,) = children
+        return Snd(tup)
+    if op == "call":
+        return Call(payload, children)  # type: ignore[arg-type]
+    if op == "const":
+        return Const(payload)  # type: ignore[arg-type]
+    if op == "symbol":
+        return Symbol(payload)  # type: ignore[arg-type]
+    raise ValueError(f"unknown e-node op: {op!r}")

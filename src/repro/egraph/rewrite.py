@@ -1,0 +1,327 @@
+"""Rewrite rules over e-graphs.
+
+A :class:`Rule` pairs a *searcher* (a pattern matched against every
+e-class) with an *applier* that produces terms to union with the
+matched class.  Three applier flavours cover everything in the paper:
+
+* **Pattern appliers** — the common case: instantiate a RHS pattern
+  under the match bindings (listing 2's elimination rules, all idiom
+  rules of listings 4–5, the scalar rules of listing 3).
+* **Function appliers** — compute the result term in Python.  Used by
+  ``R-BETAREDUCE``, whose RHS applies the expression-level ``subst``
+  operator (§IV-B3, approach 2: operators run on terms extracted from
+  e-classes).
+* **Enumerating appliers** — rules whose RHS mentions variables that
+  are *unbound* on the LHS (§IV-B4): ``R-INTROLAMBDA``,
+  ``R-INTROINDEXBUILD``, ``R-INTROFSTTUPLE``, ``R-INTROSNDTUPLE``.
+  The paper instantiates such variables with *every* e-class; this
+  implementation makes the candidate set a pluggable
+  :class:`CandidateStrategy` because exhaustive enumeration is
+  intractable at Python speed (see DESIGN.md §3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple as TupleT
+
+from ..ir.debruijn import shift as shift_term, subst
+from ..ir.terms import App, Index, Lam, Term, Build, Fst, Snd, Tuple as TupleTerm
+from .egraph import ClassRef, EGraph
+from .pattern import (
+    Bindings,
+    ClassBinding,
+    PNode,
+    Pattern,
+    PVar,
+    TermBinding,
+    instantiate,
+    match_class,
+)
+
+__all__ = [
+    "Match",
+    "Rule",
+    "rewrite",
+    "birewrite",
+    "dynamic_rule",
+    "CandidateStrategy",
+    "var_classes",
+    "const_classes",
+    "atom_classes",
+    "all_classes",
+    "intro_lambda_rule",
+    "intro_index_build_rule",
+    "intro_fst_tuple_rule",
+    "intro_snd_tuple_rule",
+    "beta_reduce_rule",
+]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One match of a rule's searcher: the matched class + bindings."""
+
+    class_id: int
+    bindings: Bindings
+
+
+ApplierFn = Callable[[EGraph, Match], Sequence[Term]]
+
+
+@dataclass
+class Rule:
+    """A named rewrite rule."""
+
+    name: str
+    searcher: Pattern
+    applier: ApplierFn
+    # Matches per iteration are capped to keep a single runaway rule
+    # from monopolizing a saturation step.
+    match_limit: int = 100_000
+    # For the runner's applied-match cache: rules whose applier output
+    # depends on e-graph state beyond the match (the enumerating intro
+    # rules) provide a context fingerprint; when it changes, previously
+    # applied matches are retried against the new context.
+    context_key: Optional[Callable[[EGraph], object]] = None
+
+    def search(self, egraph: EGraph) -> List[Match]:
+        """All matches of the searcher in the current e-graph."""
+        matches: List[Match] = []
+        root_op = self.searcher.op if isinstance(self.searcher, PNode) else None
+        if root_op is None:
+            candidates = egraph.class_ids()
+        else:
+            candidates = egraph.classes_by_op().get(root_op, [])
+        for class_id in candidates:
+            if class_id not in egraph._classes:
+                continue  # merged away since the index was built
+            for bindings in match_class(egraph, self.searcher, class_id):
+                matches.append(Match(egraph.find(class_id), bindings))
+                if len(matches) >= self.match_limit:
+                    return matches
+        return matches
+
+    def apply(self, egraph: EGraph, match: Match) -> int:
+        """Apply the rule to one match; returns number of unions made."""
+        unions = 0
+        for term in self.applier(egraph, match):
+            new_class = egraph.add_term(term)
+            if not egraph.same(new_class, match.class_id):
+                egraph.merge(new_class, match.class_id)
+                unions += 1
+        return unions
+
+
+def _pattern_applier(rhs: Pattern) -> ApplierFn:
+    def apply(egraph: EGraph, match: Match) -> Sequence[Term]:
+        return [instantiate(egraph, rhs, match.bindings)]
+
+    return apply
+
+
+def rewrite(name: str, lhs: Pattern, rhs: Pattern, match_limit: int = 100_000) -> Rule:
+    """Directed rule ``lhs → rhs``."""
+    return Rule(name, lhs, _pattern_applier(rhs), match_limit)
+
+
+def birewrite(name: str, lhs: Pattern, rhs: Pattern) -> List[Rule]:
+    """Bidirectional rule: ``lhs → rhs`` and ``rhs → lhs``."""
+    return [rewrite(f"{name}", lhs, rhs), rewrite(f"{name}-rev", rhs, lhs)]
+
+
+def dynamic_rule(name: str, lhs: Pattern, fn: ApplierFn, match_limit: int = 100_000) -> Rule:
+    """Rule whose RHS is computed by ``fn``."""
+    return Rule(name, lhs, fn, match_limit)
+
+
+# ---------------------------------------------------------------------------
+# Candidate strategies for RHS free variables (§IV-B4)
+# ---------------------------------------------------------------------------
+
+CandidateStrategy = Callable[[EGraph], List[int]]
+
+
+def var_classes(egraph: EGraph) -> List[int]:
+    """Classes containing a De Bruijn variable e-node.
+
+    The default strategy for ``R-INTROLAMBDA``: every latent-idiom
+    derivation in the paper introduces a lambda applied to a loop
+    index, e.g. ``1 → (λ 1) •1`` while exposing the dot product in the
+    vector sum (§V-A).
+    """
+    return [
+        eclass.class_id
+        for eclass in egraph.classes()
+        if any(node.op == "var" for node in eclass.nodes)
+    ]
+
+
+def const_classes(egraph: EGraph) -> List[int]:
+    """Classes containing a scalar constant e-node."""
+    return [
+        eclass.class_id
+        for eclass in egraph.classes()
+        if any(node.op == "const" for node in eclass.nodes)
+    ]
+
+
+def atom_classes(egraph: EGraph) -> List[int]:
+    """Classes containing any leaf e-node (variable, constant, symbol)."""
+    return [
+        eclass.class_id
+        for eclass in egraph.classes()
+        if any(node.op in ("var", "const", "symbol") for node in eclass.nodes)
+    ]
+
+
+def all_classes(egraph: EGraph) -> List[int]:
+    """Every class — the paper's (exhaustive) instantiation."""
+    return egraph.class_ids()
+
+
+# ---------------------------------------------------------------------------
+# The four enumerating intro rules and beta reduction (listing 2)
+# ---------------------------------------------------------------------------
+
+
+def beta_reduce_rule() -> Rule:
+    """``R-BETAREDUCE``: ``(λ e) y → subst(e, y)``.
+
+    ``e`` and ``y`` are bound as terms (extracted representatives) so
+    the expression-level ``subst`` operator can run on them.
+    """
+    lhs = PNode(
+        "app",
+        None,
+        (
+            PNode("lam", None, (PVar("e", as_term=True),)),
+            PVar("y", as_term=True),
+        ),
+    )
+
+    def apply(egraph: EGraph, match: Match) -> Sequence[Term]:
+        body = match.bindings["e"]
+        argument = match.bindings["y"]
+        assert isinstance(body, TermBinding) and isinstance(argument, TermBinding)
+        return [subst(body.term, argument.term)]
+
+    return dynamic_rule("R-BetaReduce", lhs, apply)
+
+
+def intro_lambda_rule(
+    candidates: CandidateStrategy = var_classes,
+    max_candidates: int = 64,
+    data_shaped_only: bool = True,
+) -> Rule:
+    """``R-INTROLAMBDA``: ``e → (λ e↑) y`` for candidate argument
+    classes ``y``.
+
+    ``e`` must be extracted to run the shift operator on it; ``y``
+    stays an e-class reference.
+
+    With ``data_shaped_only`` (default) the rule only fires on classes
+    whose shape analysis says scalar or array: abstracting over
+    function- or tuple-shaped classes never participates in an idiom
+    derivation and inflates the graph substantially.
+    """
+    from ..ir.shapes import Array, Scalar
+
+    lhs = PVar("e", as_term=True)
+
+    def apply(egraph: EGraph, match: Match) -> Sequence[Term]:
+        if data_shaped_only:
+            data = egraph.data_of(match.class_id)
+            if not isinstance(data, (Scalar, Array)):
+                return []
+        binding = match.bindings["e"]
+        assert isinstance(binding, TermBinding)
+        shifted = shift_term(binding.term, 1)
+        results: List[Term] = []
+        for y_class in candidates(egraph)[:max_candidates]:
+            results.append(App(Lam(shifted), ClassRef(egraph.find(y_class))))
+        return results
+
+    def context(egraph: EGraph) -> object:
+        return len(candidates(egraph))
+
+    rule = dynamic_rule("R-IntroLambda", lhs, apply)
+    rule.context_key = context
+    return rule
+
+
+def intro_index_build_rule(max_sizes: int = 16) -> Rule:
+    """``R-INTROINDEXBUILD``: ``f i → (build N f)[i]``.
+
+    The free size ``N`` is instantiated with every array size present
+    in the e-graph (sizes of existing ``build``/``ifold`` nodes): other
+    sizes cannot participate in any idiom of the input program.
+
+    Note the matched application is only *semantically* equal to the
+    indexed build when ``0 <= i < N`` at run time; like the paper we
+    apply the rule unconditionally, because ``i`` always ranges over a
+    loop bound of the same program in the derivations that matter.
+    """
+    lhs = PNode("app", None, (PVar("f"), PVar("i")))
+
+    def apply(egraph: EGraph, match: Match) -> Sequence[Term]:
+        fn = match.bindings["f"]
+        index = match.bindings["i"]
+        assert isinstance(fn, ClassBinding) and isinstance(index, ClassBinding)
+        results: List[Term] = []
+        for size in sorted(egraph.known_sizes)[:max_sizes]:
+            results.append(
+                Index(Build(size, ClassRef(fn.class_id)), ClassRef(index.class_id))
+            )
+        return results
+
+    def context(egraph: EGraph) -> object:
+        return frozenset(egraph.known_sizes)
+
+    rule = dynamic_rule("R-IntroIndexBuild", lhs, apply)
+    rule.context_key = context
+    return rule
+
+
+def intro_fst_tuple_rule(
+    candidates: CandidateStrategy = const_classes,
+    max_candidates: int = 16,
+) -> Rule:
+    """``R-INTROFSTTUPLE``: ``a → fst (tuple a b)`` for candidate ``b``."""
+    lhs = PVar("a")
+
+    def apply(egraph: EGraph, match: Match) -> Sequence[Term]:
+        binding = match.bindings["a"]
+        assert isinstance(binding, ClassBinding)
+        results: List[Term] = []
+        for b_class in candidates(egraph)[:max_candidates]:
+            results.append(
+                Fst(TupleTerm(ClassRef(binding.class_id), ClassRef(egraph.find(b_class))))
+            )
+        return results
+
+    rule = dynamic_rule("R-IntroFstTuple", lhs, apply)
+    rule.context_key = lambda egraph: len(candidates(egraph))
+    return rule
+
+
+def intro_snd_tuple_rule(
+    candidates: CandidateStrategy = const_classes,
+    max_candidates: int = 16,
+) -> Rule:
+    """``R-INTROSNDTUPLE``: ``b → snd (tuple a b)`` for candidate ``a``."""
+    lhs = PVar("b")
+
+    def apply(egraph: EGraph, match: Match) -> Sequence[Term]:
+        binding = match.bindings["b"]
+        assert isinstance(binding, ClassBinding)
+        results: List[Term] = []
+        for a_class in candidates(egraph)[:max_candidates]:
+            results.append(
+                Snd(TupleTerm(ClassRef(egraph.find(a_class)), ClassRef(binding.class_id)))
+            )
+        return results
+
+    rule = dynamic_rule("R-IntroSndTuple", lhs, apply)
+    rule.context_key = lambda egraph: len(candidates(egraph))
+    return rule

@@ -1,0 +1,98 @@
+"""Shared experiment harness for the benchmark suite.
+
+The benchmark modules (one per paper table/figure) all need optimized
+kernels; saturation is by far the dominant cost, so results are cached
+in-process per (kernel, target, limits).  Limits default to a
+laptop-scale profile and can be raised through environment variables:
+
+* ``REPRO_STEP_LIMIT``  (default 8)   — saturation steps per kernel;
+* ``REPRO_NODE_LIMIT``  (default 8000) — e-node budget;
+* ``REPRO_KERNELS``     (default all) — comma-separated kernel subset.
+
+The artifact's step-limited mode (appendix E-2) is the model here:
+CPU-independent solutions at CPU-dependent wall time.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from .kernels import registry
+from .pipeline import OptimizationResult, optimize
+from .targets import make_target
+
+__all__ = [
+    "step_limit",
+    "node_limit",
+    "selected_kernels",
+    "optimized",
+    "optimize_pair",
+    "TABLE_KERNELS",
+]
+
+# Order matches table I's presentation: PolyBench first, then custom.
+TABLE_KERNELS = (
+    "2mm", "atax", "doitgen", "gemm", "gemver", "gesummv", "jacobi1d",
+    "mvt", "1mm", "axpy", "blur1d", "gemv", "memset", "slim-2mm",
+    "stencil2d", "vsum",
+)
+
+
+def step_limit() -> int:
+    return int(os.environ.get("REPRO_STEP_LIMIT", "8"))
+
+
+def node_limit() -> int:
+    return int(os.environ.get("REPRO_NODE_LIMIT", "12000"))
+
+
+# Kernels whose marquee solutions need a little more budget than the
+# defaults (e.g. the gemm-with-zero-matrix completion for doitgen needs
+# one extra step and a larger graph, exactly as the paper's doitgen row
+# has the largest e-node count in table II).
+PER_KERNEL_OVERRIDES = {
+    ("doitgen", "blas"): {"steps": 9, "nodes": 15_000},
+}
+
+
+def selected_kernels() -> List[str]:
+    raw = os.environ.get("REPRO_KERNELS", "")
+    if not raw.strip():
+        return list(TABLE_KERNELS)
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    for name in names:
+        registry.get(name)  # fail fast on typos
+    return names
+
+
+@lru_cache(maxsize=None)
+def _optimize_cached(
+    kernel_name: str, target_name: str, steps: int, nodes: int
+) -> OptimizationResult:
+    kernel = registry.get(kernel_name)
+    target = make_target(target_name)
+    return optimize(kernel, target, step_limit=steps, node_limit=nodes)
+
+
+def optimize_pair(
+    kernel_name: str,
+    target_name: str,
+    steps: Optional[int] = None,
+    nodes: Optional[int] = None,
+) -> OptimizationResult:
+    """Optimized (kernel, target) with explicit or environment limits."""
+    override = PER_KERNEL_OVERRIDES.get((kernel_name, target_name), {})
+    if steps is None:
+        steps = override.get("steps", step_limit())
+    if nodes is None:
+        nodes = override.get("nodes", node_limit())
+    return _optimize_cached(kernel_name, target_name, steps, nodes)
+
+
+def optimized(target_name: str) -> Dict[str, OptimizationResult]:
+    """All selected kernels optimized for one target."""
+    return {
+        name: optimize_pair(name, target_name) for name in selected_kernels()
+    }

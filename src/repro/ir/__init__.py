@@ -1,0 +1,71 @@
+"""The minimalist functional array IR (§IV of the paper).
+
+Public surface:
+
+* :mod:`repro.ir.terms` — the term ADT;
+* :mod:`repro.ir.debruijn` — shift/subst/beta-reduction;
+* :mod:`repro.ir.parser` / :mod:`repro.ir.printer` — concrete syntax;
+* :mod:`repro.ir.shapes` — shape inference (dims feed the cost models);
+* :mod:`repro.ir.interp` — reference interpreter;
+* :mod:`repro.ir.builders` — term-construction DSL.
+"""
+
+from .debruijn import beta_reduce, normalize, shift, subst, try_unshift, UnshiftError
+from .interp import EvalError, evaluate
+from .parser import parse, ParseError
+from .printer import pretty
+from .shapes import (
+    Array,
+    Fn,
+    Pair,
+    Scalar,
+    Shape,
+    ShapeError,
+    Unknown,
+    infer_shape,
+    matrix,
+    vector,
+)
+from .terms import (
+    App,
+    Build,
+    Call,
+    Const,
+    Fst,
+    IFold,
+    Index,
+    Lam,
+    Snd,
+    Symbol,
+    Term,
+    Tuple,
+    Var,
+    children,
+    collect_calls,
+    collect_sizes,
+    collect_symbols,
+    free_indices,
+    is_closed,
+    max_free_index,
+    subterms,
+    term_size,
+    with_children,
+)
+
+__all__ = [
+    # terms
+    "Term", "Var", "Lam", "App", "Build", "Index", "IFold", "Tuple",
+    "Fst", "Snd", "Call", "Const", "Symbol",
+    "children", "with_children", "term_size", "subterms", "free_indices",
+    "max_free_index", "is_closed", "collect_sizes", "collect_calls",
+    "collect_symbols",
+    # de bruijn
+    "shift", "subst", "try_unshift", "beta_reduce", "normalize", "UnshiftError",
+    # syntax
+    "parse", "ParseError", "pretty",
+    # shapes
+    "Shape", "Scalar", "Array", "Fn", "Pair", "Unknown", "ShapeError",
+    "infer_shape", "vector", "matrix",
+    # interpreter
+    "evaluate", "EvalError",
+]

@@ -1,0 +1,137 @@
+"""Convenience constructors (an embedded DSL) for writing IR terms.
+
+Kernels and tests build terms with these helpers rather than raw node
+constructors::
+
+    from repro.ir import builders as b
+
+    vsum = b.ifold(n, 0, b.lam(b.lam(b.sym("xs")[b.v(1)] + b.v(0))))
+
+The helpers coerce Python numbers to :class:`~repro.ir.terms.Const`
+automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .debruijn import shift as _shift
+from .terms import (
+    App,
+    Build,
+    Call,
+    Const,
+    Fst,
+    IFold,
+    Index,
+    Lam,
+    Snd,
+    Symbol,
+    Term,
+    Tuple,
+    Var,
+)
+
+__all__ = [
+    "v",
+    "lam",
+    "lam2",
+    "app",
+    "build",
+    "index",
+    "ifold",
+    "tup",
+    "fst",
+    "snd",
+    "call",
+    "const",
+    "sym",
+    "up",
+    "TermLike",
+]
+
+TermLike = Union[Term, int, float]
+
+
+def _t(value: TermLike) -> Term:
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not IR constants")
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise TypeError(f"cannot coerce {value!r} to an IR term")
+
+
+def v(index: int) -> Var:
+    """De Bruijn parameter use ``•index``."""
+    return Var(index)
+
+
+def lam(body: TermLike) -> Lam:
+    """``λ body``."""
+    return Lam(_t(body))
+
+
+def lam2(body: TermLike) -> Lam:
+    """``λ λ body`` — the two-argument curried lambda used by ifold."""
+    return Lam(Lam(_t(body)))
+
+
+def app(fn: TermLike, *args: TermLike) -> Term:
+    """Left-nested application ``fn a b ...``."""
+    result = _t(fn)
+    for arg in args:
+        result = App(result, _t(arg))
+    return result
+
+
+def build(size: int, fn: TermLike) -> Build:
+    """``build size fn``."""
+    return Build(size, _t(fn))
+
+
+def index(array: TermLike, position: TermLike) -> Index:
+    """``array[position]``."""
+    return Index(_t(array), _t(position))
+
+
+def ifold(size: int, init: TermLike, fn: TermLike) -> IFold:
+    """``ifold size init fn``."""
+    return IFold(size, _t(init), _t(fn))
+
+
+def tup(first: TermLike, second: TermLike) -> Tuple:
+    """``tuple first second``."""
+    return Tuple(_t(first), _t(second))
+
+
+def fst(t: TermLike) -> Fst:
+    """``fst t``."""
+    return Fst(_t(t))
+
+
+def snd(t: TermLike) -> Snd:
+    """``snd t``."""
+    return Snd(_t(t))
+
+
+def call(name: str, *args: TermLike) -> Call:
+    """Named function call ``name(args...)``."""
+    return Call(name, tuple(_t(a) for a in args))
+
+
+def const(value: Union[int, float]) -> Const:
+    """Scalar literal."""
+    return Const(value)
+
+
+def sym(name: str) -> Symbol:
+    """Kernel input symbol."""
+    return Symbol(name)
+
+
+def up(term: TermLike, by: int = 1) -> Term:
+    """The shift operator ``↑`` from the paper's idiom listings:
+    increments free De Bruijn indices to skip ``by`` enclosing lambdas."""
+    return _shift(_t(term), by)

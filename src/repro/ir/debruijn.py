@@ -1,0 +1,188 @@
+"""De Bruijn index manipulation: the shift (``↑``) and ``subst`` operators.
+
+These are the two expression-level operators that rules
+``R-BETAREDUCE`` and ``R-INTROLAMBDA`` rely on (§IV-B3 of the paper).
+Following the paper we apply them to *individual expressions extracted
+from e-classes* rather than lifting them into the e-graph.
+
+Conventions (standard, following De Bruijn [2]):
+
+* ``shift(e, by, cutoff)`` adds ``by`` to every variable with index
+  ``>= cutoff``.  ``by`` may be negative (used to *unshift* when
+  matching pattern variables under binders); unshifting a variable
+  below the cutoff-adjusted floor raises :class:`UnshiftError`.
+* ``subst(e, value)`` replaces ``•0`` in ``e`` by ``value`` and lowers
+  all other free variables by one — exactly the paper's
+  ``subst(e, y)``.
+"""
+
+from __future__ import annotations
+
+from .terms import (
+    App,
+    Build,
+    Call,
+    Const,
+    Fst,
+    IFold,
+    Index,
+    Lam,
+    Snd,
+    Symbol,
+    Term,
+    Tuple,
+    Var,
+)
+
+__all__ = ["shift", "subst", "UnshiftError", "try_unshift", "beta_reduce", "normalize"]
+
+
+class UnshiftError(ValueError):
+    """Raised when a negative shift would produce a negative index.
+
+    This signals that the expression *does* reference the variable the
+    caller hoped it avoided, e.g. when matching a pattern variable
+    ``A↑`` against an expression that mentions ``•0``.
+    """
+
+
+def shift(term: Term, by: int = 1, cutoff: int = 0) -> Term:
+    """Shift free De Bruijn indices of ``term`` by ``by``.
+
+    Only variables with index ``>= cutoff`` are free at the current
+    depth and therefore affected.  A negative ``by`` unshifts and may
+    raise :class:`UnshiftError`.
+    """
+    if by == 0:
+        return term
+    return _shift(term, by, cutoff)
+
+
+def _shift(term: Term, by: int, cutoff: int) -> Term:
+    if isinstance(term, Var):
+        if term.index >= cutoff:
+            new_index = term.index + by
+            if new_index < cutoff:
+                raise UnshiftError(
+                    f"unshifting •{term.index} by {by} at cutoff {cutoff} "
+                    f"would capture or negate the index"
+                )
+            return Var(new_index)
+        return term
+    if isinstance(term, (Const, Symbol)):
+        return term
+    if isinstance(term, Lam):
+        return Lam(_shift(term.body, by, cutoff + 1))
+    if isinstance(term, App):
+        return App(_shift(term.fn, by, cutoff), _shift(term.arg, by, cutoff))
+    if isinstance(term, Build):
+        return Build(term.size, _shift(term.fn, by, cutoff))
+    if isinstance(term, Index):
+        return Index(_shift(term.array, by, cutoff), _shift(term.index, by, cutoff))
+    if isinstance(term, IFold):
+        return IFold(term.size, _shift(term.init, by, cutoff), _shift(term.fn, by, cutoff))
+    if isinstance(term, Tuple):
+        return Tuple(_shift(term.fst, by, cutoff), _shift(term.snd, by, cutoff))
+    if isinstance(term, Fst):
+        return Fst(_shift(term.tup, by, cutoff))
+    if isinstance(term, Snd):
+        return Snd(_shift(term.tup, by, cutoff))
+    if isinstance(term, Call):
+        return Call(term.name, tuple(_shift(a, by, cutoff) for a in term.args))
+    raise TypeError(f"unknown term type: {type(term).__name__}")
+
+
+def try_unshift(term: Term, by: int = 1) -> Term | None:
+    """Unshift ``term`` by ``by`` levels, or ``None`` if it references
+    any of the ``by`` innermost bound variables.
+
+    Used when matching shifted pattern variables: ``A↑↑`` matches an
+    expression ``e`` iff ``try_unshift(e, 2)`` succeeds, and the binding
+    for ``A`` is the unshifted expression.
+    """
+    try:
+        return shift(term, -by, 0)
+    except UnshiftError:
+        return None
+
+
+def subst(term: Term, value: Term) -> Term:
+    """The paper's ``subst(e, y)``: replace ``•0`` with ``value`` and
+    lower every other free variable by one."""
+    return _subst(term, value, 0)
+
+
+def _subst(term: Term, value: Term, depth: int) -> Term:
+    if isinstance(term, Var):
+        if term.index == depth:
+            return shift(value, depth, 0) if depth else value
+        if term.index > depth:
+            return Var(term.index - 1)
+        return term
+    if isinstance(term, (Const, Symbol)):
+        return term
+    if isinstance(term, Lam):
+        return Lam(_subst(term.body, value, depth + 1))
+    if isinstance(term, App):
+        return App(_subst(term.fn, value, depth), _subst(term.arg, value, depth))
+    if isinstance(term, Build):
+        return Build(term.size, _subst(term.fn, value, depth))
+    if isinstance(term, Index):
+        return Index(_subst(term.array, value, depth), _subst(term.index, value, depth))
+    if isinstance(term, IFold):
+        return IFold(term.size, _subst(term.init, value, depth), _subst(term.fn, value, depth))
+    if isinstance(term, Tuple):
+        return Tuple(_subst(term.fst, value, depth), _subst(term.snd, value, depth))
+    if isinstance(term, Fst):
+        return Fst(_subst(term.tup, value, depth))
+    if isinstance(term, Snd):
+        return Snd(_subst(term.tup, value, depth))
+    if isinstance(term, Call):
+        return Call(term.name, tuple(_subst(a, value, depth) for a in term.args))
+    raise TypeError(f"unknown term type: {type(term).__name__}")
+
+
+def beta_reduce(term: Term) -> Term | None:
+    """Apply E-BETAREDUCE at the root: ``(λ e) y → subst(e, y)``.
+
+    Returns ``None`` when ``term`` is not a redex.
+    """
+    if isinstance(term, App) and isinstance(term.fn, Lam):
+        return subst(term.fn.body, term.arg)
+    return None
+
+
+def normalize(term: Term, max_steps: int = 10_000) -> Term:
+    """Fully beta-reduce ``term`` (normal-order), also reducing
+    ``fst (tuple a b)`` / ``snd (tuple a b)`` redexes.
+
+    The IR is strongly normalizing for the programs we build (``build``
+    and ``ifold`` sizes are static and their bodies are not unrolled
+    here), but a step bound guards against pathological inputs.
+    """
+    steps = 0
+    while steps < max_steps:
+        reduced = _reduce_once(term)
+        if reduced is None:
+            return term
+        term = reduced
+        steps += 1
+    raise RuntimeError(f"normalize exceeded {max_steps} steps")
+
+
+def _reduce_once(term: Term) -> Term | None:
+    if isinstance(term, App) and isinstance(term.fn, Lam):
+        return subst(term.fn.body, term.arg)
+    if isinstance(term, Fst) and isinstance(term.tup, Tuple):
+        return term.tup.fst
+    if isinstance(term, Snd) and isinstance(term.tup, Tuple):
+        return term.tup.snd
+    from .terms import children, with_children
+
+    kids = children(term)
+    for i, child in enumerate(kids):
+        reduced = _reduce_once(child)
+        if reduced is not None:
+            new_kids = kids[:i] + (reduced,) + kids[i + 1 :]
+            return with_children(term, new_kids)
+    return None

@@ -1,0 +1,269 @@
+"""Reference interpreter for the minimalist IR.
+
+Implements the reduction semantics of listing 1 directly: ``build``
+evaluates its body once per index in a Python loop, ``ifold`` runs an
+accumulation loop, lambdas become closures over a De Bruijn
+environment.  Element-at-a-time evaluation deliberately models the
+scalar loop nests of the paper's "pure C" backend.
+
+Named function calls are resolved through a *registry* (a mapping of
+name → Python callable).  Scalar arithmetic is built in; library
+functions (``dot``, ``gemv``, ``mm``...) must be supplied by the
+caller — see :mod:`repro.backend.library_runtime` — so that a term can
+be executed either "as loops" (no registry: a term containing library
+calls fails loudly) or "with libraries" (registry dispatches to
+BLAS-backed numpy).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple as TupleT
+
+import numpy as np
+
+from .terms import (
+    App,
+    Build,
+    Call,
+    Const,
+    Fst,
+    IFold,
+    Index,
+    Lam,
+    Snd,
+    Symbol,
+    Term,
+    Tuple,
+    Var,
+)
+
+__all__ = ["evaluate", "Closure", "EvalError", "SCALAR_BUILTINS"]
+
+
+class EvalError(RuntimeError):
+    """Raised on evaluation failures (unbound symbols, unknown calls...)."""
+
+
+@dataclass(frozen=True)
+class Closure:
+    """A lambda value: body + captured De Bruijn environment."""
+
+    body: Term
+    env: TupleT[Any, ...]
+
+    def __call__(self, argument: Any) -> Any:
+        return _eval(
+            self.body, (argument,) + self.env, self._symbols, self._registry,
+            self._memo,
+        )
+
+    # Closures capture the interpreter context via attributes set at
+    # construction time in _eval (kept off the dataclass equality).
+    _symbols: Mapping[str, Any] = None  # type: ignore[assignment]
+    _registry: Mapping[str, Callable[..., Any]] = None  # type: ignore[assignment]
+    _memo: object = None
+
+
+SCALAR_BUILTINS: Dict[str, Callable[..., Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    ">": lambda a, b: 1 if a > b else 0,
+    "<": lambda a, b: 1 if a < b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    "==": lambda a, b: 1 if a == b else 0,
+    "max": lambda a, b: a if a >= b else b,
+    "min": lambda a, b: a if a <= b else b,
+    "neg": operator.neg,
+}
+
+
+def evaluate(
+    term: Term,
+    symbols: Optional[Mapping[str, Any]] = None,
+    registry: Optional[Mapping[str, Callable[..., Any]]] = None,
+) -> Any:
+    """Evaluate a closed ``term``.
+
+    ``symbols`` supplies values for ``Symbol`` nodes (numbers or numpy
+    arrays).  ``registry`` supplies implementations for non-builtin
+    named functions; without it, library calls raise :class:`EvalError`.
+
+    Closed subterms (no free De Bruijn indices) are memoized per
+    ``evaluate`` call: a composed kernel inlines intermediates (e.g.
+    2mm's ``tmp`` matrix) textually, and without memoization a tree
+    walker would recompute them once per enclosing loop iteration —
+    something no real backend (and certainly not the paper's C code
+    generator, which materializes intermediates into buffers) would do.
+    """
+    return _eval(term, (), symbols or {}, registry or {}, _Memo())
+
+
+class _Memo:
+    """Per-evaluation cache of closed-subterm values, keyed by object
+    identity (the same loop body object recurs across iterations)."""
+
+    __slots__ = ("values", "closed")
+
+    def __init__(self) -> None:
+        self.values: dict = {}
+        self.closed: dict = {}
+
+    def is_closed(self, term: Term) -> bool:
+        key = id(term)
+        cached = self.closed.get(key)
+        if cached is None:
+            from .terms import free_indices
+
+            cached = not free_indices(term)
+            self.closed[key] = cached
+        return cached
+
+
+def _make_closure(
+    body: Term,
+    env: TupleT[Any, ...],
+    symbols: Mapping[str, Any],
+    registry: Mapping[str, Callable[..., Any]],
+    memo: "_Memo",
+) -> Closure:
+    closure = Closure(body, env)
+    object.__setattr__(closure, "_symbols", symbols)
+    object.__setattr__(closure, "_registry", registry)
+    object.__setattr__(closure, "_memo", memo)
+    return closure
+
+
+def _apply(fn: Any, argument: Any) -> Any:
+    if isinstance(fn, Closure):
+        return fn(argument)
+    if callable(fn):
+        return fn(argument)
+    raise EvalError(f"cannot apply non-function value {fn!r}")
+
+
+def _eval(
+    term: Term,
+    env: TupleT[Any, ...],
+    symbols: Mapping[str, Any],
+    registry: Mapping[str, Callable[..., Any]],
+    memo: "_Memo",
+) -> Any:
+    # Memoize closed loop nests and calls (see ``evaluate``).
+    memo_key = None
+    if isinstance(term, (Build, IFold, Call, Index)) and memo.is_closed(term):
+        memo_key = id(term)
+        if memo_key in memo.values:
+            return memo.values[memo_key]
+    result = _eval_inner(term, env, symbols, registry, memo)
+    if memo_key is not None:
+        memo.values[memo_key] = result
+    return result
+
+
+def _eval_inner(
+    term: Term,
+    env: TupleT[Any, ...],
+    symbols: Mapping[str, Any],
+    registry: Mapping[str, Callable[..., Any]],
+    memo: "_Memo",
+) -> Any:
+    if isinstance(term, Var):
+        if term.index >= len(env):
+            raise EvalError(f"unbound De Bruijn index •{term.index}")
+        return env[term.index]
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Symbol):
+        if term.name not in symbols:
+            raise EvalError(f"unbound symbol {term.name!r}")
+        return symbols[term.name]
+    if isinstance(term, Lam):
+        return _make_closure(term.body, env, symbols, registry, memo)
+    if isinstance(term, App):
+        fn = _eval(term.fn, env, symbols, registry, memo)
+        arg = _eval(term.arg, env, symbols, registry, memo)
+        return _apply(fn, arg)
+    if isinstance(term, Build):
+        fn = _eval(term.fn, env, symbols, registry, memo)
+        elements = [_apply(fn, i) for i in range(term.size)]
+        return _pack_array(elements, term.size)
+    if isinstance(term, Index):
+        index = _eval(term.index, env, symbols, registry, memo)
+        # Indexing a non-closed build: evaluate just the requested
+        # element (a loop-invariant row need not be re-materialized per
+        # access; closed builds take the memoized materialization path).
+        if isinstance(term.array, Build) and not memo.is_closed(term.array):
+            position = int(index)
+            if position < 0 or position >= term.array.size:
+                raise EvalError(
+                    f"index {position} out of bounds for build of size "
+                    f"{term.array.size}"
+                )
+            fn = _eval(term.array.fn, env, symbols, registry, memo)
+            return _apply(fn, position)
+        array = _eval(term.array, env, symbols, registry, memo)
+        return _index(array, index)
+    if isinstance(term, IFold):
+        fn = _eval(term.fn, env, symbols, registry, memo)
+        acc = _eval(term.init, env, symbols, registry, memo)
+        for i in range(term.size):
+            acc = _apply(_apply(fn, i), acc)
+        return acc
+    if isinstance(term, Tuple):
+        return (
+            _eval(term.fst, env, symbols, registry, memo),
+            _eval(term.snd, env, symbols, registry, memo),
+        )
+    if isinstance(term, Fst):
+        value = _eval(term.tup, env, symbols, registry, memo)
+        return _project(value, 0)
+    if isinstance(term, Snd):
+        value = _eval(term.tup, env, symbols, registry, memo)
+        return _project(value, 1)
+    if isinstance(term, Call):
+        args = [_eval(a, env, symbols, registry, memo) for a in term.args]
+        impl = registry.get(term.name) or SCALAR_BUILTINS.get(term.name)
+        if impl is None:
+            raise EvalError(
+                f"no implementation for named function {term.name!r}; "
+                f"supply it via the registry"
+            )
+        return impl(*args)
+    raise TypeError(f"unknown term type: {type(term).__name__}")
+
+
+def _pack_array(elements: list, size: int) -> Any:
+    """Pack build results into a numpy array when they are numeric."""
+    if size == 0:
+        return np.zeros(0)
+    first = elements[0]
+    if isinstance(first, (int, float, np.floating, np.integer)):
+        return np.array(elements, dtype=float)
+    if isinstance(first, np.ndarray):
+        return np.stack(elements)
+    # Non-numeric elements (tuples, closures) stay as a Python list.
+    return elements
+
+
+def _index(array: Any, index: Any) -> Any:
+    position = int(index)
+    if isinstance(array, np.ndarray):
+        if position < 0 or position >= array.shape[0]:
+            raise EvalError(f"index {position} out of bounds for length {array.shape[0]}")
+        return array[position]
+    if isinstance(array, (list, tuple)):
+        if position < 0 or position >= len(array):
+            raise EvalError(f"index {position} out of bounds for length {len(array)}")
+        return array[position]
+    raise EvalError(f"cannot index into value of type {type(array).__name__}")
+
+
+def _project(value: Any, position: int) -> Any:
+    if isinstance(value, tuple) and len(value) == 2:
+        return value[position]
+    raise EvalError(f"fst/snd applied to non-tuple {value!r}")

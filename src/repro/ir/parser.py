@@ -1,0 +1,274 @@
+"""Parser for the minimalist IR's concrete syntax.
+
+The accepted grammar mirrors the pretty printer so that
+``parse(pretty(t)) == t`` for every term ``t`` (a property verified by
+the test suite)::
+
+    expr     ::= lambda | cmp
+    lambda   ::= ("λ" | "\\" | "lam") expr
+    cmp      ::= add (("<" | ">" | "<=" | ">=" | "==") add)?
+    add      ::= mul (("+" | "-") mul)*
+    mul      ::= app (("*" | "/") app)*
+    app      ::= "build" INT app | "ifold" INT app app
+               | "tuple" app app | "fst" app | "snd" app
+               | postfix postfix*          (left-assoc application)
+    postfix  ::= atom ("[" expr "]")*
+    atom     ::= "•" INT | "%" INT | NUMBER | NAME ("(" exprs ")")?
+               | "(" expr ")"
+
+Names *immediately* followed by ``(`` (no whitespace) parse as named
+function calls; a name separated from ``(`` by whitespace is a
+:class:`~repro.ir.terms.Symbol` applied to a parenthesized expression.
+Bare names parse as symbols.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .terms import (
+    App,
+    Build,
+    Call,
+    Const,
+    Fst,
+    IFold,
+    Index,
+    Lam,
+    Snd,
+    Symbol,
+    Term,
+    Tuple,
+    Var,
+)
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed IR syntax, with position information."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<debruijn>(?:•|%)\s*\d+)
+  | (?P<number>\d+\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<lambda>λ|\\)
+  | (?P<op><=|>=|==|[-+*/<>])
+  | (?P<punct>[()\[\],])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"build", "ifold", "tuple", "fst", "snd", "lam"}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at position {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind or "?", match.group(), match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.cursor = 0
+
+    def peek(self) -> Optional[_Token]:
+        if self.cursor < len(self.tokens):
+            return self.tokens[self.cursor]
+        return None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.cursor += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.advance()
+        if token.text != text:
+            raise ParseError(f"expected {text!r} but found {token.text!r} at {token.pos}")
+        return token
+
+    def at(self, text: str) -> bool:
+        token = self.peek()
+        return token is not None and token.text == text
+
+    def at_kind(self, kind: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == kind
+
+    # ---- grammar -----------------------------------------------------
+
+    def parse_expr(self) -> Term:
+        token = self.peek()
+        if token is not None and (token.kind == "lambda" or token.text == "lam"):
+            self.advance()
+            return Lam(self.parse_expr())
+        return self.parse_cmp()
+
+    def parse_cmp(self) -> Term:
+        left = self.parse_add()
+        token = self.peek()
+        if token is not None and token.text in ("<", ">", "<=", ">=", "=="):
+            op = self.advance().text
+            right = self.parse_add()
+            return Call(op, (left, right))
+        return left
+
+    def parse_add(self) -> Term:
+        left = self.parse_mul()
+        while True:
+            token = self.peek()
+            if token is not None and token.text in ("+", "-"):
+                op = self.advance().text
+                left = Call(op, (left, self.parse_mul()))
+            else:
+                return left
+
+    def parse_mul(self) -> Term:
+        left = self.parse_app()
+        while True:
+            token = self.peek()
+            if token is not None and token.text in ("*", "/"):
+                op = self.advance().text
+                left = Call(op, (left, self.parse_app()))
+            else:
+                return left
+
+    def parse_int(self) -> int:
+        token = self.advance()
+        if token.kind != "number" or not token.text.isdigit():
+            raise ParseError(f"expected integer constant at {token.pos}, got {token.text!r}")
+        return int(token.text)
+
+    def parse_app(self) -> Term:
+        token = self.peek()
+        if token is not None and token.kind == "name" and token.text in _KEYWORDS:
+            if token.text == "build":
+                self.advance()
+                size = self.parse_int()
+                return Build(size, self.parse_operand())
+            if token.text == "ifold":
+                self.advance()
+                size = self.parse_int()
+                init = self.parse_operand()
+                return IFold(size, init, self.parse_operand())
+            if token.text == "tuple":
+                self.advance()
+                return Tuple(self.parse_operand(), self.parse_operand())
+            if token.text == "fst":
+                self.advance()
+                return Fst(self.parse_operand())
+            if token.text == "snd":
+                self.advance()
+                return Snd(self.parse_operand())
+            if token.text == "lam":
+                self.advance()
+                return Lam(self.parse_expr())
+        result = self.parse_postfix()
+        while self._starts_operand():
+            result = App(result, self.parse_postfix())
+        return result
+
+    def parse_operand(self) -> Term:
+        """An operand of a keyword form: postfix expression or parenthesized."""
+        return self.parse_postfix()
+
+    def _starts_operand(self) -> bool:
+        token = self.peek()
+        if token is None:
+            return False
+        if token.kind in ("debruijn", "number", "lambda"):
+            return True
+        if token.kind == "name":
+            return True
+        return token.text == "("
+
+    def parse_postfix(self) -> Term:
+        term = self.parse_atom()
+        while self.at("["):
+            self.advance()
+            index = self.parse_expr()
+            self.expect("]")
+            term = Index(term, index)
+        return term
+
+    def parse_atom(self) -> Term:
+        token = self.advance()
+        if token.kind == "debruijn":
+            return Var(int(token.text.lstrip("•%").strip()))
+        if token.kind == "number":
+            if token.text.isdigit():
+                return Const(int(token.text))
+            return Const(float(token.text))
+        if token.kind == "lambda":
+            return Lam(self.parse_expr())
+        if token.kind == "name":
+            if token.text in _KEYWORDS:
+                self.cursor -= 1
+                return self.parse_app()
+            # Call syntax requires the "(" to touch the name:
+            # ``f(x)`` is a named call, ``f (x)`` is application.
+            if self.at("(") and self.peek().pos == token.pos + len(token.text):
+                self.advance()
+                args: List[Term] = []
+                if not self.at(")"):
+                    args.append(self.parse_expr())
+                    while self.at(","):
+                        self.advance()
+                        args.append(self.parse_expr())
+                self.expect(")")
+                return Call(token.text, tuple(args))
+            return Symbol(token.text)
+        if token.text == "(":
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if token.text == "-":
+            # Unary minus on a numeric literal (negative constants
+            # print as e.g. ``-3``).
+            number = self.peek()
+            if number is not None and number.kind == "number":
+                self.advance()
+                if number.text.isdigit():
+                    return Const(-int(number.text))
+                return Const(-float(number.text))
+            raise ParseError(f"expected number after unary '-' at {token.pos}")
+        raise ParseError(f"unexpected token {token.text!r} at {token.pos}")
+
+
+def parse(text: str) -> Term:
+    """Parse ``text`` into a :class:`~repro.ir.terms.Term`.
+
+    Raises :class:`ParseError` on malformed input or trailing tokens.
+    """
+    parser = _Parser(text)
+    term = parser.parse_expr()
+    leftover = parser.peek()
+    if leftover is not None:
+        raise ParseError(f"trailing input at {leftover.pos}: {leftover.text!r}")
+    return term

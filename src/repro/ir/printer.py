@@ -1,0 +1,112 @@
+"""Pretty printer for the minimalist IR, mirroring the paper's notation.
+
+Examples::
+
+    ifold 8 0 (λ λ xs[•1] + •0)
+    build 4 (λ dot(A[•0], B))
+    (λ •0) y
+
+Operator precedence (loosest to tightest): comparison, additive,
+multiplicative, application/indexing, atoms.  ``build``/``ifold`` and
+lambdas print like prefix operators and are parenthesized when used as
+arguments.
+"""
+
+from __future__ import annotations
+
+from .terms import (
+    App,
+    Build,
+    Call,
+    Const,
+    Fst,
+    IFold,
+    Index,
+    Lam,
+    Snd,
+    Symbol,
+    Term,
+    Tuple,
+    Var,
+)
+
+__all__ = ["pretty"]
+
+_INFIX = {
+    "+": (10, "+"),
+    "-": (10, "-"),
+    "*": (20, "*"),
+    "/": (20, "/"),
+    ">": (5, ">"),
+    "<": (5, "<"),
+    ">=": (5, ">="),
+    "<=": (5, "<="),
+    "==": (5, "=="),
+}
+
+_ATOM = 100
+_APP = 30
+_LOW = 0
+
+
+def pretty(term: Term) -> str:
+    """Render ``term`` in the paper's concrete syntax."""
+    return _pretty(term, _LOW)
+
+
+def _paren(text: str, prec: int, ctx: int) -> str:
+    return f"({text})" if prec < ctx else text
+
+
+def _pretty(term: Term, ctx: int) -> str:
+    if isinstance(term, Var):
+        return f"•{term.index}"
+    if isinstance(term, Const):
+        value = term.value
+        if isinstance(value, float) and value.is_integer():
+            text = f"{value:.1f}"
+        else:
+            text = repr(value)
+        if text.startswith("-"):
+            # A leading minus must not fuse with a preceding operand
+            # (``f -3`` would parse as subtraction): parenthesize in
+            # any context tighter than additive.
+            return _paren(text, 9, ctx)
+        return text
+    if isinstance(term, Symbol):
+        return term.name
+    if isinstance(term, Lam):
+        body = _pretty(term.body, _LOW)
+        return _paren(f"λ {body}", 1, ctx)
+    if isinstance(term, App):
+        fn = _pretty(term.fn, _APP)
+        arg = _pretty(term.arg, _APP + 1)
+        return _paren(f"{fn} {arg}", _APP, ctx)
+    if isinstance(term, Build):
+        fn = _pretty(term.fn, _APP + 1)
+        return _paren(f"build {term.size} {fn}", 2, ctx)
+    if isinstance(term, IFold):
+        init = _pretty(term.init, _APP + 1)
+        fn = _pretty(term.fn, _APP + 1)
+        return _paren(f"ifold {term.size} {init} {fn}", 2, ctx)
+    if isinstance(term, Index):
+        array = _pretty(term.array, _ATOM)
+        index = _pretty(term.index, _LOW)
+        return f"{array}[{index}]"
+    if isinstance(term, Tuple):
+        fst = _pretty(term.fst, _APP + 1)
+        snd = _pretty(term.snd, _APP + 1)
+        return _paren(f"tuple {fst} {snd}", 2, ctx)
+    if isinstance(term, Fst):
+        return _paren(f"fst {_pretty(term.tup, _APP + 1)}", 2, ctx)
+    if isinstance(term, Snd):
+        return _paren(f"snd {_pretty(term.tup, _APP + 1)}", 2, ctx)
+    if isinstance(term, Call):
+        if term.name in _INFIX and len(term.args) == 2:
+            prec, symbol = _INFIX[term.name]
+            left = _pretty(term.args[0], prec)
+            right = _pretty(term.args[1], prec + 1)
+            return _paren(f"{left} {symbol} {right}", prec, ctx)
+        args = ", ".join(_pretty(a, _LOW) for a in term.args)
+        return f"{term.name}({args})"
+    raise TypeError(f"unknown term type: {type(term).__name__}")

@@ -1,0 +1,364 @@
+"""Shape (type) analysis for the minimalist IR.
+
+The cost models in the paper (listings 6–8) need the array dimensions
+``N``, ``M``, ``K`` of library-call operands.  This module defines a
+small shape language and a checker that infers the shape of a term
+given the shapes of its free ``Symbol`` inputs:
+
+* :class:`Scalar` — a number;
+* :class:`Array`  — an ``n``-dimensional array with static dims, e.g.
+  ``Array((4, 8))`` is a 4×8 matrix (an array of arrays of scalars);
+* :class:`Fn`     — a function shape (parameter → result);
+* :class:`Pair`   — a binary tuple shape;
+* :class:`Unknown` — bottom/unknown, produced when inference cannot
+  conclude anything (e.g. an unapplied higher-order parameter).
+
+Shapes form a join semi-lattice with :class:`Unknown` as bottom;
+``join`` is used by the e-graph's shape analysis when two e-classes
+merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple as TupleT
+
+from .terms import (
+    App,
+    Build,
+    Call,
+    Const,
+    Fst,
+    IFold,
+    Index,
+    Lam,
+    Snd,
+    Symbol,
+    Term,
+    Tuple,
+    Var,
+)
+
+__all__ = [
+    "Shape",
+    "Scalar",
+    "Array",
+    "Fn",
+    "Pair",
+    "Unknown",
+    "ShapeError",
+    "SCALAR",
+    "UNKNOWN",
+    "vector",
+    "matrix",
+    "join",
+    "infer_shape",
+    "shape_of_call",
+]
+
+
+class Shape:
+    """Base class for shapes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Scalar(Shape):
+    """The shape of a number."""
+
+
+@dataclass(frozen=True, slots=True)
+class Array(Shape):
+    """An array with static dimensions ``dims`` of scalar elements."""
+
+    dims: TupleT[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("Array must have at least one dimension; use Scalar")
+        if any((not isinstance(d, int)) or d < 0 for d in self.dims):
+            raise ValueError(f"array dims must be non-negative ints: {self.dims!r}")
+
+    @property
+    def element(self) -> Shape:
+        """Shape of one element: a lower-rank array, or a scalar."""
+        if len(self.dims) == 1:
+            return SCALAR
+        return Array(self.dims[1:])
+
+    @property
+    def size(self) -> int:
+        """Total number of scalar elements."""
+        total = 1
+        for dim in self.dims:
+            total *= dim
+        return total
+
+
+@dataclass(frozen=True, slots=True)
+class Fn(Shape):
+    """Function shape ``param -> result``."""
+
+    param: Shape
+    result: Shape
+
+
+@dataclass(frozen=True, slots=True)
+class Pair(Shape):
+    """Binary tuple shape."""
+
+    fst: Shape
+    snd: Shape
+
+
+@dataclass(frozen=True, slots=True)
+class Unknown(Shape):
+    """Bottom of the shape lattice: no information."""
+
+
+SCALAR = Scalar()
+UNKNOWN = Unknown()
+
+
+def vector(n: int) -> Array:
+    """Shape of a length-``n`` vector."""
+    return Array((n,))
+
+
+def matrix(n: int, m: int) -> Array:
+    """Shape of an ``n``×``m`` matrix."""
+    return Array((n, m))
+
+
+class ShapeError(TypeError):
+    """Raised when a term is shape-inconsistent (e.g. indexing a scalar)."""
+
+
+def join(a: Shape, b: Shape) -> Shape:
+    """Join two shapes: equal shapes join to themselves; ``Unknown`` is
+    the identity; genuinely conflicting shapes raise :class:`ShapeError`.
+
+    The e-graph analysis relies on merges being conflict-free for sound
+    rewriting, so a conflict is a bug worth surfacing loudly.
+    """
+    if isinstance(a, Unknown):
+        return b
+    if isinstance(b, Unknown):
+        return a
+    if a == b:
+        return a
+    if isinstance(a, Fn) and isinstance(b, Fn):
+        return Fn(join(a.param, b.param), join(a.result, b.result))
+    if isinstance(a, Pair) and isinstance(b, Pair):
+        return Pair(join(a.fst, b.fst), join(a.snd, b.snd))
+    raise ShapeError(f"conflicting shapes: {a!r} vs {b!r}")
+
+
+# Library functions whose result shape is derivable from argument shapes.
+# Used both by term-level inference here and by the e-graph analysis.
+def shape_of_call(name: str, args: TupleT[Shape, ...]) -> Shape:
+    """Result shape of named function ``name`` applied to ``args``.
+
+    Handles scalar arithmetic, the BLAS functions of listing 4, and the
+    PyTorch functions of listing 5.  Unknown functions or insufficient
+    argument information yield :class:`Unknown`.
+    """
+    if name in ("+", "-", "*", "/", ">", "<", ">=", "<=", "=="):
+        if len(args) == 2 and all(isinstance(a, Scalar) for a in args):
+            return SCALAR
+        return UNKNOWN
+
+    def arr(i: int) -> Optional[Array]:
+        if i < len(args) and isinstance(args[i], Array):
+            return args[i]  # type: ignore[return-value]
+        return None
+
+    if name in ("dot",):
+        return SCALAR if arr(0) or arr(1) else UNKNOWN
+    if name == "sum":
+        return SCALAR if arr(0) else UNKNOWN
+    if name == "axpy":
+        vec = arr(1) or arr(2)
+        return vec if vec else UNKNOWN
+    if name in ("gemv", "gemv_t"):
+        mat = arr(1)
+        if mat and len(mat.dims) == 2:
+            n = mat.dims[1] if name == "gemv_t" else mat.dims[0]
+            return vector(n)
+        out = arr(4)
+        return out if out else UNKNOWN
+    if name in ("gemm", "gemm_tn", "gemm_nt", "gemm_tt", "gemm_nn"):
+        out = arr(4)
+        if out:
+            return out
+        a, b = arr(1), arr(2)
+        if a and b and len(a.dims) == 2 and len(b.dims) == 2:
+            transpose_a = name in ("gemm_tn", "gemm_tt")
+            transpose_b = name in ("gemm_nt", "gemm_tt")
+            n = a.dims[1] if transpose_a else a.dims[0]
+            m = b.dims[0] if transpose_b else b.dims[1]
+            return matrix(n, m)
+        return UNKNOWN
+    if name == "transpose":
+        mat = arr(0)
+        if mat and len(mat.dims) == 2:
+            return matrix(mat.dims[1], mat.dims[0])
+        return UNKNOWN
+    if name == "memset":
+        return UNKNOWN  # length comes from context; analysis refines it
+    if name == "mv":
+        mat = arr(0)
+        if mat and len(mat.dims) == 2:
+            return vector(mat.dims[0])
+        return UNKNOWN
+    if name == "mm":
+        a, b = arr(0), arr(1)
+        if a and b and len(a.dims) == 2 and len(b.dims) == 2:
+            return matrix(a.dims[0], b.dims[1])
+        return UNKNOWN
+    if name == "add":
+        return arr(0) or arr(1) or UNKNOWN
+    if name == "mul":
+        # mul(alpha, A): polymorphic scalar-tensor product
+        out = arr(1)
+        if out:
+            return out
+        if len(args) == 2 and all(isinstance(a, Scalar) for a in args):
+            return SCALAR
+        return UNKNOWN
+    if name == "full":
+        return UNKNOWN  # length from context
+    return UNKNOWN
+
+
+def infer_shape(
+    term: Term,
+    env: Optional[Dict[str, Shape]] = None,
+    *,
+    strict: bool = True,
+) -> Shape:
+    """Infer the shape of ``term``.
+
+    ``env`` maps ``Symbol`` names to shapes.  With ``strict=True``
+    (default), shape inconsistencies raise :class:`ShapeError`; with
+    ``strict=False`` they degrade to :class:`Unknown`.
+    """
+    checker = _Checker(env or {}, strict)
+    return checker.infer(term, ())
+
+
+class _Checker:
+    def __init__(self, env: Dict[str, Shape], strict: bool) -> None:
+        self.env = env
+        self.strict = strict
+
+    def fail(self, message: str) -> Shape:
+        if self.strict:
+            raise ShapeError(message)
+        return UNKNOWN
+
+    def infer(self, term: Term, stack: TupleT[Shape, ...]) -> Shape:
+        if isinstance(term, Var):
+            if term.index < len(stack):
+                return stack[term.index]
+            return self.fail(f"unbound De Bruijn index •{term.index}")
+        if isinstance(term, Const):
+            return SCALAR
+        if isinstance(term, Symbol):
+            if term.name in self.env:
+                return self.env[term.name]
+            return UNKNOWN
+        if isinstance(term, Lam):
+            # Without an annotation the parameter shape is unknown; the
+            # Build/IFold/App cases below re-infer bodies with concrete
+            # parameter shapes instead of going through this case.
+            body = self.infer(term.body, (UNKNOWN,) + stack)
+            return Fn(UNKNOWN, body)
+        if isinstance(term, App):
+            if isinstance(term.fn, Lam):
+                arg = self.infer(term.arg, stack)
+                return self.infer(term.fn.body, (arg,) + stack)
+            fn = self.infer(term.fn, stack)
+            self.infer(term.arg, stack)
+            if isinstance(fn, Fn):
+                return fn.result
+            return UNKNOWN
+        if isinstance(term, Build):
+            element = self.apply_unary(term.fn, SCALAR, stack)
+            if isinstance(element, Scalar):
+                return Array((term.size,))
+            if isinstance(element, Array):
+                return Array((term.size,) + element.dims)
+            if isinstance(element, Unknown):
+                return UNKNOWN
+            return self.fail(f"build element has non-data shape {element!r}")
+        if isinstance(term, Index):
+            array = self.infer(term.array, stack)
+            index = self.infer(term.index, stack)
+            if not isinstance(index, (Scalar, Unknown)):
+                return self.fail(f"index must be scalar, got {index!r}")
+            if isinstance(array, Array):
+                return array.element
+            if isinstance(array, Unknown):
+                return UNKNOWN
+            return self.fail(f"cannot index into {array!r}")
+        if isinstance(term, IFold):
+            init = self.infer(term.init, stack)
+            result = self.apply_binary(term.fn, SCALAR, init, stack)
+            try:
+                return join(init, result)
+            except ShapeError:
+                return self.fail(f"ifold accumulator mismatch: {init!r} vs {result!r}")
+        if isinstance(term, Tuple):
+            return Pair(self.infer(term.fst, stack), self.infer(term.snd, stack))
+        if isinstance(term, Fst):
+            tup = self.infer(term.tup, stack)
+            if isinstance(tup, Pair):
+                return tup.fst
+            if isinstance(tup, Unknown):
+                return UNKNOWN
+            return self.fail(f"fst of non-tuple {tup!r}")
+        if isinstance(term, Snd):
+            tup = self.infer(term.tup, stack)
+            if isinstance(tup, Pair):
+                return tup.snd
+            if isinstance(tup, Unknown):
+                return UNKNOWN
+            return self.fail(f"snd of non-tuple {tup!r}")
+        if isinstance(term, Call):
+            args = tuple(self.infer(a, stack) for a in term.args)
+            # memset/full carry their length as a literal second
+            # argument (see repro.rules.blas); term-level inference can
+            # read it directly, unlike the pure shape signature.
+            if term.name in ("memset", "full") and len(term.args) == 2:
+                length = term.args[1]
+                if isinstance(length, Const):
+                    return Array((int(length.value),))
+            return shape_of_call(term.name, args)
+        raise TypeError(f"unknown term type: {type(term).__name__}")
+
+    def apply_unary(self, fn: Term, param: Shape, stack: TupleT[Shape, ...]) -> Shape:
+        """Shape of ``fn`` applied to one argument of shape ``param``."""
+        if isinstance(fn, Lam):
+            return self.infer(fn.body, (param,) + stack)
+        shape = self.infer(fn, stack)
+        if isinstance(shape, Fn):
+            return shape.result
+        return UNKNOWN
+
+    def apply_binary(
+        self, fn: Term, first: Shape, second: Shape, stack: TupleT[Shape, ...]
+    ) -> Shape:
+        """Shape of ``fn`` applied to two curried arguments."""
+        if isinstance(fn, Lam) and isinstance(fn.body, Lam):
+            return self.infer(fn.body.body, (second, first) + stack)
+        if isinstance(fn, Lam):
+            inner = self.infer(fn.body, (first,) + stack)
+            if isinstance(inner, Fn):
+                return inner.result
+            return UNKNOWN
+        shape = self.infer(fn, stack)
+        if isinstance(shape, Fn) and isinstance(shape.result, Fn):
+            return shape.result.result
+        return UNKNOWN

@@ -1,0 +1,39 @@
+"""The kernel suite of table I: 8 PolyBench + 8 custom kernels."""
+
+from .base import Kernel, KernelRegistry
+from .combinators import (
+    conv1d,
+    constvec,
+    dot_ir,
+    matmat,
+    matvec,
+    transpose_ir,
+    vadd,
+    vscale,
+    vsum_ir,
+    window1d,
+)
+from .custom import custom_kernels
+from .polybench import polybench_kernels
+
+__all__ = [
+    "Kernel", "KernelRegistry", "registry", "all_kernels",
+    "custom_kernels", "polybench_kernels",
+    "vadd", "vscale", "dot_ir", "vsum_ir", "matvec", "transpose_ir",
+    "matmat", "constvec", "window1d", "conv1d",
+]
+
+
+def _build_registry() -> KernelRegistry:
+    reg = KernelRegistry()
+    for kernel in polybench_kernels() + custom_kernels():
+        reg.register(kernel)
+    return reg
+
+
+registry = _build_registry()
+
+
+def all_kernels() -> list:
+    """All sixteen kernels, sorted by name."""
+    return registry.all()

@@ -1,0 +1,84 @@
+"""Kernel descriptors: IR term + input generation + reference outputs.
+
+A :class:`Kernel` bundles everything an experiment needs:
+
+* ``term`` — the kernel expressed in the minimalist IR (built from the
+  combinators of :mod:`repro.kernels.combinators`, per §VI);
+* ``symbol_shapes`` — shapes of the free input symbols, feeding the
+  e-graph's shape analysis and hence the cost models;
+* ``make_inputs`` — deterministic random inputs;
+* ``reference`` — the golden result, computed with vectorized numpy
+  (used for correctness checks);
+* ``reference_loops`` — a straight-line Python-loop transliteration of
+  the PolyBench-style C reference (the timing baseline that stands in
+  for the paper's "reference C implementations", DESIGN.md §3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..ir.shapes import Shape
+from ..ir.terms import Term
+
+__all__ = ["Kernel", "KernelRegistry"]
+
+InputMaker = Callable[[np.random.Generator], Dict[str, Any]]
+Reference = Callable[[Mapping[str, Any]], Any]
+
+
+@dataclass
+class Kernel:
+    """One benchmark kernel (table I)."""
+
+    name: str
+    suite: str  # "polybench" or "custom"
+    description: str
+    term: Term
+    symbol_shapes: Dict[str, Shape]
+    make_inputs: InputMaker
+    reference: Reference
+    reference_loops: Reference
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def inputs(self, seed: int = 0) -> Dict[str, Any]:
+        """Deterministic inputs for this kernel."""
+        return self.make_inputs(np.random.default_rng(seed))
+
+    def golden(self, inputs: Optional[Mapping[str, Any]] = None, seed: int = 0) -> Any:
+        """Reference (numpy) output for the given or default inputs."""
+        if inputs is None:
+            inputs = self.inputs(seed)
+        return self.reference(inputs)
+
+
+class KernelRegistry:
+    """Name → kernel lookup over the full suite."""
+
+    def __init__(self) -> None:
+        self._kernels: Dict[str, Kernel] = {}
+
+    def register(self, kernel: Kernel) -> Kernel:
+        if kernel.name in self._kernels:
+            raise ValueError(f"duplicate kernel {kernel.name!r}")
+        self._kernels[kernel.name] = kernel
+        return kernel
+
+    def get(self, name: str) -> Kernel:
+        if name not in self._kernels:
+            raise KeyError(
+                f"unknown kernel {name!r}; available: {sorted(self._kernels)}"
+            )
+        return self._kernels[name]
+
+    def names(self) -> list:
+        return sorted(self._kernels)
+
+    def by_suite(self, suite: str) -> list:
+        return [k for k in self._kernels.values() if k.suite == suite]
+
+    def all(self) -> list:
+        return [self._kernels[name] for name in self.names()]

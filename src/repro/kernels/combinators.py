@@ -1,0 +1,99 @@
+"""build/ifold implementations of the mathematical operators (§VI).
+
+Kernels are expressed by composing these combinators, exactly as the
+paper describes::
+
+    vadd(A, B)    = build N (λ A↑[•0] + B↑[•0])
+    vscale(α, A)  = build N (λ α↑ * A↑[•0])
+    matvec(A, B)  = build N (λ dot(A↑[•0], B↑))
+    dot(A, B)     = ifold N 0 (λ λ A↑↑[•1] * B↑↑[•1] + •0)
+
+plus matrix transpose, matrix-matrix product, and windowed stencils.
+Every combinator *inlines* its expansion — the resulting term contains
+only core IR operators, never named library calls.  Each takes its
+operand terms at the caller's binder depth and shifts them as its own
+lambdas require.
+"""
+
+from __future__ import annotations
+
+from ..ir.builders import build, const, ifold, lam, lam2, up, v
+from ..ir.terms import Term
+
+__all__ = [
+    "vadd",
+    "vscale",
+    "dot_ir",
+    "vsum_ir",
+    "matvec",
+    "transpose_ir",
+    "matmat",
+    "constvec",
+    "window1d",
+    "conv1d",
+]
+
+
+def vadd(a: Term, b: Term, n: int) -> Term:
+    """Elementwise vector addition ``build n (λ a↑[•0] + b↑[•0])``."""
+    return build(n, lam(up(a)[v(0)] + up(b)[v(0)]))
+
+
+def vscale(alpha: Term, a: Term, n: int) -> Term:
+    """Vector scaling ``build n (λ α↑ * a↑[•0])``."""
+    return build(n, lam(up(alpha) * up(a)[v(0)]))
+
+
+def dot_ir(a: Term, b: Term, n: int) -> Term:
+    """Dot product ``ifold n 0 (λ λ a↑↑[•1] * b↑↑[•1] + •0)``."""
+    return ifold(n, 0, lam2(up(a, 2)[v(1)] * up(b, 2)[v(1)] + v(0)))
+
+
+def vsum_ir(a: Term, n: int) -> Term:
+    """Vector sum ``ifold n 0 (λ λ a↑↑[•1] + •0)``."""
+    return ifold(n, 0, lam2(up(a, 2)[v(1)] + v(0)))
+
+
+def matvec(a: Term, b: Term, rows: int, cols: int) -> Term:
+    """Matrix–vector product ``build rows (λ dot(a↑[•0], b↑))``."""
+    return build(rows, lam(dot_ir(up(a)[v(0)], up(b), cols)))
+
+
+def transpose_ir(a: Term, rows: int, cols: int) -> Term:
+    """Transpose of a ``rows×cols`` matrix:
+    ``build cols (λ build rows (λ a↑↑[•0][•1]))``."""
+    return build(cols, lam(build(rows, lam(up(a, 2)[v(0)][v(1)]))))
+
+
+def matmat(a: Term, b: Term, n: int, k: int, m: int) -> Term:
+    """Matrix product ``A·B`` of ``n×k`` by ``k×m``:
+    row ``i`` is ``matvec(transpose(B), A[i])``."""
+    return build(
+        n,
+        lam(matvec(transpose_ir(up(b), k, m), up(a)[v(0)], m, k)),
+    )
+
+
+def constvec(value: float, n: int) -> Term:
+    """Constant vector ``build n (λ c)``."""
+    return build(n, lam(const(value)))
+
+
+def window1d(x: Term, start: Term, taps: int) -> Term:
+    """The window ``build taps (λ x↑[start↑ + •0])`` of ``x`` beginning
+    at index ``start`` — the gather step of a windowed convolution."""
+    return build(taps, lam(up(x)[up(start) + v(0)]))
+
+
+def conv1d(x: Term, weights: Term, out_len: int, taps: int) -> Term:
+    """Valid 1-D convolution written window-gather style:
+    ``build out_len (λ dot(weights↑, window(x↑, •0)))``.
+
+    Expressing stencils this way (gather a window, reduce it against
+    the weights) is what lets equality saturation discover im2col-style
+    ``gemv``/``mv`` solutions for them (§VI-B/E).
+    """
+    return build(
+        out_len,
+        lam(dot_ir(up(weights), window1d(up(x), v(0), taps), taps)),
+    )

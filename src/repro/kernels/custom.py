@@ -1,0 +1,316 @@
+"""The eight custom kernels of table I.
+
+Sizes are scaled down from HPC-typical dimensions so that the
+interpreted "pure C" substrate finishes in benchmark-friendly time;
+the e-graph (and hence everything tables II/III report) is independent
+of the concrete sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from ..ir import builders as b
+from ..ir.shapes import SCALAR, matrix, vector
+from .base import Kernel
+from .combinators import (
+    conv1d,
+    constvec,
+    dot_ir,
+    matmat,
+    matvec,
+    transpose_ir,
+    vadd,
+    vscale,
+    vsum_ir,
+)
+
+__all__ = ["custom_kernels", "N_VEC", "N_MAT", "K_MAT", "M_MAT"]
+
+# Default problem sizes (see module docstring).
+N_VEC = 64       # vector length
+N_MAT = 16       # matrix rows
+K_MAT = 16       # inner dimension
+M_MAT = 16       # matrix columns
+TAPS = 3         # stencil width
+
+
+def _sym(name: str) -> Any:
+    return b.sym(name)
+
+
+def kernel_1mm() -> Kernel:
+    """One matrix multiplication: ``C = A·B``."""
+    n, k, m = N_MAT, K_MAT, M_MAT
+    term = matmat(_sym("A"), _sym("B"), n, k, m)
+    return Kernel(
+        name="1mm",
+        suite="custom",
+        description="One matrix multiplication",
+        term=term,
+        symbol_shapes={"A": matrix(n, k), "B": matrix(k, m)},
+        make_inputs=lambda rng: {
+            "A": rng.standard_normal((n, k)),
+            "B": rng.standard_normal((k, m)),
+        },
+        reference=lambda inp: inp["A"] @ inp["B"],
+        reference_loops=_loops_1mm,
+        params={"N": n, "K": k, "M": m},
+    )
+
+
+def _loops_1mm(inp: Mapping[str, Any]) -> np.ndarray:
+    a, bmat = inp["A"], inp["B"]
+    n, k = a.shape
+    m = bmat.shape[1]
+    out = np.zeros((n, m))
+    for i in range(n):
+        for j in range(m):
+            acc = 0.0
+            for p in range(k):
+                acc += a[i, p] * bmat[p, j]
+            out[i, j] = acc
+    return out
+
+
+def kernel_axpy() -> Kernel:
+    """Vector scaling and addition: ``αA + B``."""
+    n = N_VEC
+    term = vadd(vscale(_sym("alpha"), _sym("A"), n), _sym("B"), n)
+    return Kernel(
+        name="axpy",
+        suite="custom",
+        description="Vector scaling and addition",
+        term=term,
+        symbol_shapes={"alpha": SCALAR, "A": vector(n), "B": vector(n)},
+        make_inputs=lambda rng: {
+            "alpha": float(rng.standard_normal()),
+            "A": rng.standard_normal(n),
+            "B": rng.standard_normal(n),
+        },
+        reference=lambda inp: inp["alpha"] * inp["A"] + inp["B"],
+        reference_loops=_loops_axpy,
+        params={"N": n},
+    )
+
+
+def _loops_axpy(inp: Mapping[str, Any]) -> np.ndarray:
+    alpha, a, bvec = inp["alpha"], inp["A"], inp["B"]
+    out = np.zeros(len(a))
+    for i in range(len(a)):
+        out[i] = alpha * a[i] + bvec[i]
+    return out
+
+
+def kernel_blur1d() -> Kernel:
+    """1-D box-blur stencil, window-gather style (3 taps, weight ⅓)."""
+    n = N_VEC
+    out_len = n - TAPS + 1
+    weights = constvec(1.0 / 3.0, TAPS)
+    term = conv1d(_sym("x"), weights, out_len, TAPS)
+    return Kernel(
+        name="blur1d",
+        suite="custom",
+        description="1D stencil",
+        term=term,
+        symbol_shapes={"x": vector(n)},
+        make_inputs=lambda rng: {"x": rng.standard_normal(n)},
+        reference=lambda inp: np.convolve(inp["x"], np.full(TAPS, 1.0 / 3.0), "valid"),
+        reference_loops=_loops_blur1d,
+        params={"N": n, "taps": TAPS},
+    )
+
+
+def _loops_blur1d(inp: Mapping[str, Any]) -> np.ndarray:
+    x = inp["x"]
+    out = np.zeros(len(x) - TAPS + 1)
+    for i in range(len(out)):
+        acc = 0.0
+        for t in range(TAPS):
+            acc += x[i + t] / 3.0
+        out[i] = acc
+    return out
+
+
+def kernel_gemv() -> Kernel:
+    """Generalized matrix–vector product: ``αAB + βC``."""
+    n, m = N_MAT, M_MAT
+    term = vadd(
+        vscale(_sym("alpha"), matvec(_sym("A"), _sym("B"), n, m), n),
+        vscale(_sym("beta"), _sym("C"), n),
+        n,
+    )
+    return Kernel(
+        name="gemv",
+        suite="custom",
+        description="Generalized matrix-vector product",
+        term=term,
+        symbol_shapes={
+            "alpha": SCALAR,
+            "beta": SCALAR,
+            "A": matrix(n, m),
+            "B": vector(m),
+            "C": vector(n),
+        },
+        make_inputs=lambda rng: {
+            "alpha": float(rng.standard_normal()),
+            "beta": float(rng.standard_normal()),
+            "A": rng.standard_normal((n, m)),
+            "B": rng.standard_normal(m),
+            "C": rng.standard_normal(n),
+        },
+        reference=lambda inp: inp["alpha"] * (inp["A"] @ inp["B"])
+        + inp["beta"] * inp["C"],
+        reference_loops=_loops_gemv,
+        params={"N": n, "M": m},
+    )
+
+
+def _loops_gemv(inp: Mapping[str, Any]) -> np.ndarray:
+    alpha, beta = inp["alpha"], inp["beta"]
+    a, bvec, c = inp["A"], inp["B"], inp["C"]
+    n, m = a.shape
+    out = np.zeros(n)
+    for i in range(n):
+        acc = 0.0
+        for j in range(m):
+            acc += a[i, j] * bvec[j]
+        out[i] = alpha * acc + beta * c[i]
+    return out
+
+
+def kernel_memset() -> Kernel:
+    """Zero-vector creation."""
+    n = N_VEC
+    term = b.build(n, b.lam(0))
+    return Kernel(
+        name="memset",
+        suite="custom",
+        description="Zero vector creation",
+        term=term,
+        symbol_shapes={},
+        make_inputs=lambda rng: {},
+        reference=lambda inp: np.zeros(n),
+        reference_loops=lambda inp: _loops_memset(n),
+        params={"N": n},
+    )
+
+
+def _loops_memset(n: int) -> np.ndarray:
+    out = np.empty(n)
+    for i in range(n):
+        out[i] = 0.0
+    return out
+
+
+def kernel_slim_2mm() -> Kernel:
+    """Two multiplications, slim: ``(A·B)·x`` (matrix–matrix then
+    matrix–vector)."""
+    n, k, m = N_MAT, K_MAT, M_MAT
+    term = matvec(matmat(_sym("A"), _sym("B"), n, k, m), _sym("x"), n, m)
+    return Kernel(
+        name="slim-2mm",
+        suite="custom",
+        description="Two matrix multiplications (slim)",
+        term=term,
+        symbol_shapes={"A": matrix(n, k), "B": matrix(k, m), "x": vector(m)},
+        make_inputs=lambda rng: {
+            "A": rng.standard_normal((n, k)),
+            "B": rng.standard_normal((k, m)),
+            "x": rng.standard_normal(m),
+        },
+        reference=lambda inp: (inp["A"] @ inp["B"]) @ inp["x"],
+        reference_loops=_loops_slim_2mm,
+        params={"N": n, "K": k, "M": m},
+    )
+
+
+def _loops_slim_2mm(inp: Mapping[str, Any]) -> np.ndarray:
+    tmp = _loops_1mm(inp)
+    x = inp["x"]
+    n, m = tmp.shape
+    out = np.zeros(n)
+    for i in range(n):
+        acc = 0.0
+        for j in range(m):
+            acc += tmp[i, j] * x[j]
+        out[i] = acc
+    return out
+
+
+def kernel_stencil2d() -> Kernel:
+    """2-D stencil: a 3-tap horizontal blur over every matrix row,
+    window-gather style."""
+    rows, cols = N_MAT, N_VEC
+    out_len = cols - TAPS + 1
+    weights = constvec(1.0 / 3.0, TAPS)
+    term = b.build(
+        rows,
+        b.lam(conv1d(b.up(_sym("x"))[b.v(0)], b.up(weights), out_len, TAPS)),
+    )
+    return Kernel(
+        name="stencil2d",
+        suite="custom",
+        description="2D stencil",
+        term=term,
+        symbol_shapes={"x": matrix(rows, cols)},
+        make_inputs=lambda rng: {"x": rng.standard_normal((rows, cols))},
+        reference=lambda inp: np.stack(
+            [np.convolve(row, np.full(TAPS, 1.0 / 3.0), "valid") for row in inp["x"]]
+        ),
+        reference_loops=_loops_stencil2d,
+        params={"rows": rows, "cols": cols, "taps": TAPS},
+    )
+
+
+def _loops_stencil2d(inp: Mapping[str, Any]) -> np.ndarray:
+    x = inp["x"]
+    rows, cols = x.shape
+    out = np.zeros((rows, cols - TAPS + 1))
+    for i in range(rows):
+        for j in range(cols - TAPS + 1):
+            acc = 0.0
+            for t in range(TAPS):
+                acc += x[i, j + t] / 3.0
+            out[i, j] = acc
+    return out
+
+
+def kernel_vsum() -> Kernel:
+    """Vector reduction with sum."""
+    n = N_VEC
+    term = vsum_ir(_sym("xs"), n)
+    return Kernel(
+        name="vsum",
+        suite="custom",
+        description="Vector reduction with sum",
+        term=term,
+        symbol_shapes={"xs": vector(n)},
+        make_inputs=lambda rng: {"xs": rng.standard_normal(n)},
+        reference=lambda inp: float(inp["xs"].sum()),
+        reference_loops=_loops_vsum,
+        params={"N": n},
+    )
+
+
+def _loops_vsum(inp: Mapping[str, Any]) -> float:
+    acc = 0.0
+    for value in inp["xs"]:
+        acc += value
+    return acc
+
+
+def custom_kernels() -> list:
+    """All eight custom kernels."""
+    return [
+        kernel_1mm(),
+        kernel_axpy(),
+        kernel_blur1d(),
+        kernel_gemv(),
+        kernel_memset(),
+        kernel_slim_2mm(),
+        kernel_stencil2d(),
+        kernel_vsum(),
+    ]

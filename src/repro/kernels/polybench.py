@@ -1,0 +1,523 @@
+"""The eight PolyBench kernels of table I (PolyBench/C 4.2.1-beta
+subset), expressed in the minimalist IR.
+
+Composite linear-algebra kernels are written by composing the
+build/ifold operator implementations (vadd, vscale, matvec, ...);
+``doitgen`` and ``gemver`` are translated directly from their C loops,
+exactly as §VI describes.  Sizes are scaled down for the interpreted
+substrate (DESIGN.md §3.2); the e-graph experiments are
+size-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..ir import builders as b
+from ..ir.shapes import SCALAR, Array, matrix, vector
+from .base import Kernel
+from .combinators import conv1d, constvec, matvec, transpose_ir, vadd, vscale
+from .custom import K_MAT, M_MAT, N_MAT, N_VEC, TAPS
+
+__all__ = ["polybench_kernels"]
+
+
+def _sym(name: str):
+    return b.sym(name)
+
+
+def kernel_2mm() -> Kernel:
+    """Two generalized matrix multiplications:
+    ``tmp = α·A·B``, ``D = tmp·C + β·D``."""
+    n, k, m, l = N_MAT, K_MAT, M_MAT, N_MAT
+    alpha, beta = _sym("alpha"), _sym("beta")
+    a, bm, c, d = _sym("A"), _sym("B"), _sym("C"), _sym("D")
+    tmp = b.build(
+        n,
+        b.lam(
+            vscale(
+                b.up(alpha),
+                matvec(transpose_ir(b.up(bm), k, m), b.up(a)[b.v(0)], m, k),
+                m,
+            )
+        ),
+    )
+    term = b.build(
+        n,
+        b.lam(
+            vadd(
+                matvec(transpose_ir(b.up(c), m, l), b.up(tmp)[b.v(0)], l, m),
+                vscale(b.up(beta), b.up(d)[b.v(0)], l),
+                l,
+            )
+        ),
+    )
+    return Kernel(
+        name="2mm",
+        suite="polybench",
+        description="Two generalized matrix multiplications",
+        term=term,
+        symbol_shapes={
+            "alpha": SCALAR,
+            "beta": SCALAR,
+            "A": matrix(n, k),
+            "B": matrix(k, m),
+            "C": matrix(m, l),
+            "D": matrix(n, l),
+        },
+        make_inputs=lambda rng: {
+            "alpha": float(rng.standard_normal()),
+            "beta": float(rng.standard_normal()),
+            "A": rng.standard_normal((n, k)),
+            "B": rng.standard_normal((k, m)),
+            "C": rng.standard_normal((m, l)),
+            "D": rng.standard_normal((n, l)),
+        },
+        reference=lambda inp: (inp["alpha"] * inp["A"] @ inp["B"]) @ inp["C"]
+        + inp["beta"] * inp["D"],
+        reference_loops=_loops_2mm,
+        params={"N": n, "K": k, "M": m, "L": l},
+    )
+
+
+def _loops_2mm(inp: Mapping[str, Any]) -> np.ndarray:
+    alpha, beta = inp["alpha"], inp["beta"]
+    a, bm, c, d = inp["A"], inp["B"], inp["C"], inp["D"]
+    n, k = a.shape
+    m = bm.shape[1]
+    l = c.shape[1]
+    tmp = np.zeros((n, m))
+    for i in range(n):
+        for j in range(m):
+            acc = 0.0
+            for p in range(k):
+                acc += a[i, p] * bm[p, j]
+            tmp[i, j] = alpha * acc
+    out = np.zeros((n, l))
+    for i in range(n):
+        for j in range(l):
+            acc = 0.0
+            for p in range(m):
+                acc += tmp[i, p] * c[p, j]
+            out[i, j] = acc + beta * d[i, j]
+    return out
+
+
+def kernel_atax() -> Kernel:
+    """Matrix transpose and vector multiplication: ``y = Aᵀ(A·x)``."""
+    n, m = N_MAT, M_MAT
+    a, x = _sym("A"), _sym("x")
+    term = matvec(transpose_ir(a, n, m), matvec(a, x, n, m), m, n)
+    return Kernel(
+        name="atax",
+        suite="polybench",
+        description="Matrix transpose and vector multiplication",
+        term=term,
+        symbol_shapes={"A": matrix(n, m), "x": vector(m)},
+        make_inputs=lambda rng: {
+            "A": rng.standard_normal((n, m)),
+            "x": rng.standard_normal(m),
+        },
+        reference=lambda inp: inp["A"].T @ (inp["A"] @ inp["x"]),
+        reference_loops=_loops_atax,
+        params={"N": n, "M": m},
+    )
+
+
+def _loops_atax(inp: Mapping[str, Any]) -> np.ndarray:
+    a, x = inp["A"], inp["x"]
+    n, m = a.shape
+    tmp = np.zeros(n)
+    for i in range(n):
+        acc = 0.0
+        for j in range(m):
+            acc += a[i, j] * x[j]
+        tmp[i] = acc
+    out = np.zeros(m)
+    for j in range(m):
+        acc = 0.0
+        for i in range(n):
+            acc += a[i, j] * tmp[i]
+        out[j] = acc
+    return out
+
+
+def kernel_doitgen() -> Kernel:
+    """Multiresolution analysis kernel (MADNESS), translated directly
+    from its C loops: ``out[p][q][r] = Σ_s A[p][q][s] · B[r][s]``
+    (§VI-B's e-graph walk-through expression)."""
+    p = q = r = s = 8
+    a, bm = _sym("A"), _sym("B")
+    term = b.build(
+        p,
+        b.lam(
+            b.build(
+                q,
+                b.lam(
+                    b.build(
+                        r,
+                        b.lam(
+                            b.ifold(
+                                s,
+                                0,
+                                b.lam2(
+                                    b.sym("A")[b.v(4)][b.v(3)][b.v(1)]
+                                    * b.sym("B")[b.v(2)][b.v(1)]
+                                    + b.v(0)
+                                ),
+                            )
+                        ),
+                    )
+                ),
+            )
+        ),
+    )
+    return Kernel(
+        name="doitgen",
+        suite="polybench",
+        description="Multiresolution analysis kernel (MADNESS)",
+        term=term,
+        symbol_shapes={"A": Array((p, q, s)), "B": matrix(r, s)},
+        make_inputs=lambda rng: {
+            "A": rng.standard_normal((p, q, s)),
+            "B": rng.standard_normal((r, s)),
+        },
+        reference=lambda inp: np.einsum("pqs,rs->pqr", inp["A"], inp["B"]),
+        reference_loops=_loops_doitgen,
+        params={"P": p, "Q": q, "R": r, "S": s},
+    )
+
+
+def _loops_doitgen(inp: Mapping[str, Any]) -> np.ndarray:
+    a, bm = inp["A"], inp["B"]
+    p, q, s = a.shape
+    r = bm.shape[0]
+    out = np.zeros((p, q, r))
+    for ip in range(p):
+        for iq in range(q):
+            for ir in range(r):
+                acc = 0.0
+                for isx in range(s):
+                    acc += a[ip, iq, isx] * bm[ir, isx]
+                out[ip, iq, ir] = acc
+    return out
+
+
+def kernel_gemm() -> Kernel:
+    """Generalized matrix product: ``C' = α·A·B + β·C``."""
+    n, k, m = N_MAT, K_MAT, M_MAT
+    alpha, beta = _sym("alpha"), _sym("beta")
+    a, bm, c = _sym("A"), _sym("B"), _sym("C")
+    term = b.build(
+        n,
+        b.lam(
+            vadd(
+                vscale(
+                    b.up(alpha),
+                    matvec(transpose_ir(b.up(bm), k, m), b.up(a)[b.v(0)], m, k),
+                    m,
+                ),
+                vscale(b.up(beta), b.up(c)[b.v(0)], m),
+                m,
+            )
+        ),
+    )
+    return Kernel(
+        name="gemm",
+        suite="polybench",
+        description="Generalized matrix product",
+        term=term,
+        symbol_shapes={
+            "alpha": SCALAR,
+            "beta": SCALAR,
+            "A": matrix(n, k),
+            "B": matrix(k, m),
+            "C": matrix(n, m),
+        },
+        make_inputs=lambda rng: {
+            "alpha": float(rng.standard_normal()),
+            "beta": float(rng.standard_normal()),
+            "A": rng.standard_normal((n, k)),
+            "B": rng.standard_normal((k, m)),
+            "C": rng.standard_normal((n, m)),
+        },
+        reference=lambda inp: inp["alpha"] * inp["A"] @ inp["B"]
+        + inp["beta"] * inp["C"],
+        reference_loops=_loops_gemm,
+        params={"N": n, "K": k, "M": m},
+    )
+
+
+def _loops_gemm(inp: Mapping[str, Any]) -> np.ndarray:
+    alpha, beta = inp["alpha"], inp["beta"]
+    a, bm, c = inp["A"], inp["B"], inp["C"]
+    n, k = a.shape
+    m = bm.shape[1]
+    out = np.zeros((n, m))
+    for i in range(n):
+        for j in range(m):
+            acc = 0.0
+            for p in range(k):
+                acc += a[i, p] * bm[p, j]
+            out[i, j] = alpha * acc + beta * c[i, j]
+    return out
+
+
+def kernel_gemver() -> Kernel:
+    """Vector multiplication and matrix addition, translated directly
+    from its C loops:
+
+    ``A' = A + u1·v1ᵀ + u2·v2ᵀ``;
+    ``x  = z + β·A'ᵀ·y``;
+    ``w  = α·A'·x``  (the kernel's output).
+    """
+    n = N_MAT
+    a_hat = b.build(
+        n,
+        b.lam(
+            b.build(
+                n,
+                b.lam(
+                    b.sym("A")[b.v(1)][b.v(0)]
+                    + b.sym("u1")[b.v(1)] * b.sym("v1")[b.v(0)]
+                    + b.sym("u2")[b.v(1)] * b.sym("v2")[b.v(0)]
+                ),
+            )
+        ),
+    )
+    # x[j] = z[j] + beta * sum_i A'[i][j] * y[i]
+    x_vec = b.build(
+        n,
+        b.lam(
+            b.sym("z")[b.v(0)]
+            + b.sym("beta")
+            * b.ifold(
+                n,
+                0,
+                b.lam2(
+                    b.up(a_hat, 3)[b.v(1)][b.v(2)] * b.sym("y")[b.v(1)] + b.v(0)
+                ),
+            )
+        ),
+    )
+    # w[i] = alpha * sum_j A'[i][j] * x[j]
+    term = b.build(
+        n,
+        b.lam(
+            b.sym("alpha")
+            * b.ifold(
+                n,
+                0,
+                b.lam2(
+                    b.up(a_hat, 3)[b.v(2)][b.v(1)] * b.up(x_vec, 3)[b.v(1)] + b.v(0)
+                ),
+            )
+        ),
+    )
+    return Kernel(
+        name="gemver",
+        suite="polybench",
+        description="Vector multiplication and matrix addition",
+        term=term,
+        symbol_shapes={
+            "alpha": SCALAR,
+            "beta": SCALAR,
+            "A": matrix(n, n),
+            "u1": vector(n),
+            "v1": vector(n),
+            "u2": vector(n),
+            "v2": vector(n),
+            "y": vector(n),
+            "z": vector(n),
+        },
+        make_inputs=lambda rng: {
+            "alpha": float(rng.standard_normal()),
+            "beta": float(rng.standard_normal()),
+            "A": rng.standard_normal((n, n)),
+            "u1": rng.standard_normal(n),
+            "v1": rng.standard_normal(n),
+            "u2": rng.standard_normal(n),
+            "v2": rng.standard_normal(n),
+            "y": rng.standard_normal(n),
+            "z": rng.standard_normal(n),
+        },
+        reference=_reference_gemver,
+        reference_loops=_loops_gemver,
+        params={"N": n},
+    )
+
+
+def _reference_gemver(inp: Mapping[str, Any]) -> np.ndarray:
+    a_hat = inp["A"] + np.outer(inp["u1"], inp["v1"]) + np.outer(inp["u2"], inp["v2"])
+    x = inp["z"] + inp["beta"] * (a_hat.T @ inp["y"])
+    return inp["alpha"] * (a_hat @ x)
+
+
+def _loops_gemver(inp: Mapping[str, Any]) -> np.ndarray:
+    n = inp["A"].shape[0]
+    a_hat = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            a_hat[i, j] = (
+                inp["A"][i, j]
+                + inp["u1"][i] * inp["v1"][j]
+                + inp["u2"][i] * inp["v2"][j]
+            )
+    x = np.zeros(n)
+    for j in range(n):
+        acc = 0.0
+        for i in range(n):
+            acc += a_hat[i, j] * inp["y"][i]
+        x[j] = inp["z"][j] + inp["beta"] * acc
+    w = np.zeros(n)
+    for i in range(n):
+        acc = 0.0
+        for j in range(n):
+            acc += a_hat[i, j] * x[j]
+        w[i] = inp["alpha"] * acc
+    return w
+
+
+def kernel_gesummv() -> Kernel:
+    """Scalar, vector and matrix multiplication:
+    ``y = α·A·x + β·B·x``."""
+    n = N_MAT
+    term = vadd(
+        vscale(_sym("alpha"), matvec(_sym("A"), _sym("x"), n, n), n),
+        vscale(_sym("beta"), matvec(_sym("B"), _sym("x"), n, n), n),
+        n,
+    )
+    return Kernel(
+        name="gesummv",
+        suite="polybench",
+        description="Scalar, vector and matrix multiplication",
+        term=term,
+        symbol_shapes={
+            "alpha": SCALAR,
+            "beta": SCALAR,
+            "A": matrix(n, n),
+            "B": matrix(n, n),
+            "x": vector(n),
+        },
+        make_inputs=lambda rng: {
+            "alpha": float(rng.standard_normal()),
+            "beta": float(rng.standard_normal()),
+            "A": rng.standard_normal((n, n)),
+            "B": rng.standard_normal((n, n)),
+            "x": rng.standard_normal(n),
+        },
+        reference=lambda inp: inp["alpha"] * (inp["A"] @ inp["x"])
+        + inp["beta"] * (inp["B"] @ inp["x"]),
+        reference_loops=_loops_gesummv,
+        params={"N": n},
+    )
+
+
+def _loops_gesummv(inp: Mapping[str, Any]) -> np.ndarray:
+    a, bm, x = inp["A"], inp["B"], inp["x"]
+    n = a.shape[0]
+    out = np.zeros(n)
+    for i in range(n):
+        acc_a = 0.0
+        acc_b = 0.0
+        for j in range(n):
+            acc_a += a[i, j] * x[j]
+            acc_b += bm[i, j] * x[j]
+        out[i] = inp["alpha"] * acc_a + inp["beta"] * acc_b
+    return out
+
+
+def kernel_jacobi1d() -> Kernel:
+    """1-D Jacobi stencil (one sweep), window-gather style."""
+    n = N_VEC
+    out_len = n - TAPS + 1
+    weights = constvec(1.0 / 3.0, TAPS)
+    term = conv1d(_sym("x"), weights, out_len, TAPS)
+    return Kernel(
+        name="jacobi1d",
+        suite="polybench",
+        description="1D Jacobi stencil computation",
+        term=term,
+        symbol_shapes={"x": vector(n)},
+        make_inputs=lambda rng: {"x": rng.standard_normal(n)},
+        reference=lambda inp: np.convolve(inp["x"], np.full(TAPS, 1.0 / 3.0), "valid"),
+        reference_loops=_loops_jacobi1d,
+        params={"N": n, "taps": TAPS},
+    )
+
+
+def _loops_jacobi1d(inp: Mapping[str, Any]) -> np.ndarray:
+    x = inp["x"]
+    out = np.zeros(len(x) - TAPS + 1)
+    for i in range(len(out)):
+        out[i] = (x[i] + x[i + 1] + x[i + 2]) / 3.0
+    return out
+
+
+def kernel_mvt() -> Kernel:
+    """Matrix-vector product and transpose:
+    ``x1' = x1 + A·y1``; ``x2' = x2 + Aᵀ·y2`` (a tuple result)."""
+    n = N_MAT
+    a = _sym("A")
+    term = b.tup(
+        vadd(_sym("x1"), matvec(a, _sym("y1"), n, n), n),
+        vadd(_sym("x2"), matvec(transpose_ir(a, n, n), _sym("y2"), n, n), n),
+    )
+    return Kernel(
+        name="mvt",
+        suite="polybench",
+        description="Matrix-vector product and transpose",
+        term=term,
+        symbol_shapes={
+            "A": matrix(n, n),
+            "x1": vector(n),
+            "x2": vector(n),
+            "y1": vector(n),
+            "y2": vector(n),
+        },
+        make_inputs=lambda rng: {
+            "A": rng.standard_normal((n, n)),
+            "x1": rng.standard_normal(n),
+            "x2": rng.standard_normal(n),
+            "y1": rng.standard_normal(n),
+            "y2": rng.standard_normal(n),
+        },
+        reference=lambda inp: (
+            inp["x1"] + inp["A"] @ inp["y1"],
+            inp["x2"] + inp["A"].T @ inp["y2"],
+        ),
+        reference_loops=_loops_mvt,
+        params={"N": n},
+    )
+
+
+def _loops_mvt(inp: Mapping[str, Any]) -> tuple:
+    a = inp["A"]
+    n = a.shape[0]
+    x1 = np.zeros(n)
+    x2 = np.zeros(n)
+    for i in range(n):
+        acc1 = 0.0
+        acc2 = 0.0
+        for j in range(n):
+            acc1 += a[i, j] * inp["y1"][j]
+            acc2 += a[j, i] * inp["y2"][j]
+        x1[i] = inp["x1"][i] + acc1
+        x2[i] = inp["x2"][i] + acc2
+    return (x1, x2)
+
+
+def polybench_kernels() -> list:
+    """All eight PolyBench kernels."""
+    return [
+        kernel_2mm(),
+        kernel_atax(),
+        kernel_doitgen(),
+        kernel_gemm(),
+        kernel_gemver(),
+        kernel_gesummv(),
+        kernel_jacobi1d(),
+        kernel_mvt(),
+    ]

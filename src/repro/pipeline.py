@@ -1,0 +1,118 @@
+"""The LIAR pipeline (fig. 2): IR term → e-graph → saturation with
+language-semantics + idiom rules → per-step cost-model extraction.
+
+:func:`optimize` drives one kernel against one target and returns an
+:class:`OptimizationResult` carrying the per-step records that the
+paper's tables II/III and figures 4–6 are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .egraph.analysis import ShapeAnalysis
+from .egraph.egraph import EGraph
+from .egraph.runner import RunResult, Runner, StepRecord
+from .ir.terms import Term
+from .kernels.base import Kernel
+from .targets.base import Target
+
+__all__ = ["OptimizationResult", "optimize", "optimize_term", "DEFAULT_LIMITS"]
+
+DEFAULT_LIMITS = {
+    "step_limit": 8,
+    "node_limit": 10_000,
+    "time_limit": 120.0,
+}
+
+
+@dataclass
+class OptimizationResult:
+    """Everything one (kernel, target) optimization run produced."""
+
+    kernel_name: str
+    target_name: str
+    run: RunResult
+    egraph: EGraph
+    root_class: int
+
+    @property
+    def steps(self) -> list:
+        return self.run.steps
+
+    @property
+    def final(self) -> StepRecord:
+        return self.run.final
+
+    @property
+    def best_term(self) -> Optional[Term]:
+        """The extracted expression after the last step."""
+        return self.run.final.best_term
+
+    @property
+    def library_calls(self) -> Dict[str, int]:
+        """Library calls in the final solution (a table II/III row)."""
+        return dict(self.run.final.library_calls)
+
+    @property
+    def solution_summary(self) -> str:
+        return self.run.final.solution_summary
+
+    def best_step(self) -> StepRecord:
+        """The step whose solution has the lowest cost."""
+        candidates = [s for s in self.run.steps if s.best_term is not None]
+        if not candidates:
+            return self.run.final
+        return min(candidates, key=lambda s: s.best_cost)
+
+
+def optimize_term(
+    term: Term,
+    target: Target,
+    symbol_shapes: Optional[dict] = None,
+    *,
+    step_limit: int = DEFAULT_LIMITS["step_limit"],
+    node_limit: int = DEFAULT_LIMITS["node_limit"],
+    time_limit: float = DEFAULT_LIMITS["time_limit"],
+    kernel_name: str = "<term>",
+) -> OptimizationResult:
+    """Optimize a bare IR term for ``target``."""
+    egraph = EGraph(ShapeAnalysis(symbol_shapes or {}))
+    root = egraph.add_term(term)
+    runner = Runner(
+        egraph,
+        target.rules,
+        step_limit=step_limit,
+        node_limit=node_limit,
+        time_limit=time_limit,
+    )
+    run = runner.run(root, cost_model=target.cost_model)
+    return OptimizationResult(
+        kernel_name=kernel_name,
+        target_name=target.name,
+        run=run,
+        egraph=egraph,
+        root_class=egraph.find(root),
+    )
+
+
+def optimize(
+    kernel: Kernel,
+    target: Target,
+    *,
+    step_limit: int = DEFAULT_LIMITS["step_limit"],
+    node_limit: int = DEFAULT_LIMITS["node_limit"],
+    time_limit: float = DEFAULT_LIMITS["time_limit"],
+) -> OptimizationResult:
+    """Optimize ``kernel`` for ``target`` (the §VI methodology, in the
+    artifact's CPU-invariant step-limited mode)."""
+    return optimize_term(
+        kernel.term,
+        target,
+        kernel.symbol_shapes,
+        step_limit=step_limit,
+        node_limit=node_limit,
+        time_limit=time_limit,
+        kernel_name=kernel.name,
+    )

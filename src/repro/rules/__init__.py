@@ -1,0 +1,14 @@
+"""Rewrite rule sets: core (listing 2), scalar (listing 3), BLAS
+idioms (listing 4), PyTorch idioms (listing 5)."""
+
+from .blas import BLAS_FUNCTIONS, blas_rules, flip_gemm_flag, gemm_variant
+from .core import CoreRuleConfig, core_rules, elim_rules
+from .pytorch import PYTORCH_FUNCTIONS, pytorch_rules
+from .scalar import scalar_elim_rules, scalar_intro_rules, scalar_rules
+
+__all__ = [
+    "core_rules", "elim_rules", "CoreRuleConfig",
+    "scalar_rules", "scalar_elim_rules", "scalar_intro_rules",
+    "blas_rules", "BLAS_FUNCTIONS", "gemm_variant", "flip_gemm_flag",
+    "pytorch_rules", "PYTORCH_FUNCTIONS",
+]

@@ -1,0 +1,304 @@
+"""BLAS idiom rules (listing 4 of the paper).
+
+Functions and their semantics in this reproduction:
+
+* ``dot(A, B)``                    — vector dot product;
+* ``axpy(α, A, B)``                — ``α·A + B`` elementwise;
+* ``gemv(α, A, B, β, C)``          — ``α·A·B + β·C`` (A not transposed);
+* ``gemv_t(α, A, B, β, C)``        — ``α·Aᵀ·B + β·C``;
+* ``gemm_xy(α, A, B, β, C)``       — ``α·op_x(A)·op_y(B) + β·C`` where
+  ``x``/``y`` ∈ {``n``, ``t``} say whether A/B are transposed
+  (the paper's ``gemmX,Y`` flags);
+* ``transpose(A)``                 — matrix transpose;
+* ``memset(c, N)``                 — length-``N`` constant vector.
+
+Differences from the listing, both documented in DESIGN.md:
+
+* ``memset`` carries its length as an explicit second argument so that
+  extracted expressions stay *executable* (the paper's C backend gets
+  the length from the destination buffer in destination-passing style;
+  our expressions have no destinations).
+* ``I-GEMM`` is stated against ``gemm_nt`` (B transposed), matching the
+  listing's ``gemmF,T``: a row-major matrix product composed from
+  ``gemv`` calls computes ``α·A·Bᵀ + β·C``.
+
+All idiom rules are *recognition* rules (expanded form → call).  The
+transpose-flag rules (I-TRANSPOSEINGEMV and friends) relate call forms
+and are bidirectional.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..egraph.pattern import SizeVar
+from ..egraph.rewrite import Rule, birewrite, rewrite
+from .dsl import (
+    n,
+    padd,
+    pbuild,
+    pcall,
+    pconst,
+    pdb,
+    pifold,
+    pindex,
+    plam,
+    plam2,
+    pmul,
+    pv,
+)
+
+__all__ = ["blas_rules", "BLAS_FUNCTIONS", "gemm_variant", "flip_gemm_flag"]
+
+BLAS_FUNCTIONS = (
+    "dot",
+    "axpy",
+    "gemv",
+    "gemv_t",
+    "gemm_nn",
+    "gemm_nt",
+    "gemm_tn",
+    "gemm_tt",
+    "transpose",
+    "memset",
+)
+
+GEMM_VARIANTS = ("gemm_nn", "gemm_nt", "gemm_tn", "gemm_tt")
+
+
+def gemm_variant(transpose_a: bool, transpose_b: bool) -> str:
+    """Name of the gemm variant with the given transpose flags."""
+    return f"gemm_{'t' if transpose_a else 'n'}{'t' if transpose_b else 'n'}"
+
+
+def flip_gemm_flag(name: str, which: str) -> str:
+    """Flip the A (``which='a'``) or B (``which='b'``) transpose flag."""
+    flags = name.removeprefix("gemm_")
+    a_flag, b_flag = flags[0], flags[1]
+    if which == "a":
+        a_flag = "t" if a_flag == "n" else "n"
+    else:
+        b_flag = "t" if b_flag == "n" else "n"
+    return f"gemm_{a_flag}{b_flag}"
+
+
+def _size(name: str) -> SizeVar:
+    return n(name)
+
+
+def dot_rule() -> Rule:
+    """I-DOT: ``ifold N 0 (λ λ A↑↑[•1] * B↑↑[•1] + •0) → dot(A, B)``."""
+    lhs = pifold(
+        _size("N"),
+        pconst(0),
+        plam2(
+            padd(
+                pmul(pindex(pv("A", 2), pdb(1)), pindex(pv("B", 2), pdb(1))),
+                pdb(0),
+            )
+        ),
+    )
+    return rewrite("I-Dot", lhs, pcall("dot", pv("A"), pv("B")))
+
+
+def axpy_rule() -> Rule:
+    """I-AXPY: ``build N (λ α↑ * A↑[•0] + B↑[•0]) → axpy(α, A, B)``."""
+    lhs = pbuild(
+        _size("N"),
+        plam(
+            padd(
+                pmul(pv("alpha", 1), pindex(pv("A", 1), pdb(0))),
+                pindex(pv("B", 1), pdb(0)),
+            )
+        ),
+    )
+    return rewrite("I-Axpy", lhs, pcall("axpy", pv("alpha"), pv("A"), pv("B")))
+
+
+def gemv_rule() -> Rule:
+    """I-GEMV: ``build N (λ α↑ * dot(A↑[•0], B↑) + β↑ * C↑[•0])
+    → gemv(α, A, B, β, C)``."""
+    lhs = pbuild(
+        _size("N"),
+        plam(
+            padd(
+                pmul(
+                    pv("alpha", 1),
+                    pcall("dot", pindex(pv("A", 1), pdb(0)), pv("B", 1)),
+                ),
+                pmul(pv("beta", 1), pindex(pv("C", 1), pdb(0))),
+            )
+        ),
+    )
+    rhs = pcall("gemv", pv("alpha"), pv("A"), pv("B"), pv("beta"), pv("C"))
+    return rewrite("I-Gemv", lhs, rhs)
+
+
+def gemm_rule() -> Rule:
+    """I-GEMM: ``build N (λ gemv(α↑, B↑, A↑[•0], β↑, C↑[•0]))
+    → gemm_nt(α, A, B, β, C)``.
+
+    Row ``i`` of ``α·A·Bᵀ + β·C`` is ``α·B·A[i] + β·C[i]`` — the
+    listing's ``gemmF,T`` composition.
+    """
+    lhs = pbuild(
+        _size("N"),
+        plam(
+            pcall(
+                "gemv",
+                pv("alpha", 1),
+                pv("B", 1),
+                pindex(pv("A", 1), pdb(0)),
+                pv("beta", 1),
+                pindex(pv("C", 1), pdb(0)),
+            )
+        ),
+    )
+    rhs = pcall("gemm_nt", pv("alpha"), pv("A"), pv("B"), pv("beta"), pv("C"))
+    return rewrite("I-Gemm", lhs, rhs)
+
+
+def gemm_from_gemv_t_rule() -> Rule:
+    """I-GEMM's transposed-gemv companion:
+    ``build N (λ gemv_t(α↑, B↑, A↑[•0], β↑, C↑[•0]))
+    → gemm_nn(α, A, B, β, C)``.
+
+    Row ``i`` of ``α·A·B + β·C`` is ``α·Bᵀ·A[i] + β·C[i]``; this is the
+    form that arises when I-TRANSPOSEINGEMV has already rewritten the
+    per-row ``gemv(…, transpose(B), …)`` into ``gemv_t(…, B, …)``.
+    """
+    lhs = pbuild(
+        _size("N"),
+        plam(
+            pcall(
+                "gemv_t",
+                pv("alpha", 1),
+                pv("B", 1),
+                pindex(pv("A", 1), pdb(0)),
+                pv("beta", 1),
+                pindex(pv("C", 1), pdb(0)),
+            )
+        ),
+    )
+    rhs = pcall("gemm_nn", pv("alpha"), pv("A"), pv("B"), pv("beta"), pv("C"))
+    return rewrite("I-GemmT", lhs, rhs)
+
+
+def transpose_rule() -> Rule:
+    """I-TRANSPOSE: ``build N (λ build M (λ A↑↑[•0][•1])) → transpose(A)``.
+
+    Note the index order: element ``[i][j]`` of the result reads
+    ``A[j][i]``; with De Bruijn indices the inner build variable is
+    ``•0`` and the outer one ``•1``.
+    """
+    lhs = pbuild(
+        _size("N"),
+        plam(
+            pbuild(
+                _size("M"),
+                plam(pindex(pindex(pv("A", 2), pdb(0)), pdb(1))),
+            )
+        ),
+    )
+    return rewrite("I-Transpose", lhs, pcall("transpose", pv("A")))
+
+
+def transpose_in_gemv_rules() -> List[Rule]:
+    """I-TRANSPOSEINGEMV: ``gemvX(α, transpose(A), B, β, C) =
+    gemv¬X(α, A, B, β, C)`` for both values of ``X``."""
+    rules: List[Rule] = []
+    for name, flipped in (("gemv", "gemv_t"), ("gemv_t", "gemv")):
+        lhs = pcall(
+            name,
+            pv("alpha"),
+            pcall("transpose", pv("A")),
+            pv("B"),
+            pv("beta"),
+            pv("C"),
+        )
+        rhs = pcall(flipped, pv("alpha"), pv("A"), pv("B"), pv("beta"), pv("C"))
+        rules.extend(birewrite(f"I-TransposeIn{name.capitalize()}", lhs, rhs))
+    return rules
+
+
+def transpose_in_gemm_rules() -> List[Rule]:
+    """I-TRANSPOSEAINGEMM / I-TRANSPOSEBINGEMM for all four variants."""
+    rules: List[Rule] = []
+    for name in GEMM_VARIANTS:
+        lhs_a = pcall(
+            name,
+            pv("alpha"),
+            pcall("transpose", pv("A")),
+            pv("B"),
+            pv("beta"),
+            pv("C"),
+        )
+        rhs_a = pcall(
+            flip_gemm_flag(name, "a"),
+            pv("alpha"), pv("A"), pv("B"), pv("beta"), pv("C"),
+        )
+        rules.extend(birewrite(f"I-TransposeAIn-{name}", lhs_a, rhs_a))
+        lhs_b = pcall(
+            name,
+            pv("alpha"),
+            pv("A"),
+            pcall("transpose", pv("B")),
+            pv("beta"),
+            pv("C"),
+        )
+        rhs_b = pcall(
+            flip_gemm_flag(name, "b"),
+            pv("alpha"), pv("A"), pv("B"), pv("beta"), pv("C"),
+        )
+        rules.extend(birewrite(f"I-TransposeBIn-{name}", lhs_b, rhs_b))
+    return rules
+
+
+def hoist_mul_from_dot_rule() -> Rule:
+    """I-HOISTMULFROMDOT:
+    ``dot(build N (λ α↑ * A↑[•0]), B) → α * dot(A, B)``."""
+    lhs = pcall(
+        "dot",
+        pbuild(_size("N"), plam(pmul(pv("alpha", 1), pindex(pv("A", 1), pdb(0))))),
+        pv("B"),
+    )
+    rhs = pmul(pv("alpha"), pcall("dot", pv("A"), pv("B")))
+    return rewrite("I-HoistMulFromDot", lhs, rhs)
+
+
+def memset_zero_rule() -> Rule:
+    """I-MEMSETZERO: ``build N (λ 0) → memset(0, N)``.
+
+    The explicit length argument keeps the call executable (see module
+    docstring).
+    """
+    lhs = pbuild(_size("N"), plam(pconst(0)))
+
+    # The RHS needs the matched size as a *value* argument; express it
+    # with a dynamic applier.
+    from ..egraph.rewrite import Match, dynamic_rule
+    from ..ir.terms import Call, Const, Term
+
+    def apply(egraph, match: Match):
+        size = match.bindings["N"]
+        assert isinstance(size, int)
+        return [Call("memset", (Const(0), Const(size)))]
+
+    return dynamic_rule("I-MemsetZero", lhs, apply)
+
+
+def blas_rules() -> List[Rule]:
+    """The full BLAS idiom rule set."""
+    rules: List[Rule] = [
+        dot_rule(),
+        axpy_rule(),
+        gemv_rule(),
+        gemm_rule(),
+        gemm_from_gemv_t_rule(),
+        transpose_rule(),
+        hoist_mul_from_dot_rule(),
+        memset_zero_rule(),
+    ]
+    rules.extend(transpose_in_gemv_rules())
+    rules.extend(transpose_in_gemm_rules())
+    return rules

@@ -1,0 +1,141 @@
+"""The eight core rewrite rules (listing 2 of the paper).
+
+These capture the IR's language semantics:
+
+=====================  =====================================================
+Rule                   Rewrite
+=====================  =====================================================
+R-BETAREDUCE           ``(λ e) y → subst(e, y)``
+R-INTROLAMBDA          ``e → (λ e↑) y``                (``y`` free on RHS)
+R-ELIMINDEXBUILD       ``(build N f)[i] → f i``
+R-INTROINDEXBUILD      ``f i → (build N f)[i]``        (``N`` free on RHS)
+R-ELIMFSTTUPLE         ``fst (tuple a b) → a``
+R-INTROFSTTUPLE        ``a → fst (tuple a b)``         (``b`` free on RHS)
+R-ELIMSNDTUPLE         ``snd (tuple a b) → b``
+R-INTROSNDTUPLE        ``b → snd (tuple a b)``         (``a`` free on RHS)
+=====================  =====================================================
+
+The elimination rules are plain pattern rewrites.  Beta reduction and
+the intro rules need engine support (expression-level ``subst``/``↑``
+and RHS free-variable enumeration) and live in
+:mod:`repro.egraph.rewrite`; this module assembles the full set with a
+:class:`CoreRuleConfig` controlling the enumeration strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..egraph.rewrite import (
+    CandidateStrategy,
+    Rule,
+    beta_reduce_rule,
+    const_classes,
+    intro_fst_tuple_rule,
+    intro_index_build_rule,
+    intro_lambda_rule,
+    intro_snd_tuple_rule,
+    rewrite,
+    var_classes,
+)
+from .dsl import papp, pbuild, pfst, pindex, psnd, ptuple, pv, n
+
+__all__ = ["CoreRuleConfig", "core_rules", "elim_rules", "map_fission_rule"]
+
+
+@dataclass
+class CoreRuleConfig:
+    """Knobs for the enumerating intro rules (see DESIGN.md §3.4).
+
+    ``intro_lambda_candidates`` chooses the argument classes ``y`` of
+    ``R-INTROLAMBDA`` (the paper enumerates all classes; the default
+    here is classes containing a De Bruijn variable, which covers every
+    derivation the paper exhibits).  ``include_tuple_intros`` is on by
+    default for fidelity, although no kernel in the evaluation needs
+    tuples.
+    """
+
+    intro_lambda_candidates: CandidateStrategy = var_classes
+    tuple_candidates: CandidateStrategy = const_classes
+    max_intro_candidates: int = 64
+    max_intro_sizes: int = 16
+    include_tuple_intros: bool = True
+    include_intro_lambda: bool = True
+    include_intro_index_build: bool = True
+
+
+def elim_rules() -> List[Rule]:
+    """The three non-dynamic elimination rules plus beta reduction."""
+    return [
+        beta_reduce_rule(),
+        rewrite(
+            "R-ElimIndexBuild",
+            pindex(pbuild(n("N"), pv("f")), pv("i")),
+            papp(pv("f"), pv("i")),
+        ),
+        rewrite("R-ElimFstTuple", pfst(ptuple(pv("a"), pv("b"))), pv("a")),
+        rewrite("R-ElimSndTuple", psnd(ptuple(pv("a"), pv("b"))), pv("b")),
+    ]
+
+
+def map_fission_rule() -> Rule:
+    """Optional: map fission (§IV-C1's right-to-left reading).
+
+    ``build N (λ f (g xs[•0])) → build N (λ f ((build N (λ g xs[•0]))[•0]))``
+
+    The paper chooses *not* to include this rule because no evaluation
+    kernel needs it; it is provided for completeness and exercised by
+    the test suite.  ``f`` and ``g`` are matched as one-argument
+    contexts: the outer body must be an application of something
+    shift-invariant to a subexpression.
+    """
+    from ..egraph.pattern import PVar
+    from .dsl import papp, pbuild, pindex, plam, pdb, pv, n
+
+    lhs = pbuild(
+        n("N"),
+        plam(papp(pv("f", 1), papp(pv("g", 1), pindex(pv("xs", 1), pdb(0))))),
+    )
+    rhs = pbuild(
+        n("N"),
+        plam(
+            papp(
+                pv("f", 1),
+                pindex(
+                    pbuild(n("N"), plam(papp(pv("g", 1), pindex(pv("xs", 1), pdb(0))))),
+                    pdb(0),
+                ),
+            )
+        ),
+    )
+    return rewrite("R-MapFission", lhs, rhs)
+
+
+def core_rules(config: CoreRuleConfig | None = None) -> List[Rule]:
+    """All eight core rules under ``config``."""
+    config = config or CoreRuleConfig()
+    rules = elim_rules()
+    if config.include_intro_lambda:
+        rules.append(
+            intro_lambda_rule(
+                candidates=config.intro_lambda_candidates,
+                max_candidates=config.max_intro_candidates,
+            )
+        )
+    if config.include_intro_index_build:
+        rules.append(intro_index_build_rule(max_sizes=config.max_intro_sizes))
+    if config.include_tuple_intros:
+        rules.append(
+            intro_fst_tuple_rule(
+                candidates=config.tuple_candidates,
+                max_candidates=config.max_intro_candidates,
+            )
+        )
+        rules.append(
+            intro_snd_tuple_rule(
+                candidates=config.tuple_candidates,
+                max_candidates=config.max_intro_candidates,
+            )
+        )
+    return rules

@@ -1,0 +1,109 @@
+"""A compact DSL for writing rule patterns.
+
+Rule modules build patterns with these helpers, e.g. I-DOT's
+recognition side (listing 4)::
+
+    pifold(n("N"), pconst(0),
+           plam(plam(padd(pmul(pindex(pv("A", 2), pdb(1)),
+                               pindex(pv("B", 2), pdb(1))),
+                          pdb(0)))))
+
+``pv(name, shift)`` is the paper's ``A↑…↑`` — see
+:class:`repro.egraph.pattern.PVar`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..egraph.pattern import PNode, Pattern, PVar, SizeVar
+
+__all__ = [
+    "pv", "n", "pdb", "pconst", "psym",
+    "plam", "plam2", "papp", "pbuild", "pindex", "pifold",
+    "ptuple", "pfst", "psnd", "pcall",
+    "padd", "psub", "pmul", "pdiv",
+]
+
+SizeSpec = Union[int, SizeVar]
+
+
+def pv(name: str, shift: int = 0, as_term: bool = False) -> PVar:
+    """Metavariable ``?name`` under ``shift`` applications of ``↑``."""
+    return PVar(name, shift, as_term)
+
+
+def n(name: str) -> SizeVar:
+    """Size metavariable (matches build/ifold compile-time sizes)."""
+    return SizeVar(name)
+
+
+def pdb(index: int) -> PNode:
+    """Concrete De Bruijn variable ``•index``."""
+    return PNode("var", index, ())
+
+
+def pconst(value) -> PNode:
+    """Concrete scalar constant."""
+    return PNode("const", value, ())
+
+
+def psym(name: str) -> PNode:
+    """Concrete kernel-input symbol."""
+    return PNode("symbol", name, ())
+
+
+def plam(body: Pattern) -> PNode:
+    return PNode("lam", None, (body,))
+
+
+def plam2(body: Pattern) -> PNode:
+    return PNode("lam", None, (PNode("lam", None, (body,)),))
+
+
+def papp(fn: Pattern, arg: Pattern) -> PNode:
+    return PNode("app", None, (fn, arg))
+
+
+def pbuild(size: SizeSpec, fn: Pattern) -> PNode:
+    return PNode("build", size, (fn,))
+
+
+def pindex(array: Pattern, index: Pattern) -> PNode:
+    return PNode("index", None, (array, index))
+
+
+def pifold(size: SizeSpec, init: Pattern, fn: Pattern) -> PNode:
+    return PNode("ifold", size, (init, fn))
+
+
+def ptuple(fst: Pattern, snd: Pattern) -> PNode:
+    return PNode("tuple", None, (fst, snd))
+
+
+def pfst(tup: Pattern) -> PNode:
+    return PNode("fst", None, (tup,))
+
+
+def psnd(tup: Pattern) -> PNode:
+    return PNode("snd", None, (tup,))
+
+
+def pcall(name: str, *args: Pattern) -> PNode:
+    return PNode("call", name, tuple(args))
+
+
+def padd(a: Pattern, b: Pattern) -> PNode:
+    return pcall("+", a, b)
+
+
+def psub(a: Pattern, b: Pattern) -> PNode:
+    return pcall("-", a, b)
+
+
+def pmul(a: Pattern, b: Pattern) -> PNode:
+    return pcall("*", a, b)
+
+
+def pdiv(a: Pattern, b: Pattern) -> PNode:
+    return pcall("/", a, b)

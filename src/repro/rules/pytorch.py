@@ -1,0 +1,249 @@
+"""PyTorch idiom rules (listing 5 of the paper).
+
+Functions and semantics:
+
+* ``dot(A, B)``      — vector dot product (``torch.dot``);
+* ``sum(A)``         — vector element sum (``torch.sum``);
+* ``mv(A, B)``       — matrix–vector product ``A·B`` (``torch.mv``);
+* ``mm(A, B)``       — matrix–matrix product ``A·B`` (``torch.mm``);
+* ``transpose(A)``   — matrix transpose;
+* ``add(A, B)``      — polymorphic elementwise addition;
+* ``mul(α, A)``      — polymorphic scalar–tensor product;
+* ``full(c, N)``     — length-``N`` constant vector (``torch.full``).
+
+Two notation fixes relative to the listing (documented in DESIGN.md):
+
+* I-MATVEC / I-MATMAT bind the build variable as ``•0`` (the listing
+  prints ``•1`` under a single lambda, where ``•1`` would dangle).
+* I-MATMAT is stated as
+  ``build N (λ mv(B↑, A↑[•0])) → mm(A, transpose(B))``:
+  per-row ``B·A[i]`` computes ``A·Bᵀ``, which is ``mm(A, Bᵀ)`` under
+  standard ``torch.mm`` semantics.  This is exactly the form the
+  paper's own doitgen solution exhibits (``mm(A[•0], transpose(B))``,
+  §VI-B), and I-TRANSPOSETWICE collapses the transposes when the
+  source already contained one.
+* ``full`` carries its length for executability, like BLAS ``memset``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..egraph.egraph import ClassRef, EGraph
+from ..egraph.pattern import ClassBinding, PVar, SizeVar
+from ..egraph.rewrite import Match, Rule, dynamic_rule, rewrite
+from ..ir.shapes import Array
+from ..ir.terms import Call, Const, Term
+from .dsl import (
+    n,
+    padd,
+    pbuild,
+    pcall,
+    pconst,
+    pdb,
+    pifold,
+    pindex,
+    plam,
+    plam2,
+    pmul,
+    pv,
+)
+
+__all__ = ["pytorch_rules", "PYTORCH_FUNCTIONS"]
+
+PYTORCH_FUNCTIONS = (
+    "dot",
+    "sum",
+    "mv",
+    "mm",
+    "transpose",
+    "add",
+    "mul",
+    "full",
+)
+
+
+def dot_rule() -> Rule:
+    """I-DOT (same shape as the BLAS rule)."""
+    lhs = pifold(
+        n("N"),
+        pconst(0),
+        plam2(
+            padd(
+                pmul(pindex(pv("A", 2), pdb(1)), pindex(pv("B", 2), pdb(1))),
+                pdb(0),
+            )
+        ),
+    )
+    return rewrite("I-Dot", lhs, pcall("dot", pv("A"), pv("B")))
+
+
+def vec_sum_rule() -> Rule:
+    """I-VECSUM: ``ifold N 0 (λ λ A↑↑[•1] + •0) → sum(A)``."""
+    lhs = pifold(
+        n("N"),
+        pconst(0),
+        plam2(padd(pindex(pv("A", 2), pdb(1)), pdb(0))),
+    )
+    return rewrite("I-VecSum", lhs, pcall("sum", pv("A")))
+
+
+def matvec_rule() -> Rule:
+    """I-MATVEC: ``build N (λ dot(A↑[•0], B↑)) → mv(A, B)``."""
+    lhs = pbuild(
+        n("N"),
+        plam(pcall("dot", pindex(pv("A", 1), pdb(0)), pv("B", 1))),
+    )
+    return rewrite("I-MatVec", lhs, pcall("mv", pv("A"), pv("B")))
+
+
+def matmat_rule() -> Rule:
+    """I-MATMAT: ``build N (λ mv(B↑, A↑[•0])) → mm(A, transpose(B))``."""
+    lhs = pbuild(
+        n("N"),
+        plam(pcall("mv", pv("B", 1), pindex(pv("A", 1), pdb(0)))),
+    )
+    rhs = pcall("mm", pv("A"), pcall("transpose", pv("B")))
+    return rewrite("I-MatMat", lhs, rhs)
+
+
+def transpose_rule() -> Rule:
+    """I-TRANSPOSE: ``build N (λ build M (λ A↑↑[•0][•1])) → transpose(A)``."""
+    lhs = pbuild(
+        n("N"),
+        plam(pbuild(n("M"), plam(pindex(pindex(pv("A", 2), pdb(0)), pdb(1))))),
+    )
+    return rewrite("I-Transpose", lhs, pcall("transpose", pv("A")))
+
+
+def transpose_twice_rules() -> List[Rule]:
+    """I-TRANSPOSETWICE: ``transpose(transpose(A)) = A``.
+
+    The collapsing direction is a plain rewrite; the inflating
+    direction (``A → transpose(transpose(A))``) would match every
+    class, so it is guarded to classes whose shape analysis says
+    *matrix*.
+    """
+    collapse = rewrite(
+        "I-TransposeTwice",
+        pcall("transpose", pcall("transpose", pv("A"))),
+        pv("A"),
+    )
+
+    def inflate_apply(egraph: EGraph, match: Match) -> Sequence[Term]:
+        binding = match.bindings["A"]
+        assert isinstance(binding, ClassBinding)
+        shape = egraph.data_of(binding.class_id)
+        if not (isinstance(shape, Array) and len(shape.dims) == 2):
+            return []
+        return [
+            Call("transpose", (Call("transpose", (ClassRef(binding.class_id),)),))
+        ]
+
+    inflate = dynamic_rule("I-TransposeTwice-rev", PVar("A"), inflate_apply)
+    return [collapse, inflate]
+
+
+def add_vec_rule() -> Rule:
+    """I-ADDVEC: ``build N (λ A↑[•0] + B↑[•0]) → add(A, B)``."""
+    lhs = pbuild(
+        n("N"),
+        plam(padd(pindex(pv("A", 1), pdb(0)), pindex(pv("B", 1), pdb(0)))),
+    )
+    return rewrite("I-AddVec", lhs, pcall("add", pv("A"), pv("B")))
+
+
+def lift_add_rule() -> Rule:
+    """I-LIFTADD: ``build N (λ add(A↑[•0], B↑[•0])) → add(A, B)``."""
+    lhs = pbuild(
+        n("N"),
+        plam(pcall("add", pindex(pv("A", 1), pdb(0)), pindex(pv("B", 1), pdb(0)))),
+    )
+    return rewrite("I-LiftAdd", lhs, pcall("add", pv("A"), pv("B")))
+
+
+def mul_scalar_and_vec_rule() -> Rule:
+    """I-MULSCALARANDVEC: ``build N (λ α↑ * A↑[•0]) → mul(α, A)``."""
+    lhs = pbuild(
+        n("N"),
+        plam(pmul(pv("alpha", 1), pindex(pv("A", 1), pdb(0)))),
+    )
+    return rewrite("I-MulScalarAndVec", lhs, pcall("mul", pv("alpha"), pv("A")))
+
+
+def lift_mul_rule() -> Rule:
+    """I-LIFTMUL: ``build N (λ mul(α↑, A↑[•0])) → mul(α, A)``."""
+    lhs = pbuild(
+        n("N"),
+        plam(pcall("mul", pv("alpha", 1), pindex(pv("A", 1), pdb(0)))),
+    )
+    return rewrite("I-LiftMul", lhs, pcall("mul", pv("alpha"), pv("A")))
+
+
+def gemm_composition_rule() -> Rule:
+    """Matrix-level composition (the PyTorch analogue of BLAS I-GEMM):
+
+    ``build N (λ add(mul(α↑, mv(X↑, A↑[•0])), mul(β↑, C↑[•0])))
+    → add(mul(α, mm(A, transpose(X))), mul(β, C))``
+
+    Per row, ``α·X·A[i] + β·C[i]`` assembles ``α·A·Xᵀ + β·C``; with
+    ``X = transpose(B)`` from a row-major source, I-TRANSPOSETWICE
+    collapses the double transpose and yields the paper's gemm-kernel
+    solution ``add(mm(mul(α, A), B), mul(β, C))`` modulo mul placement
+    (table III).
+    """
+    lhs = pbuild(
+        n("N"),
+        plam(
+            pcall(
+                "add",
+                pcall(
+                    "mul",
+                    pv("alpha", 1),
+                    pcall("mv", pv("X", 1), pindex(pv("A", 1), pdb(0))),
+                ),
+                pcall("mul", pv("beta", 1), pindex(pv("C", 1), pdb(0))),
+            )
+        ),
+    )
+    rhs = pcall(
+        "add",
+        pcall("mul", pv("alpha"), pcall("mm", pv("A"), pcall("transpose", pv("X")))),
+        pcall("mul", pv("beta"), pv("C")),
+    )
+    return rewrite("I-GemmTorch", lhs, rhs)
+
+
+def full_vec_rule() -> Rule:
+    """I-FULLVEC: ``build N (λ c↑) → full(c, N)``."""
+    lhs = pbuild(n("N"), plam(pv("c", 1)))
+
+    def apply(egraph: EGraph, match: Match) -> Sequence[Term]:
+        size = match.bindings["N"]
+        assert isinstance(size, int)
+        from ..egraph.pattern import TermBinding
+
+        constant = match.bindings["c"]
+        assert isinstance(constant, TermBinding)
+        return [Call("full", (constant.term, Const(size)))]
+
+    return dynamic_rule("I-FullVec", lhs, apply)
+
+
+def pytorch_rules() -> List[Rule]:
+    """The full PyTorch idiom rule set."""
+    rules: List[Rule] = [
+        dot_rule(),
+        vec_sum_rule(),
+        matvec_rule(),
+        matmat_rule(),
+        transpose_rule(),
+        add_vec_rule(),
+        lift_add_rule(),
+        mul_scalar_and_vec_rule(),
+        lift_mul_rule(),
+        gemm_composition_rule(),
+        full_vec_rule(),
+    ]
+    rules.extend(transpose_twice_rules())
+    return rules

@@ -1,0 +1,72 @@
+"""Scalar arithmetic rules (listing 3 of the paper).
+
+Each identity yields a left-to-right and a right-to-left rule:
+
+* ``E-ADDZERO``:    ``x + 0 = x``
+* ``E-MULONEL``:    ``1 * x = x``
+* ``E-MULONER``:    ``x * 1 = x``
+* ``E-COMMUTEMUL``: ``x * y = y * x`` (self-inverse; one rule suffices)
+
+The *inflating* directions (``x → x + 0``, ``x → 1 * x``,
+``x → x * 1``) match every e-class, so they are guarded to classes
+whose shape analysis says **scalar** — the identities only hold for
+numbers (the listing's side condition "x and y are numbers"), and the
+guard keeps them from flooding the graph with ill-typed terms.
+
+These rules are the bridge that exposes latent idioms: ``x * 1``
+manufactures the multiplication a dot product needs (§V-A), and
+``x + 0`` manufactures the ``β·C`` summand a gemv/gemm needs
+(§VI-B's doitgen walk-through).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..egraph.egraph import ClassRef, EGraph
+from ..egraph.pattern import ClassBinding, PVar
+from ..egraph.rewrite import Match, Rule, dynamic_rule, rewrite
+from ..ir.shapes import Scalar
+from ..ir.terms import Call, Const, Term
+from .dsl import padd, pconst, pmul, pv
+
+__all__ = ["scalar_rules", "scalar_elim_rules", "scalar_intro_rules"]
+
+
+def scalar_elim_rules() -> List[Rule]:
+    """The shrinking directions: ``x+0 → x``, ``1*x → x``, ``x*1 → x``
+    and multiplication commutativity."""
+    return [
+        rewrite("E-AddZero", padd(pv("x"), pconst(0)), pv("x")),
+        rewrite("E-MulOneL", pmul(pconst(1), pv("x")), pv("x")),
+        rewrite("E-MulOneR", pmul(pv("x"), pconst(1)), pv("x")),
+        rewrite("E-CommuteMul", pmul(pv("x"), pv("y")), pmul(pv("y"), pv("x"))),
+    ]
+
+
+def _scalar_intro(name: str, make: "callable") -> Rule:
+    """An inflating scalar rule applied only to scalar-shaped classes."""
+    lhs = PVar("x")
+
+    def apply(egraph: EGraph, match: Match) -> Sequence[Term]:
+        binding = match.bindings["x"]
+        assert isinstance(binding, ClassBinding)
+        if not isinstance(egraph.data_of(binding.class_id), Scalar):
+            return []
+        return [make(ClassRef(binding.class_id))]
+
+    return dynamic_rule(name, lhs, apply)
+
+
+def scalar_intro_rules() -> List[Rule]:
+    """The inflating directions, scalar-guarded."""
+    return [
+        _scalar_intro("E-AddZero-rev", lambda x: Call("+", (x, Const(0)))),
+        _scalar_intro("E-MulOneL-rev", lambda x: Call("*", (Const(1), x))),
+        _scalar_intro("E-MulOneR-rev", lambda x: Call("*", (x, Const(1)))),
+    ]
+
+
+def scalar_rules() -> List[Rule]:
+    """All scalar arithmetic rules of listing 3."""
+    return scalar_elim_rules() + scalar_intro_rules()

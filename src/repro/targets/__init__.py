@@ -1,0 +1,18 @@
+"""Target-specific components: cost models (listings 6–8) and the
+target bundles (Pure C / BLAS / PyTorch) of §VI."""
+
+from .base import (
+    TARGET_NAMES,
+    Target,
+    blas_target,
+    make_target,
+    pure_c_target,
+    pytorch_target,
+)
+from .cost import BaseCostModel, BlasCostModel, TorchCostModel
+
+__all__ = [
+    "Target", "TARGET_NAMES", "make_target",
+    "pure_c_target", "blas_target", "pytorch_target",
+    "BaseCostModel", "BlasCostModel", "TorchCostModel",
+]

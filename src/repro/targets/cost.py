@@ -1,0 +1,238 @@
+"""Cost models from the paper (listings 6, 7, 8).
+
+The *base* model prices the core IR operators::
+
+    cost(build N f)      = N·(cost(f) + 1) + 1
+    cost(A[i])           = cost(A) + cost(i) + 1
+    cost(ifold N init f) = cost(init) + N·cost(f) + 1
+    cost(tuple a b)      = cost(a) + cost(b) + 1
+    cost(fst t)          = cost(t) + 1          (likewise snd)
+    cost(λ e)            = cost(e) + 1
+    cost(f e)            = cost(f) + cost(e) + 1
+    cost(•k)             = 1
+    cost(a + b)          = cost(a) + cost(b) + 1   (likewise *, -, /)
+    cost(c)              = 1
+
+Library functions add discounted terms (".8N", ".6NMK", ...) copied
+verbatim from listings 7 and 8.  Dimensions come from the e-graph's
+shape analysis; a library call whose dimensions cannot be determined is
+priced at infinity so extraction never selects an un-executable call.
+Named functions that the target does not know are likewise infinite —
+in particular, the base model alone (the *pure C* target) never
+extracts library calls.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..egraph.analysis import shape_of_class
+from ..egraph.egraph import EGraph
+from ..egraph.enode import ENode
+from ..egraph.extract import CostModel
+from ..ir.shapes import Array, Scalar, Shape
+
+__all__ = ["BaseCostModel", "BlasCostModel", "TorchCostModel", "SCALAR_FUNCTIONS"]
+
+INFINITY = math.inf
+
+SCALAR_FUNCTIONS = frozenset(
+    {"+", "-", "*", "/", ">", "<", ">=", "<=", "==", "max", "min", "neg"}
+)
+
+
+class BaseCostModel(CostModel):
+    """Listing 6: the library-independent cost of IR operators.
+
+    Subclasses add library functions by overriding
+    :meth:`library_cost`.
+    """
+
+    def enode_cost(
+        self,
+        egraph: EGraph,
+        class_id: int,
+        enode: ENode,
+        child_costs: List[float],
+    ) -> float:
+        op = enode.op
+        if op in ("var", "const", "symbol"):
+            return 1.0
+        if op == "build":
+            size: int = enode.payload  # type: ignore[assignment]
+            return size * (child_costs[0] + 1.0) + 1.0
+        if op == "index":
+            return child_costs[0] + child_costs[1] + 1.0
+        if op == "ifold":
+            size = enode.payload  # type: ignore[assignment]
+            return child_costs[0] + size * child_costs[1] + 1.0
+        if op == "tuple":
+            return child_costs[0] + child_costs[1] + 1.0
+        if op in ("fst", "snd", "lam"):
+            return child_costs[0] + 1.0
+        if op == "app":
+            return child_costs[0] + child_costs[1] + 1.0
+        if op == "call":
+            name: str = enode.payload  # type: ignore[assignment]
+            if name in SCALAR_FUNCTIONS:
+                return sum(child_costs) + 1.0
+            return self.library_cost(egraph, class_id, name, enode, child_costs)
+        raise ValueError(f"unknown e-node op {op!r}")
+
+    def library_cost(
+        self,
+        egraph: EGraph,
+        class_id: int,
+        name: str,
+        enode: ENode,
+        child_costs: List[float],
+    ) -> float:
+        """Cost of a library call; the base model knows none."""
+        return INFINITY
+
+    # -- dimension helpers ------------------------------------------------
+
+    @staticmethod
+    def _shape(egraph: EGraph, class_id: int) -> Shape:
+        return shape_of_class(egraph, class_id)
+
+    @staticmethod
+    def _vector_length(egraph: EGraph, class_id: int) -> Optional[int]:
+        shape = shape_of_class(egraph, class_id)
+        if isinstance(shape, Array) and len(shape.dims) == 1:
+            return shape.dims[0]
+        return None
+
+    @staticmethod
+    def _matrix_dims(egraph: EGraph, class_id: int) -> Optional[tuple]:
+        shape = shape_of_class(egraph, class_id)
+        if isinstance(shape, Array) and len(shape.dims) == 2:
+            return shape.dims
+        return None
+
+    @staticmethod
+    def _total_size(egraph: EGraph, class_id: int) -> Optional[int]:
+        shape = shape_of_class(egraph, class_id)
+        if isinstance(shape, Array):
+            return shape.size
+        if isinstance(shape, Scalar):
+            return 1
+        return None
+
+    @staticmethod
+    def _const_value(egraph: EGraph, class_id: int) -> Optional[float]:
+        for node in egraph.nodes_of(class_id):
+            if node.op == "const":
+                return node.payload  # type: ignore[return-value]
+        return None
+
+
+class BlasCostModel(BaseCostModel):
+    """Listing 7: BLAS-specific additions.
+
+    ``cost(memset(c))   = cost(c) + .8N + 1``
+    ``cost(dot(A,B))    = cost(A) + cost(B) + .8N``
+    ``cost(axpy(a,A,B)) = cost(a) + … + cost(B) + .8N``
+    ``cost(gemv(…))     = Σ cost(args) + .7NM``
+    ``cost(gemm(…))     = Σ cost(args) + .6NMK``
+    ``cost(transpose(A))= cost(A) + .9NM``
+    """
+
+    def library_cost(self, egraph, class_id, name, enode, child_costs):
+        args_cost = sum(child_costs)
+        if name == "memset":
+            length = self._const_value(egraph, enode.children[1])
+            if length is None:
+                return INFINITY
+            # cost(c) plus the discounted fill; the explicit length
+            # argument is priced as part of cost(c)+1 bookkeeping.
+            return args_cost + 0.8 * length + 1.0
+        if name == "dot":
+            length = self._vector_length(egraph, enode.children[0])
+            if length is None:
+                length = self._vector_length(egraph, enode.children[1])
+            if length is None:
+                return INFINITY
+            return args_cost + 0.8 * length
+        if name == "axpy":
+            length = self._vector_length(egraph, enode.children[1])
+            if length is None:
+                length = self._vector_length(egraph, enode.children[2])
+            if length is None:
+                return INFINITY
+            return args_cost + 0.8 * length
+        if name in ("gemv", "gemv_t"):
+            dims = self._matrix_dims(egraph, enode.children[1])
+            if dims is None:
+                return INFINITY
+            return args_cost + 0.7 * dims[0] * dims[1]
+        if name in ("gemm_nn", "gemm_nt", "gemm_tn", "gemm_tt"):
+            dims_a = self._matrix_dims(egraph, enode.children[1])
+            dims_b = self._matrix_dims(egraph, enode.children[2])
+            if dims_a is None or dims_b is None:
+                return INFINITY
+            transpose_a = name in ("gemm_tn", "gemm_tt")
+            transpose_b = name in ("gemm_nt", "gemm_tt")
+            n = dims_a[1] if transpose_a else dims_a[0]
+            k = dims_a[0] if transpose_a else dims_a[1]
+            m = dims_b[0] if transpose_b else dims_b[1]
+            return args_cost + 0.6 * n * m * k
+        if name == "transpose":
+            dims = self._matrix_dims(egraph, enode.children[0])
+            if dims is None:
+                return INFINITY
+            return args_cost + 0.9 * dims[0] * dims[1]
+        return INFINITY
+
+
+class TorchCostModel(BaseCostModel):
+    """Listing 8: PyTorch-specific additions.
+
+    For the polymorphic functions (``add``, ``mul``) the dimensions N
+    and M are the *total element counts* of the two arguments (the
+    listing's "product of the arrays' dimensions"); scalars count 1.
+    """
+
+    def library_cost(self, egraph, class_id, name, enode, child_costs):
+        args_cost = sum(child_costs)
+        if name == "full":
+            length = self._const_value(egraph, enode.children[1])
+            if length is None:
+                return INFINITY
+            return args_cost + 0.8 * length + 1.0
+        if name in ("add", "mul"):
+            size_a = self._total_size(egraph, enode.children[0])
+            size_b = self._total_size(egraph, enode.children[1])
+            if size_a is None or size_b is None:
+                return INFINITY
+            return args_cost + 0.4 * size_a + 0.4 * size_b
+        if name in ("sum",):
+            length = self._total_size(egraph, enode.children[0])
+            if length is None:
+                return INFINITY
+            return args_cost + 0.8 * length
+        if name == "dot":
+            length = self._vector_length(egraph, enode.children[0])
+            if length is None:
+                length = self._vector_length(egraph, enode.children[1])
+            if length is None:
+                return INFINITY
+            return args_cost + 0.8 * length
+        if name == "mv":
+            dims = self._matrix_dims(egraph, enode.children[0])
+            if dims is None:
+                return INFINITY
+            return args_cost + 0.7 * dims[0] * dims[1]
+        if name == "mm":
+            dims_a = self._matrix_dims(egraph, enode.children[0])
+            dims_b = self._matrix_dims(egraph, enode.children[1])
+            if dims_a is None or dims_b is None:
+                return INFINITY
+            return args_cost + 0.6 * dims_a[0] * dims_a[1] * dims_b[1]
+        if name == "transpose":
+            dims = self._matrix_dims(egraph, enode.children[0])
+            if dims is None:
+                return INFINITY
+            return args_cost + 0.9 * dims[0] * dims[1]
+        return INFINITY

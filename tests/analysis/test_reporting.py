@@ -1,0 +1,88 @@
+"""Tests for report generation (tables II/III and fig. 7 layouts)."""
+
+import math
+
+import pytest
+
+from repro.analysis.reporting import (
+    SolutionRow,
+    SpeedupRow,
+    format_externs,
+    geomean,
+    render_solution_table,
+    render_speedup_table,
+    solution_row,
+    solutions_csv,
+    speedups_csv,
+)
+
+
+class TestFormatExterns:
+    def test_paper_format(self):
+        assert format_externs({"axpy": 2, "dot": 1}) == "2 × axpy + 1 × dot"
+
+    def test_empty(self):
+        assert format_externs({}) == "(none)"
+
+    def test_sorted_by_name(self):
+        text = format_externs({"memset": 1, "gemv": 2})
+        assert text.index("gemv") < text.index("memset")
+
+
+class TestSolutionTables:
+    def _rows(self):
+        return [
+            SolutionRow("gemv", "1 × gemv", 7, 34300),
+            SolutionRow("vsum", "1 × dot", 10, 15900),
+        ]
+
+    def test_render_contains_all_rows(self):
+        text = render_solution_table(self._rows(), "Table II")
+        assert "Table II" in text
+        assert "1 × gemv" in text
+        assert "34,300" in text
+
+    def test_csv_layout_matches_artifact(self):
+        csv = solutions_csv(self._rows())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "name,externs,steps,nodes"
+        assert lines[1] == "gemv,1 × gemv,7,34300"
+
+    def test_solution_row_from_result(self):
+        from repro.ir import parse
+        from repro.pipeline import optimize_term
+        from repro.targets import pure_c_target
+
+        result = optimize_term(parse("1 + 0"), pure_c_target(),
+                               step_limit=2, node_limit=100,
+                               kernel_name="tiny")
+        row = solution_row(result)
+        assert row.kernel == "tiny"
+        assert row.externs == "(none)"
+        assert row.steps == result.run.num_steps
+
+
+class TestSpeedups:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([1.46]) == pytest.approx(1.46)
+        assert math.isnan(geomean([]))
+
+    def test_geomean_skips_nonpositive(self):
+        assert geomean([4.0, 0.0, None]) == pytest.approx(4.0)
+
+    def test_best_speedup(self):
+        row = SpeedupRow("gemv", 2.5, 0.49)
+        assert row.best_speedup == 2.5
+        assert SpeedupRow("x", None, None).best_speedup is None
+
+    def test_render_table(self):
+        rows = [SpeedupRow("gemv", 2.5, 0.49), SpeedupRow("vsum", 0.67, 1.81)]
+        text = render_speedup_table(rows, "Fig 7")
+        assert "geomean" in text
+        assert "2.50" in text
+
+    def test_csv(self):
+        rows = [SpeedupRow("gemv", 2.5, None)]
+        csv = speedups_csv(rows)
+        assert "gemv,2.5000,," in csv

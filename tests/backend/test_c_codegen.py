@@ -1,0 +1,143 @@
+"""C code generator tests: golden structure checks plus (when a C
+compiler is present) an end-to-end compile-and-run comparison against
+the numpy reference."""
+
+import ctypes
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backend.c_codegen import CodegenError, generate_c, generate_c_program
+from repro.ir import parse
+from repro.ir.shapes import SCALAR, matrix, vector
+
+HAVE_CC = shutil.which("gcc") or shutil.which("cc")
+
+
+class TestGeneration:
+    def test_scalar_kernel_returns_double(self):
+        code = generate_c(parse("dot(A, B)"), {"A": vector(8), "B": vector(8)})
+        assert code.startswith("double kernel(")
+        assert "shim_dot(8, A, B)" in code
+
+    def test_vector_kernel_takes_out_param(self):
+        code = generate_c(
+            parse("build 4 (λ x[•0] * 2)"), {"x": vector(4)}, "scale2"
+        )
+        assert "void scale2(" in code
+        assert "double *out" in code
+        assert "for (int" in code
+
+    def test_loop_nest_for_matvec(self):
+        code = generate_c(
+            parse("build 4 (λ ifold 8 0 (λ λ A[•2][•1] * x[•1] + •0))"),
+            {"A": matrix(4, 8), "x": vector(8)},
+        )
+        assert code.count("for (int") == 2
+        assert "* 8 +" in code  # row-major flattening
+
+    def test_gemv_call_lowered_to_shim(self):
+        shapes = {
+            "alpha": SCALAR, "beta": SCALAR,
+            "A": matrix(4, 8), "B": vector(8), "C": vector(4),
+        }
+        code = generate_c(parse("gemv(alpha, A, B, beta, C)"), shapes)
+        assert "shim_gemv(0, 4, 8, alpha, A, B, beta, C, out);" in code
+
+    def test_gemv_t_sets_transpose_flag(self):
+        shapes = {
+            "alpha": SCALAR, "beta": SCALAR,
+            "A": matrix(4, 8), "B": vector(4), "C": vector(8),
+        }
+        code = generate_c(parse("gemv_t(alpha, A, B, beta, C)"), shapes)
+        assert "shim_gemv(1, 4, 8," in code
+
+    def test_memset_emitted_as_fill_loop(self):
+        code = generate_c(parse("memset(0, 16)"), {})
+        assert "for (int m = 0; m < 16; m++) out[m] = 0;" in code
+
+    def test_nested_call_materializes_buffer(self):
+        shapes = {"A": matrix(4, 8), "x": vector(8)}
+        code = generate_c(parse("mv(A, x)[2]"), shapes)
+        assert "double buf" in code
+        assert "shim_mv(4, 8, A, x, buf" in code
+
+    def test_program_includes_shim(self):
+        program = generate_c_program(parse("dot(A, B)"),
+                                     {"A": vector(4), "B": vector(4)})
+        assert "static double shim_dot" in program
+        assert "double kernel(" in program
+
+    def test_residual_lambda_rejected(self):
+        with pytest.raises(CodegenError):
+            generate_c(parse("(λ •0) 1"), {})
+
+    def test_tuple_kernel_rejected(self):
+        with pytest.raises(CodegenError):
+            generate_c(parse("tuple 1 2"), {})
+
+
+@pytest.mark.skipif(not HAVE_CC, reason="no C compiler available")
+class TestCompileAndRun:
+    def _compile(self, program: str) -> ctypes.CDLL:
+        tmp = Path(tempfile.mkdtemp())
+        source = tmp / "kernel.c"
+        source.write_text(program.replace("double kernel", "double entry", 1)
+                          .replace("void kernel", "void entry", 1))
+        library = tmp / "kernel.so"
+        compiler = shutil.which("gcc") or shutil.which("cc")
+        subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", str(library), str(source)],
+            check=True,
+        )
+        return ctypes.CDLL(str(library))
+
+    def test_dot_kernel_matches_numpy(self):
+        program = generate_c_program(
+            parse("dot(A, B)"), {"A": vector(8), "B": vector(8)}
+        )
+        lib = self._compile(program)
+        lib.entry.restype = ctypes.c_double
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal(8)
+        b_ = rng.standard_normal(8)
+        ptr = lambda arr: arr.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+        got = lib.entry(ptr(a), ptr(b_))
+        assert got == pytest.approx(float(a @ b_))
+
+    def test_gemv_kernel_matches_numpy(self):
+        shapes = {
+            "alpha": SCALAR, "beta": SCALAR,
+            "A": matrix(4, 8), "B": vector(8), "C": vector(4),
+        }
+        program = generate_c_program(parse("gemv(alpha, A, B, beta, C)"), shapes)
+        lib = self._compile(program)
+        lib.entry.restype = None
+        rng = np.random.default_rng(1)
+        a = np.ascontiguousarray(rng.standard_normal((4, 8)))
+        x = rng.standard_normal(8)
+        c = rng.standard_normal(4)
+        out = np.zeros(4)
+        ptr = lambda arr: arr.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+        lib.entry(ptr(a), ptr(x), ptr(c),
+                  ctypes.c_double(2.0), ctypes.c_double(3.0), ptr(out))
+        assert np.allclose(out, 2.0 * a @ x + 3.0 * c)
+
+    def test_loop_nest_matches_numpy(self):
+        program = generate_c_program(
+            parse("build 4 (λ ifold 8 0 (λ λ A[•2][•1] * x[•1] + •0))"),
+            {"A": matrix(4, 8), "x": vector(8)},
+        )
+        lib = self._compile(program)
+        lib.entry.restype = None
+        rng = np.random.default_rng(2)
+        a = np.ascontiguousarray(rng.standard_normal((4, 8)))
+        x = rng.standard_normal(8)
+        out = np.zeros(4)
+        ptr = lambda arr: arr.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+        lib.entry(ptr(a), ptr(x), ptr(out))
+        assert np.allclose(out, a @ x)

@@ -1,0 +1,150 @@
+"""Tests for the vectorizing numpy backend (repro.backend.numpy_compiler)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend.executor import outputs_match
+from repro.backend.numpy_compiler import CompileError, compile_term
+from repro.ir import builders as b, parse
+from repro.ir.interp import evaluate
+from repro.kernels import all_kernels
+
+
+class TestScalars:
+    def test_arithmetic(self):
+        assert compile_term(parse("1 + 2 * 3"))({}) == 7.0
+
+    def test_symbols(self):
+        assert compile_term(parse("x * y"))({"x": 3.0, "y": 4.0}) == 12.0
+
+    def test_comparisons(self):
+        assert compile_term(parse("3 > 2"))({}) == 1.0
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(CompileError):
+            compile_term(parse("nope"))({})
+
+
+class TestBuilds:
+    def test_simple_build(self):
+        out = compile_term(parse("build 4 (λ •0 * 2)"))({})
+        assert list(out) == [0, 2, 4, 6]
+
+    def test_nested_build(self):
+        out = compile_term(parse("build 2 (λ build 3 (λ •1 * 10 + •0))"))({})
+        assert out.shape == (2, 3)
+        assert out[1][2] == 12
+
+    def test_build_of_symbol_lookup(self):
+        xs = np.array([5.0, 6.0, 7.0, 8.0])
+        out = compile_term(parse("build 4 (λ xs[•0])"))({"xs": xs})
+        assert np.array_equal(out, xs)
+
+    def test_window_gather(self):
+        xs = np.arange(10.0)
+        out = compile_term(parse("build 4 (λ build 3 (λ xs[•1 + •0]))"))({"xs": xs})
+        assert out.shape == (4, 3)
+        assert list(out[2]) == [2, 3, 4]
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(CompileError):
+            compile_term(parse("build 4 (λ xs[•0 + 3])"))({"xs": np.zeros(4)})
+
+
+class TestIFold:
+    def test_sum(self):
+        out = compile_term(parse("ifold 4 0 (λ λ •1 + •0)"))({})
+        assert out == 6.0
+
+    def test_dot_loop_inside_build(self):
+        rng = np.random.default_rng(0)
+        a, x = rng.standard_normal((4, 8)), rng.standard_normal(8)
+        term = parse("build 4 (λ ifold 8 0 (λ λ A[•2][•1] * x[•1] + •0))")
+        out = compile_term(term)({"A": a, "x": x})
+        assert np.allclose(out, a @ x)
+
+
+class TestLibraryCalls:
+    def test_scalar_level_calls(self):
+        rng = np.random.default_rng(0)
+        a, c = rng.standard_normal(8), rng.standard_normal(8)
+        assert compile_term(parse("dot(a, c)"))({"a": a, "c": c}) == pytest.approx(
+            float(a @ c)
+        )
+
+    def test_gemv_call(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((4, 8))
+        x, c = rng.standard_normal(8), rng.standard_normal(4)
+        term = parse("gemv(alpha, A, B, beta, C)")
+        out = compile_term(term)(
+            {"alpha": 2.0, "beta": 3.0, "A": a, "B": x, "C": c}
+        )
+        assert np.allclose(out, 2 * a @ x + 3 * c)
+
+    def test_batched_call_inside_build(self):
+        # The im2col shape: a dot per output element, vectorized.
+        rng = np.random.default_rng(2)
+        xs = rng.standard_normal(10)
+        term = parse("build 8 (λ dot(build 3 (λ xs[•1 + •0]), build 3 (λ 1)))")
+        out = compile_term(term)({"xs": xs})
+        expected = np.convolve(xs, np.ones(3), "valid")
+        assert np.allclose(out, expected)
+
+    def test_memset_and_full(self):
+        assert np.allclose(compile_term(parse("memset(0, 4)"))({}), np.zeros(4))
+        assert np.allclose(compile_term(parse("full(2.5, 3)"))({}), np.full(3, 2.5))
+
+    def test_gemm_variants(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((4, 5))
+        bt = rng.standard_normal((6, 5))
+        c = rng.standard_normal((4, 6))
+        term = parse("gemm_nt(alpha, A, B, beta, C)")
+        out = compile_term(term)(
+            {"alpha": 1.5, "beta": 0.5, "A": a, "B": bt, "C": c}
+        )
+        assert np.allclose(out, 1.5 * a @ bt.T + 0.5 * c)
+
+    def test_mm_and_transpose(self):
+        rng = np.random.default_rng(4)
+        a, b_ = rng.standard_normal((3, 4)), rng.standard_normal((5, 4))
+        out = compile_term(parse("mm(A, transpose(B))"))({"A": a, "B": b_})
+        assert np.allclose(out, a @ b_.T)
+
+
+class TestLambdaHandling:
+    def test_beta_redex_normalized_away(self):
+        out = compile_term(parse("(λ •0 + 1) 5"))({})
+        assert out == 6.0
+
+    def test_residual_lambda_rejected(self):
+        with pytest.raises(CompileError):
+            compile_term(parse("build 2 (λ f •0)"))({})
+
+    def test_tuple_at_top_level(self):
+        out = compile_term(parse("tuple (build 2 (λ 1)) (build 2 (λ 2))"))({})
+        assert isinstance(out, tuple)
+        assert np.allclose(out[0], [1, 1])
+
+
+class TestAgainstInterpreter:
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_all_source_kernels_match_reference(self, kernel):
+        inputs = kernel.inputs(5)
+        out = compile_term(kernel.term)(inputs)
+        assert outputs_match(out, kernel.reference(inputs))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 5), st.integers(-3, 3), st.integers(1, 4))
+    def test_parametric_loops_match_interpreter(self, size, constant, inner):
+        term = b.build(
+            size,
+            b.lam(
+                b.ifold(inner, constant, b.lam2(b.v(1) * b.v(2) + b.v(0)))
+            ),
+        )
+        compiled = compile_term(term)({})
+        interpreted = evaluate(term)
+        assert outputs_match(compiled, interpreted)

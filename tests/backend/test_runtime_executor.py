@@ -1,0 +1,157 @@
+"""Tests for the library runtimes, executor, and coverage measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import measure_coverage
+from repro.backend.executor import (
+    TimingResult,
+    outputs_match,
+    run_solution,
+    time_callable,
+    time_reference,
+    time_solution,
+    verify_solution,
+)
+from repro.backend.library_runtime import blas_runtime, pytorch_runtime
+from repro.ir import parse
+from repro.kernels import registry
+
+
+class TestBlasRuntime:
+    def setup_method(self):
+        self.rt = blas_runtime()
+        self.rng = np.random.default_rng(0)
+
+    def test_dot(self):
+        a, b_ = self.rng.standard_normal(8), self.rng.standard_normal(8)
+        assert self.rt["dot"](a, b_) == pytest.approx(float(np.dot(a, b_)))
+
+    def test_axpy(self):
+        a, b_ = self.rng.standard_normal(8), self.rng.standard_normal(8)
+        assert np.allclose(self.rt["axpy"](2.0, a, b_), 2.0 * a + b_)
+
+    def test_gemv_and_gemv_t(self):
+        a = self.rng.standard_normal((4, 8))
+        x, y = self.rng.standard_normal(8), self.rng.standard_normal(4)
+        assert np.allclose(self.rt["gemv"](2.0, a, x, 3.0, y), 2 * a @ x + 3 * y)
+        z = self.rng.standard_normal(8)
+        assert np.allclose(
+            self.rt["gemv_t"](2.0, a, y, 3.0, z), 2 * a.T @ y + 3 * z
+        )
+
+    def test_gemm_variants(self):
+        a = self.rng.standard_normal((4, 5))
+        b_ = self.rng.standard_normal((5, 6))
+        c = self.rng.standard_normal((4, 6))
+        assert np.allclose(
+            self.rt["gemm_nn"](1.5, a, b_, 0.5, c), 1.5 * a @ b_ + 0.5 * c
+        )
+        bt = self.rng.standard_normal((6, 5))
+        assert np.allclose(
+            self.rt["gemm_nt"](1.0, a, bt, 0.0, np.zeros((4, 6))), a @ bt.T
+        )
+        at = self.rng.standard_normal((5, 4))
+        assert np.allclose(
+            self.rt["gemm_tn"](1.0, at, b_, 0.0, np.zeros((4, 6))), at.T @ b_
+        )
+        assert np.allclose(
+            self.rt["gemm_tt"](1.0, at, bt, 0.0, np.zeros((4, 6))), at.T @ bt.T
+        )
+
+    def test_transpose_and_memset(self):
+        a = self.rng.standard_normal((3, 5))
+        assert np.allclose(self.rt["transpose"](a), a.T)
+        assert np.allclose(self.rt["memset"](0.0, 4), np.zeros(4))
+
+
+class TestPytorchRuntime:
+    def setup_method(self):
+        self.rt = pytorch_runtime()
+        self.rng = np.random.default_rng(0)
+
+    def test_mv_mm(self):
+        a = self.rng.standard_normal((4, 8))
+        x = self.rng.standard_normal(8)
+        assert np.allclose(self.rt["mv"](a, x), a @ x)
+        b_ = self.rng.standard_normal((8, 3))
+        assert np.allclose(self.rt["mm"](a, b_), a @ b_)
+
+    def test_polymorphic_add_mul(self):
+        assert self.rt["add"](1.0, 2.0) == 3.0
+        v = self.rng.standard_normal(4)
+        assert np.allclose(self.rt["add"](v, v), 2 * v)
+        assert self.rt["mul"](2.0, 3.0) == 6.0
+        assert np.allclose(self.rt["mul"](2.0, v), 2 * v)
+
+    def test_sum_dot_full(self):
+        v = self.rng.standard_normal(6)
+        assert self.rt["sum"](v) == pytest.approx(float(v.sum()))
+        assert self.rt["dot"](v, v) == pytest.approx(float(v @ v))
+        assert np.allclose(self.rt["full"](1.5, 3), [1.5, 1.5, 1.5])
+
+
+class TestExecutor:
+    def test_run_solution_with_registry(self):
+        term = parse("dot(a, c)")
+        inputs = {"a": np.array([1.0, 2.0]), "c": np.array([3.0, 4.0])}
+        assert run_solution(term, inputs, blas_runtime()) == pytest.approx(11.0)
+
+    def test_outputs_match_tuples(self):
+        assert outputs_match((np.zeros(2), 1.0), (np.zeros(2), 1.0))
+        assert not outputs_match((np.zeros(2),), (np.zeros(2), 1.0))
+        assert not outputs_match((np.zeros(2), 1.0), (np.zeros(2), 2.0))
+
+    def test_time_callable_respects_min_runs(self):
+        result = time_callable(lambda: None, budget_seconds=0.0, min_runs=5)
+        assert result.runs >= 5
+        assert result.best_seconds <= result.mean_seconds
+
+    def test_time_solution_and_reference(self):
+        kernel = registry.get("vsum")
+        inputs = kernel.inputs(0)
+        sol = time_solution(kernel.term, inputs, budget_seconds=0.02)
+        ref = time_reference(kernel, inputs, budget_seconds=0.02)
+        assert sol.mean_seconds > 0
+        assert ref.mean_seconds > 0
+
+    def test_verify_solution_accepts_correct_term(self):
+        kernel = registry.get("vsum")
+        assert verify_solution(kernel, kernel.term)
+
+    def test_verify_solution_rejects_wrong_term(self):
+        kernel = registry.get("vsum")
+        wrong = parse("ifold 64 1 (λ λ xs[•1] + •0)")
+        assert not verify_solution(kernel, wrong)
+
+    def test_verify_solution_with_library_calls(self):
+        kernel = registry.get("vsum")
+        solution = parse("dot(build 64 (λ 1), xs)")
+        assert verify_solution(kernel, solution, blas_runtime())
+
+
+class TestCoverage:
+    def test_full_library_solution_has_high_coverage(self):
+        kernel = registry.get("gemv")
+        inputs = kernel.inputs(0)
+        term = parse("gemv(alpha, A, B, beta, C)")
+        report = measure_coverage(term, inputs, blas_runtime(), repeats=5)
+        assert report.coverage > 0.3
+        assert set(report.per_function_seconds) == {"gemv"}
+
+    def test_loop_solution_has_zero_coverage(self):
+        kernel = registry.get("vsum")
+        inputs = kernel.inputs(0)
+        report = measure_coverage(kernel.term, inputs, blas_runtime(), repeats=2)
+        assert report.coverage == 0.0
+        assert report.per_function_seconds == {}
+
+    def test_breakdown_ordered(self):
+        kernel = registry.get("gesummv")
+        inputs = kernel.inputs(0)
+        term = parse("gemv(alpha, A, x, 1, gemv(beta, B, x, 1, memset(0, 16)))")
+        report = measure_coverage(term, inputs, blas_runtime(), repeats=3)
+        breakdown = report.breakdown()
+        assert "gemv" in breakdown
+        values = list(breakdown.values())
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,75 @@
+"""Tests for the e-graph shape analysis (repro.egraph.analysis)."""
+
+from repro.egraph import EGraph, Runner, ShapeAnalysis, dims_of_class, shape_of_class
+from repro.ir import builders as b, parse
+from repro.ir.shapes import SCALAR, UNKNOWN, Array, matrix, vector
+from repro.rules import core_rules, scalar_rules
+
+
+def _graph(shapes=None):
+    return EGraph(ShapeAnalysis(shapes or {}))
+
+
+class TestMake:
+    def test_leaves(self):
+        eg = _graph({"xs": vector(4)})
+        assert shape_of_class(eg, eg.add_term(parse("1"))) == SCALAR
+        assert shape_of_class(eg, eg.add_term(parse("xs"))) == vector(4)
+        assert shape_of_class(eg, eg.add_term(parse("•0"))) == SCALAR
+
+    def test_unknown_symbol(self):
+        eg = _graph()
+        assert shape_of_class(eg, eg.add_term(parse("mystery"))) == UNKNOWN
+
+    def test_build_shapes(self):
+        eg = _graph()
+        assert shape_of_class(eg, eg.add_term(parse("build 4 (λ 0)"))) == vector(4)
+        nested = eg.add_term(parse("build 4 (λ build 6 (λ 0))"))
+        assert shape_of_class(eg, nested) == matrix(4, 6)
+
+    def test_index_peels(self):
+        eg = _graph({"A": matrix(4, 6)})
+        assert shape_of_class(eg, eg.add_term(parse("A[i]"))) == vector(6)
+
+    def test_ifold_takes_init_shape(self):
+        eg = _graph({"xs": vector(4)})
+        root = eg.add_term(parse("ifold 4 0 (λ λ xs[•1] + •0)"))
+        assert shape_of_class(eg, root) == SCALAR
+
+    def test_call_shapes(self):
+        eg = _graph({"A": matrix(4, 6), "x": vector(6)})
+        assert shape_of_class(eg, eg.add_term(parse("mv(A, x)"))) == vector(4)
+
+    def test_dims_of_class_helper(self):
+        eg = _graph({"A": matrix(4, 6)})
+        assert dims_of_class(eg, eg.add_term(parse("A"))) == (4, 6)
+        assert dims_of_class(eg, eg.add_term(parse("1"))) == ()
+
+
+class TestJoinRefinement:
+    def test_merge_refines_unknown(self):
+        # memset(0, 4) alone has Unknown shape; merging with
+        # build 4 (λ 0) refines it to vector(4) — exactly what the
+        # BLAS cost model needs (listing 7).
+        eg = _graph()
+        call = eg.add_term(parse("memset(0, 4)"))
+        assert shape_of_class(eg, call) == UNKNOWN
+        expansion = eg.add_term(parse("build 4 (λ 0)"))
+        eg.merge(call, expansion)
+        eg.rebuild()
+        assert shape_of_class(eg, call) == vector(4)
+
+    def test_refinement_propagates_upward(self):
+        eg = _graph({"xs": vector(4)})
+        indexed = eg.add_term(parse("memset(0, 4)[i]"))
+        assert shape_of_class(eg, indexed) == UNKNOWN
+        eg.merge(eg.add_term(parse("memset(0, 4)")), eg.add_term(parse("build 4 (λ 0)")))
+        eg.rebuild()
+        assert shape_of_class(eg, indexed) == SCALAR
+
+    def test_shapes_stable_under_saturation(self):
+        eg = _graph({"xs": vector(8)})
+        root = eg.add_term(parse("build 8 (λ xs[•0] + 0)"))
+        Runner(eg, core_rules() + scalar_rules(), step_limit=3,
+               node_limit=4000).run(root)
+        assert shape_of_class(eg, root) == vector(8)

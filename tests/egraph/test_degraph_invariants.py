@@ -1,0 +1,90 @@
+"""Property tests for saturation-level e-graph invariants.
+
+Beyond the unit congruence checks, these properties exercise the
+engine the way LIAR uses it: full rule sets over IR programs, checking
+the representation invariants that extraction and matching rely on.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.egraph import EGraph, Runner, ShapeAnalysis
+from repro.ir import builders as b
+from repro.ir.shapes import SCALAR, vector
+from repro.ir.terms import Call, Const, Symbol, free_indices
+from repro.rules import core_rules, scalar_rules
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_programs(draw):
+    size = draw(st.integers(2, 4))
+    body_kind = draw(st.integers(0, 2))
+    if body_kind == 0:
+        body = b.sym("xs")[b.v(0)] + draw(st.integers(0, 3))
+    elif body_kind == 1:
+        body = b.sym("xs")[b.v(0)] * b.sym("alpha")
+    else:
+        body = b.sym("xs")[b.v(0)] + b.sym("xs")[b.v(0)] * 1
+    return b.build(size, b.lam(body)), size
+
+
+@SETTINGS
+@given(small_programs())
+def test_hashcons_stays_canonical_after_saturation(case):
+    term, size = case
+    eg = EGraph(ShapeAnalysis({"xs": vector(size), "alpha": SCALAR}))
+    root = eg.add_term(term)
+    Runner(eg, core_rules() + scalar_rules(), step_limit=2,
+           node_limit=1500).run(root)
+    for enode, class_id in eg._memo.items():
+        assert eg.canonicalize(enode) == enode
+        assert class_id in eg._classes or eg.find(class_id) in eg._classes
+
+
+@SETTINGS
+@given(small_programs())
+def test_every_class_has_an_extractable_term(case):
+    term, size = case
+    eg = EGraph(ShapeAnalysis({"xs": vector(size), "alpha": SCALAR}))
+    root = eg.add_term(term)
+    Runner(eg, core_rules() + scalar_rules(), step_limit=2,
+           node_limit=1500).run(root)
+    # Every class created by term insertion + these rules represents at
+    # least one finite term.
+    extractable = sum(
+        1 for class_id in eg.class_ids()
+        if eg.extract_smallest(class_id) is not None
+    )
+    assert extractable == eg.num_classes
+
+
+@SETTINGS
+@given(small_programs())
+def test_root_stays_reachable_and_stable(case):
+    term, size = case
+    eg = EGraph(ShapeAnalysis({"xs": vector(size), "alpha": SCALAR}))
+    root = eg.add_term(term)
+    Runner(eg, core_rules() + scalar_rules(), step_limit=2,
+           node_limit=1500).run(root)
+    # Re-adding the original term must land in the root's class.
+    assert eg.same(eg.add_term(term), root)
+
+
+@SETTINGS
+@given(small_programs())
+def test_extracted_root_term_is_closed(case):
+    term, size = case
+    eg = EGraph(ShapeAnalysis({"xs": vector(size), "alpha": SCALAR}))
+    root = eg.add_term(term)
+    Runner(eg, core_rules() + scalar_rules(), step_limit=2,
+           node_limit=1500).run(root)
+    extracted = eg.extract_smallest(root)
+    assert extracted is not None
+    # The smallest representative of a closed program is closed: open
+    # representatives are strictly larger ((λ e↑) y adds two nodes).
+    assert not free_indices(extracted)

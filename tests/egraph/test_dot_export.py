@@ -1,0 +1,57 @@
+"""Tests for the Graphviz exporter (repro.egraph.dot)."""
+
+from repro.egraph import EGraph
+from repro.egraph.dot import to_dot
+from repro.ir import parse
+
+
+class TestDotExport:
+    def test_structure(self):
+        eg = EGraph()
+        eg.add_term(parse("a / 2 + 2"))
+        dot = to_dot(eg)
+        assert dot.startswith("digraph egraph {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("subgraph cluster_") == eg.num_classes
+        assert "·[·]" not in dot  # no index nodes in this expression
+
+    def test_labels(self):
+        eg = EGraph()
+        eg.add_term(parse("build 4 (λ xs[•0])"))
+        dot = to_dot(eg)
+        assert "build 4" in dot
+        assert "λ" in dot
+        assert "•0" in dot
+        assert "xs" in dot
+
+    def test_edges_point_to_child_clusters(self):
+        eg = EGraph()
+        eg.add_term(parse("f(a)"))
+        dot = to_dot(eg)
+        assert "lhead=cluster_" in dot
+
+    def test_merged_classes_share_cluster(self):
+        eg = EGraph()
+        a = eg.add_term(parse("a"))
+        b = eg.add_term(parse("b * 1"))
+        eg.merge(a, b)
+        eg.rebuild()
+        dot = to_dot(eg)
+        # a and b*1 now live in one cluster; 4 classes total:
+        # {a, b*1}, {b}, {1} — wait, plus none. 3 clusters.
+        assert dot.count("subgraph cluster_") == eg.num_classes
+
+    def test_truncation(self):
+        eg = EGraph()
+        for i in range(10):
+            eg.add_term(parse(f"x{i}"))
+        dot = to_dot(eg, max_classes=3)
+        assert dot.count("subgraph cluster_") == 3
+        assert "truncated" in dot
+
+    def test_escaping(self):
+        eg = EGraph()
+        eg.add_term(parse("a[i]"))
+        dot = to_dot(eg)
+        # record braces in the index label must be escaped
+        assert "·[·]" in dot

@@ -1,0 +1,155 @@
+"""Tests for cost-model extraction and the saturation runner."""
+
+import math
+
+import pytest
+
+from repro.egraph import (
+    AstSizeCost,
+    EGraph,
+    Extractor,
+    Runner,
+    ShapeAnalysis,
+    StopReason,
+    rewrite,
+    library_calls_of,
+)
+from repro.egraph.extract import CostModel
+from repro.ir import builders as b, parse
+from repro.ir.shapes import vector
+from repro.rules.dsl import padd, pconst, pmul, pv
+from repro.targets.cost import BaseCostModel
+
+
+class TestExtractor:
+    def test_single_representation(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a + 1"))
+        result = Extractor(eg, AstSizeCost()).extract(root)
+        assert result.term == parse("a + 1")
+        assert result.cost == pytest.approx(3.0)
+
+    def test_picks_cheaper_representation(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a + (b - b)"))
+        eg.merge(root, eg.add_term(parse("a + 0")))
+        eg.rebuild()
+        result = Extractor(eg, AstSizeCost()).extract(root)
+        assert result.term == parse("a + 0")
+
+    def test_cyclic_graph_terminates(self):
+        from repro.ir.terms import Call, Symbol
+
+        eg = EGraph()
+        fx = eg.add_term(Call("f", (Symbol("x"),)))
+        x = eg.add_term(Symbol("x"))
+        eg.merge(fx, x)
+        eg.rebuild()
+        result = Extractor(eg, AstSizeCost()).extract(x)
+        assert result.term == Symbol("x")
+
+    def test_infinite_cost_for_unknown_library_calls(self):
+        # BaseCostModel prices unknown named functions at infinity.
+        eg = EGraph(ShapeAnalysis({}))
+        root = eg.add_term(parse("dot(a, c)"))
+        result = Extractor(eg, BaseCostModel()).extract(root)
+        assert result.term is None
+        assert math.isinf(result.cost)
+
+    def test_finite_alternative_preferred_over_infinite(self):
+        eg = EGraph(ShapeAnalysis({}))
+        root = eg.add_term(parse("dot(a, c)"))
+        eg.merge(root, eg.add_term(parse("a + c")))
+        eg.rebuild()
+        result = Extractor(eg, BaseCostModel()).extract(root)
+        assert result.term == parse("a + c")
+
+    def test_base_cost_model_matches_listing6(self):
+        eg = EGraph(ShapeAnalysis({}))
+        cases = [
+            ("build 4 (λ •0)", 4 * (1 + 1 + 1) + 1),   # N(cost f + 1)+1; f = λ •0 costs 2
+            ("a[1]", 3),
+            ("ifold 4 0 (λ λ •0)", 1 + 4 * 3 + 1),
+            ("tuple 1 2", 3),
+            ("fst (tuple 1 2)", 4),
+            ("λ •0", 2),
+            ("a + 1", 3),
+            ("2", 1),
+        ]
+        model = BaseCostModel()
+        for text, expected in cases:
+            root = eg.add_term(parse(text))
+            cost = Extractor(eg, model).cost_of(root)
+            assert cost == pytest.approx(expected), text
+
+
+class TestRunner:
+    def test_saturation_fixpoint_stop(self):
+        eg = EGraph()
+        root = eg.add_term(parse("x + 0"))
+        rule = rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))
+        result = Runner(eg, [rule], step_limit=10).run(root)
+        assert result.stop_reason == StopReason.SATURATED
+        assert result.num_steps < 10
+
+    def test_step_limit_stop(self):
+        # A rule that keeps inventing new classes never saturates and
+        # must stop at the step limit.
+        from repro.rules.dsl import pcall
+
+        eg = EGraph()
+        root = eg.add_term(parse("f(x)"))
+        # f(x) → f(g(x)) keeps inventing fresh g-chains.
+        grow = rewrite("grow", pcall("f", pv("a")), pcall("f", pcall("g", pv("a"))))
+        result = Runner(eg, [grow], step_limit=3, node_limit=100_000).run(root)
+        assert result.stop_reason == StopReason.STEP_LIMIT
+        assert result.num_steps == 3
+
+    def test_node_limit_stop(self):
+        from repro.rules.dsl import pcall
+
+        eg = EGraph()
+        root = eg.add_term(parse("f(x)"))
+        grow = rewrite("grow", pcall("f", pv("a")), pcall("f", pcall("g", pv("a"))))
+        result = Runner(eg, [grow], step_limit=50, node_limit=30).run(root)
+        assert result.stop_reason == StopReason.NODE_LIMIT
+        assert result.final.enodes >= 30
+
+    def test_records_include_step_zero(self):
+        eg = EGraph()
+        root = eg.add_term(parse("x + 0"))
+        rule = rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))
+        result = Runner(eg, [rule], step_limit=5).run(root)
+        assert result.steps[0].step == 0
+        assert result.steps[0].enodes == 3
+
+    def test_best_term_tracked_per_step(self):
+        eg = EGraph()
+        root = eg.add_term(parse("x + 0"))
+        rule = rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))
+        result = Runner(eg, [rule], step_limit=5).run(root, cost_model=AstSizeCost())
+        assert result.steps[0].best_term == parse("x + 0")
+        assert result.final.best_term == parse("x")
+        assert result.final.best_cost < result.steps[0].best_cost
+
+    def test_applied_match_cache_prevents_rework(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a * b"))
+        rule = rewrite("commute", pmul(pv("x"), pv("y")), pmul(pv("y"), pv("x")))
+        result = Runner(eg, [rule], step_limit=6).run(root)
+        # After both orders exist, no new matches should be applied.
+        assert result.stop_reason == StopReason.SATURATED
+        late_steps = result.steps[3:]
+        assert all(s.matches == 0 for s in late_steps)
+
+
+class TestLibraryCallsOf:
+    def test_counts_only_library_calls(self):
+        term = parse("dot(a, c) + dot(a, c) * 2")
+        assert library_calls_of(term) == {"dot": 2}
+
+    def test_scalar_ops_excluded(self):
+        assert library_calls_of(parse("a + b * c")) == {}
+
+    def test_none_term(self):
+        assert library_calls_of(None) == {}

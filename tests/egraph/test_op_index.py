@@ -1,0 +1,65 @@
+"""Tests for the per-operator class index and generation caching."""
+
+from repro.egraph import EGraph
+from repro.ir import parse
+
+
+class TestClassesByOp:
+    def test_index_contents(self):
+        eg = EGraph()
+        eg.add_term(parse("build 4 (λ xs[•0] + 1)"))
+        index = eg.classes_by_op()
+        assert len(index["build"]) == 1
+        assert len(index["var"]) == 1
+        assert len(index["symbol"]) == 1
+        # The build size 4 is payload, not a node: only the literal 1.
+        assert len(index["const"]) == 1
+
+    def test_cache_invalidated_by_rebuild(self):
+        eg = EGraph()
+        eg.add_term(parse("a"))
+        first = eg.classes_by_op()
+        assert "call" not in first
+        eg.add_term(parse("f(a)"))
+        eg.rebuild()
+        second = eg.classes_by_op()
+        assert "call" in second
+
+    def test_merged_class_appears_once_after_rebuild(self):
+        eg = EGraph()
+        a = eg.add_term(parse("a"))
+        b = eg.add_term(parse("b"))
+        eg.merge(a, b)
+        eg.rebuild()
+        index = eg.classes_by_op()
+        assert len(index["symbol"]) == 1
+
+
+class TestGenerationCaching:
+    def test_generation_bumps_only_on_rebuild(self):
+        eg = EGraph()
+        generation = eg.generation
+        eg.add_term(parse("a + b"))
+        assert eg.generation == generation
+        eg.rebuild()
+        assert eg.generation == generation + 1
+
+    def test_size_table_stable_within_generation(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a + b"))
+        eg.rebuild()
+        table_a = eg._size_table()
+        table_b = eg._size_table()
+        assert table_a is table_b
+
+    def test_smallest_term_uses_fallback_for_stale_ids(self):
+        # After a merge (pre-rebuild), extraction still works through
+        # the staleness fallback.
+        eg = EGraph()
+        big = eg.add_term(parse("a + 0"))
+        small = eg.add_term(parse("c"))
+        eg.rebuild()
+        eg._size_table()
+        eg.merge(big, small)
+        term = eg.extract_smallest(big)
+        assert term is not None

@@ -1,0 +1,139 @@
+"""Tests for rule application: pattern rules, dynamic rules, the four
+enumerating intro rules, candidate strategies."""
+
+import pytest
+
+from repro.egraph import (
+    EGraph,
+    Runner,
+    ShapeAnalysis,
+    all_classes,
+    atom_classes,
+    beta_reduce_rule,
+    const_classes,
+    intro_fst_tuple_rule,
+    intro_index_build_rule,
+    intro_lambda_rule,
+    intro_snd_tuple_rule,
+    rewrite,
+    birewrite,
+    var_classes,
+)
+from repro.ir import builders as b, parse
+from repro.ir.shapes import vector
+from repro.rules.dsl import padd, pconst, pmul, pv
+
+
+def _run(eg, rules, root, steps=3):
+    Runner(eg, rules, step_limit=steps, node_limit=5000).run(root)
+
+
+class TestPatternRules:
+    def test_directed_rewrite(self):
+        eg = EGraph()
+        root = eg.add_term(parse("x + 0"))
+        _run(eg, [rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))], root)
+        assert eg.equivalent(parse("x + 0"), parse("x"))
+
+    def test_birewrite_both_directions(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a * b"))
+        rules = birewrite("commute", pmul(pv("x"), pv("y")), pmul(pv("y"), pv("x")))
+        _run(eg, rules, root)
+        assert eg.equivalent(parse("a * b"), parse("b * a"))
+
+    def test_rule_applies_throughout_the_graph(self):
+        eg = EGraph()
+        root = eg.add_term(parse("(x + 0) * (y + 0)"))
+        _run(eg, [rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))], root)
+        assert eg.equivalent(parse("(x + 0) * (y + 0)"), parse("x * y"))
+
+    def test_match_limit_caps_matches(self):
+        rule = rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"), match_limit=1)
+        eg = EGraph()
+        eg.add_term(parse("(a + 0) + (b + 0)"))
+        assert len(rule.search(eg)) == 1
+
+
+class TestBetaReduceRule:
+    def test_simple_redex(self):
+        eg = EGraph()
+        root = eg.add_term(parse("(λ •0 + 1) 5"))
+        _run(eg, [beta_reduce_rule()], root)
+        assert eg.equivalent(parse("(λ •0 + 1) 5"), parse("5 + 1"))
+
+    def test_reduction_inside_context(self):
+        eg = EGraph()
+        root = eg.add_term(parse("build 4 (λ (λ •0) •0)"))
+        _run(eg, [beta_reduce_rule()], root)
+        assert eg.equivalent(parse("build 4 (λ (λ •0) •0)"), parse("build 4 (λ •0)"))
+
+    def test_shift_interaction(self):
+        # (λ •1) y under a lambda reduces to the outer variable.
+        eg = EGraph()
+        root = eg.add_term(parse("λ (λ •1) 9"))
+        _run(eg, [beta_reduce_rule()], root)
+        assert eg.equivalent(parse("λ (λ •1) 9"), parse("λ •0"))
+
+
+class TestIntroRules:
+    def test_intro_lambda_builds_trivial_abstraction(self):
+        eg = EGraph(ShapeAnalysis({"x": vector(4)}))
+        root = eg.add_term(parse("build 4 (λ x[•0] + 1)"))
+        _run(eg, [intro_lambda_rule()], root, steps=1)
+        # 1 ≡ (λ 1) •0 for the index class •0.
+        assert eg.equivalent(parse("1"), parse("(λ 1) •0"))
+
+    def test_intro_index_build_uses_known_sizes(self):
+        eg = EGraph(ShapeAnalysis({"x": vector(4)}))
+        root = eg.add_term(parse("build 4 (λ x[•0] + 1)"))
+        _run(eg, [intro_lambda_rule(), intro_index_build_rule()], root, steps=2)
+        # 1 ≡ (build 4 (λ 1))[•0]: the constant-array derivation (§IV-C2).
+        assert eg.equivalent(parse("1"), parse("(build 4 (λ 1))[•0]"))
+
+    def test_intro_fst_tuple(self):
+        eg = EGraph(ShapeAnalysis({}))
+        root = eg.add_term(parse("7"))
+        eg.add_term(parse("3"))  # candidate b
+        _run(eg, [intro_fst_tuple_rule(candidates=const_classes)], root, steps=1)
+        assert eg.equivalent(parse("7"), parse("fst (tuple 7 3)"))
+
+    def test_intro_snd_tuple(self):
+        eg = EGraph(ShapeAnalysis({}))
+        root = eg.add_term(parse("7"))
+        eg.add_term(parse("3"))
+        _run(eg, [intro_snd_tuple_rule(candidates=const_classes)], root, steps=1)
+        assert eg.equivalent(parse("7"), parse("snd (tuple 3 7)"))
+
+    def test_intro_lambda_skips_function_shaped_classes(self):
+        eg = EGraph(ShapeAnalysis({}))
+        root = eg.add_term(parse("(λ •0) 3"))
+        rule = intro_lambda_rule()
+        _run(eg, [rule], root, steps=1)
+        # The scalar class of 3 is wrapped (candidate y is the •0
+        # class); the function-shaped class (λ •0) is not.
+        assert eg.equivalent(parse("3"), parse("(λ 3) •0"))
+        assert not eg.equivalent(parse("λ •0"), parse("(λ λ •0) •0"))
+
+
+class TestCandidateStrategies:
+    def test_var_classes(self):
+        eg = EGraph()
+        eg.add_term(parse("build 4 (λ x[•0])"))
+        classes = var_classes(eg)
+        assert len(classes) == 1  # the •0 class
+
+    def test_const_classes(self):
+        eg = EGraph()
+        eg.add_term(parse("1 + 2"))
+        assert len(const_classes(eg)) == 2
+
+    def test_atom_classes_includes_symbols(self):
+        eg = EGraph()
+        eg.add_term(parse("x + 1"))
+        assert len(atom_classes(eg)) == 2
+
+    def test_all_classes(self):
+        eg = EGraph()
+        eg.add_term(parse("x + 1"))
+        assert len(all_classes(eg)) == 3

@@ -1,0 +1,44 @@
+"""Unit tests for the term-construction DSL (repro.ir.builders)."""
+
+import pytest
+
+from repro.ir import builders as b
+from repro.ir.terms import App, Build, Call, Const, IFold, Lam, Symbol, Var
+
+
+class TestBuilders:
+    def test_leaves(self):
+        assert b.v(2) == Var(2)
+        assert b.const(3) == Const(3)
+        assert b.sym("A") == Symbol("A")
+
+    def test_coercion_of_numbers(self):
+        assert b.lam(5) == Lam(Const(5))
+        assert b.ifold(3, 0, b.lam2(1)) == IFold(3, Const(0), Lam(Lam(Const(1))))
+
+    def test_coercion_rejects_junk(self):
+        with pytest.raises(TypeError):
+            b.lam("body")
+        with pytest.raises(TypeError):
+            b.lam(True)
+
+    def test_lam2_is_double_lambda(self):
+        assert b.lam2(b.v(1)) == Lam(Lam(Var(1)))
+
+    def test_app_left_nested(self):
+        term = b.app(b.sym("f"), 1, 2)
+        assert term == App(App(Symbol("f"), Const(1)), Const(2))
+
+    def test_call_coerces_args(self):
+        assert b.call("g", 1, b.sym("x")) == Call("g", (Const(1), Symbol("x")))
+
+    def test_up_is_shift(self):
+        assert b.up(b.v(0)) == Var(1)
+        assert b.up(b.v(0), 3) == Var(3)
+        assert b.up(b.lam(b.v(0))) == Lam(Var(0))  # closed: unchanged
+
+    def test_structure_helpers(self):
+        assert b.build(4, b.lam(0)) == Build(4, Lam(Const(0)))
+        assert b.index(b.sym("A"), 1) == Symbol("A")[Const(1)]
+        assert b.fst(b.tup(1, 2)).tup.fst == Const(1)
+        assert b.snd(b.tup(1, 2)).tup.snd == Const(2)

@@ -1,0 +1,179 @@
+"""Unit and property tests for De Bruijn shift/subst (repro.ir.debruijn).
+
+The shift/subst algebra is the foundation rules R-BETAREDUCE and
+R-INTROLAMBDA stand on (§IV-B3); the property tests check the standard
+identities on randomized terms.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import builders as b
+from repro.ir.debruijn import (
+    UnshiftError,
+    beta_reduce,
+    normalize,
+    shift,
+    subst,
+    try_unshift,
+)
+from repro.ir.terms import App, Const, Lam, Symbol, Term, Var, free_indices
+
+
+class TestShift:
+    def test_shift_free_variable(self):
+        assert shift(b.v(0)) == b.v(1)
+        assert shift(b.v(3), by=2) == b.v(5)
+
+    def test_shift_zero_is_identity(self):
+        term = b.lam(b.v(0) + b.v(1))
+        assert shift(term, 0) is term
+
+    def test_shift_respects_binders(self):
+        # λ •0 is closed: nothing shifts.
+        assert shift(b.lam(b.v(0))) == b.lam(b.v(0))
+        # λ •1's free variable (outer •0) shifts to •2 under the lambda.
+        assert shift(b.lam(b.v(1))) == b.lam(b.v(2))
+
+    def test_shift_constants_and_symbols(self):
+        assert shift(Const(5)) == Const(5)
+        assert shift(Symbol("xs")) == Symbol("xs")
+
+    def test_shift_through_build_and_ifold(self):
+        term = b.build(4, b.lam(b.v(1)))
+        assert shift(term) == b.build(4, b.lam(b.v(2)))
+        term = b.ifold(4, b.v(0), b.lam2(b.v(2)))
+        assert shift(term) == b.ifold(4, b.v(1), b.lam2(b.v(3)))
+
+    def test_negative_shift(self):
+        assert shift(b.v(2), -1) == b.v(1)
+
+    def test_negative_shift_raises_on_capture(self):
+        with pytest.raises(UnshiftError):
+            shift(b.v(0), -1)
+
+    def test_try_unshift_success(self):
+        assert try_unshift(b.v(2), 2) == b.v(0)
+        assert try_unshift(Symbol("A"), 2) == Symbol("A")
+
+    def test_try_unshift_failure_returns_none(self):
+        assert try_unshift(b.v(0), 1) is None
+        assert try_unshift(b.sym("x")[b.v(1)], 2) is None
+
+
+class TestSubst:
+    def test_subst_replaces_zero(self):
+        assert subst(b.v(0), Symbol("y")) == Symbol("y")
+
+    def test_subst_lowers_other_free_vars(self):
+        # The paper's example: subst(•1, y) = •0.
+        assert subst(b.v(1), Symbol("y")) == b.v(0)
+
+    def test_subst_under_binder_shifts_value(self):
+        # (λ λ •1) y → λ y  when y is •0 outside: the substituted value
+        # must be shifted to survive the inner binder.
+        term = b.lam(b.v(1))
+        result = subst(term, b.v(0))
+        assert result == b.lam(b.v(1))
+
+    def test_subst_into_arithmetic(self):
+        term = b.v(0) * b.v(0) + b.v(1)
+        assert subst(term, Const(3)) == Const(3) * Const(3) + b.v(0)
+
+    def test_subst_closed_value_everywhere(self):
+        term = b.lam(b.v(0) + b.v(1))
+        assert subst(term, Const(7)) == b.lam(b.v(0) + Const(7))
+
+
+class TestBetaReduce:
+    def test_redex(self):
+        redex = b.app(b.lam(b.v(0) + 1), 5)
+        assert beta_reduce(redex) == Const(5) + 1
+
+    def test_non_redex_returns_none(self):
+        assert beta_reduce(b.v(0)) is None
+        assert beta_reduce(b.app(b.sym("f"), 1)) is None
+
+    def test_paper_shift_example(self):
+        # §IV-B2: if e = •0 then (λ e↑) y = (λ •1) y, and beta-reducing
+        # recovers e.
+        e = b.v(0)
+        wrapped = b.app(b.lam(shift(e)), b.sym("y"))
+        assert beta_reduce(wrapped) == e
+
+
+class TestNormalize:
+    def test_nested_redexes(self):
+        term = b.app(b.lam(b.app(b.lam(b.v(0)), b.v(0))), 4)
+        assert normalize(term) == Const(4)
+
+    def test_tuple_projections(self):
+        term = b.fst(b.tup(1, 2)) + b.snd(b.tup(1, 2))
+        assert normalize(term) == Const(1) + Const(2)
+
+    def test_normal_form_unchanged(self):
+        term = b.build(4, b.lam(b.v(0)))
+        assert normalize(term) == term
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+def _terms(max_depth: int = 4) -> st.SearchStrategy[Term]:
+    """Random IR terms (lambda fragment + arithmetic)."""
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=3).map(b.v),
+        st.integers(min_value=-5, max_value=5).map(Const),
+        st.sampled_from(["x", "y", "zs"]).map(Symbol),
+    )
+
+    def extend(children: st.SearchStrategy[Term]) -> st.SearchStrategy[Term]:
+        return st.one_of(
+            children.map(b.lam),
+            st.tuples(children, children).map(lambda p: App(p[0], p[1])),
+            st.tuples(children, children).map(lambda p: p[0] + p[1]),
+            st.tuples(children, children).map(lambda p: p[0] * p[1]),
+            st.tuples(st.integers(1, 4), children.map(b.lam)).map(
+                lambda p: b.build(p[0], p[1])
+            ),
+            st.tuples(children, children).map(lambda p: p[0][p[1]]),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+@given(_terms())
+def test_shift_then_unshift_roundtrip(term):
+    assert shift(shift(term, 1), -1) == term
+
+
+@given(_terms(), st.integers(1, 3), st.integers(1, 3))
+def test_shift_composes(term, a, c):
+    assert shift(shift(term, a), c) == shift(term, a + c)
+
+
+@given(_terms())
+def test_shift_preserves_closedness(term):
+    if not free_indices(term):
+        assert shift(term, 1) == term
+
+
+@given(_terms(), _terms())
+def test_subst_of_shifted_is_identity(term, value):
+    # subst(e↑, y) == e: the variable substituted for does not occur.
+    assert subst(shift(term, 1), value) == term
+
+
+@given(_terms())
+def test_free_indices_shift_by_one(term):
+    shifted = shift(term, 1)
+    assert free_indices(shifted) == {i + 1 for i in free_indices(term)}
+
+
+@given(_terms(), _terms())
+def test_subst_eliminates_var_zero(term, value):
+    if not free_indices(value):
+        result = subst(term, value)
+        expected = {i - 1 for i in free_indices(term) if i > 0}
+        assert free_indices(result) == expected

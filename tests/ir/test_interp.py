@@ -1,0 +1,154 @@
+"""Interpreter tests (repro.ir.interp), including the memoization
+behaviour and registry dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.ir import builders as b, parse
+from repro.ir.interp import EvalError, evaluate
+
+
+class TestScalarEvaluation:
+    def test_constants_and_arithmetic(self):
+        assert evaluate(parse("1 + 2 * 3")) == 7
+        assert evaluate(parse("10 / 4")) == 2.5
+        assert evaluate(parse("2 - 5")) == -3
+
+    def test_comparisons_return_indicator(self):
+        assert evaluate(parse("3 > 2")) == 1
+        assert evaluate(parse("2 > 3")) == 0
+
+    def test_symbols(self):
+        assert evaluate(parse("x + y"), {"x": 2, "y": 40}) == 42
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(parse("nope"))
+
+    def test_unbound_de_bruijn_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(parse("•0"))
+
+
+class TestLambdaEvaluation:
+    def test_beta(self):
+        assert evaluate(parse("(λ •0 + 1) 5")) == 6
+
+    def test_nested_lambdas(self):
+        assert evaluate(parse("(λ λ •1 - •0) 10 4")) == 6
+
+    def test_closure_captures_environment(self):
+        term = parse("(λ (λ •1 * •0) 3) 7")
+        assert evaluate(term) == 21
+
+
+class TestArrayEvaluation:
+    def test_build_materializes_numpy(self):
+        result = evaluate(parse("build 4 (λ •0 * 2)"))
+        assert isinstance(result, np.ndarray)
+        assert list(result) == [0, 2, 4, 6]
+
+    def test_nested_build_is_2d(self):
+        result = evaluate(parse("build 2 (λ build 3 (λ •1 * 10 + •0))"))
+        assert result.shape == (2, 3)
+        assert result[1][2] == 12
+
+    def test_indexing(self):
+        assert evaluate(parse("xs[2]"), {"xs": np.array([5.0, 6.0, 7.0])}) == 7.0
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(parse("xs[9]"), {"xs": np.zeros(3)})
+
+    def test_ifold_accumulates(self):
+        # Σ i for i in 0..3 = 6, starting from 100.
+        assert evaluate(parse("ifold 4 100 (λ λ •1 + •0)")) == 106
+
+    def test_ifold_order_matches_semantics(self):
+        # ifold (N+1) init f = f N (ifold N init f): indices ascend.
+        trace = evaluate(parse("ifold 3 0 (λ λ •0 * 10 + •1)"))
+        assert trace == 12  # ((0*10+0)*10+1)*10+2
+
+    def test_vector_sum_kernel(self):
+        term = parse("ifold 4 0 (λ λ xs[•1] + •0)")
+        assert evaluate(term, {"xs": np.array([1.0, 2.0, 3.0, 4.0])}) == 10.0
+
+
+class TestTuples:
+    def test_tuple_projections(self):
+        assert evaluate(parse("fst (tuple 1 2)")) == 1
+        assert evaluate(parse("snd (tuple 1 2)")) == 2
+
+    def test_projection_of_non_tuple_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(parse("fst 3"))
+
+
+class TestRegistry:
+    def test_library_call_dispatch(self):
+        result = evaluate(
+            parse("dot(a, c)"),
+            {"a": np.array([1.0, 2.0]), "c": np.array([3.0, 4.0])},
+            {"dot": lambda x, y: float(np.dot(x, y))},
+        )
+        assert result == 11.0
+
+    def test_unknown_call_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(parse("mystery(1)"))
+
+    def test_builtin_not_shadowed_silently(self):
+        # Registry takes precedence over builtins when provided.
+        result = evaluate(parse("1 + 2"), {}, {"+": lambda a, c: 99})
+        assert result == 99
+
+
+class TestMemoization:
+    def test_closed_subterm_evaluated_once(self):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return float(x)
+
+        # f(5) is closed and referenced inside a loop body: one call.
+        term = parse("build 4 (λ •0 + f(5))")
+        evaluate(term, {}, {"f": spy})
+        assert len(calls) == 1
+
+    def test_open_subterm_evaluated_per_iteration(self):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return float(x)
+
+        term = parse("build 4 (λ f(•0))")
+        evaluate(term, {}, {"f": spy})
+        assert len(calls) == 4
+
+    def test_index_of_open_build_computes_single_element(self):
+        # Regression: a loop-invariant row must not be re-materialized
+        # per element access.
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return float(x)
+
+        # Access one element of a 100-element non-closed build.
+        term = parse("build 2 (λ (build 100 (λ f(•1)))[•0])")
+        evaluate(term, {}, {"f": spy})
+        assert len(calls) == 2  # one per outer iteration, not 200
+
+    def test_memo_is_per_evaluation(self):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return float(x)
+
+        term = parse("f(1)")
+        evaluate(term, {}, {"f": spy})
+        evaluate(term, {}, {"f": spy})
+        assert len(calls) == 2

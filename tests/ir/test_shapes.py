@@ -1,0 +1,138 @@
+"""Shape inference tests (repro.ir.shapes)."""
+
+import pytest
+
+from repro.ir import builders as b, parse
+from repro.ir.shapes import (
+    SCALAR,
+    UNKNOWN,
+    Array,
+    Fn,
+    Pair,
+    Scalar,
+    ShapeError,
+    Unknown,
+    infer_shape,
+    join,
+    matrix,
+    shape_of_call,
+    vector,
+)
+
+
+class TestShapeValues:
+    def test_vector_and_matrix_helpers(self):
+        assert vector(4) == Array((4,))
+        assert matrix(4, 6) == Array((4, 6))
+
+    def test_array_element(self):
+        assert matrix(4, 6).element == vector(6)
+        assert vector(4).element == SCALAR
+
+    def test_array_size(self):
+        assert matrix(4, 6).size == 24
+        assert vector(5).size == 5
+
+    def test_array_rejects_empty_or_negative_dims(self):
+        with pytest.raises(ValueError):
+            Array(())
+        with pytest.raises(ValueError):
+            Array((4, -1))
+
+
+class TestJoin:
+    def test_unknown_is_identity(self):
+        assert join(UNKNOWN, vector(4)) == vector(4)
+        assert join(vector(4), UNKNOWN) == vector(4)
+
+    def test_equal_shapes_join(self):
+        assert join(vector(4), vector(4)) == vector(4)
+
+    def test_conflict_raises(self):
+        with pytest.raises(ShapeError):
+            join(vector(4), vector(8))
+
+    def test_structural_join(self):
+        a = Pair(UNKNOWN, vector(4))
+        b_ = Pair(SCALAR, UNKNOWN)
+        assert join(a, b_) == Pair(SCALAR, vector(4))
+
+
+class TestInferShape:
+    def test_constants_and_symbols(self):
+        assert infer_shape(parse("1")) == SCALAR
+        assert infer_shape(parse("xs"), {"xs": vector(4)}) == vector(4)
+        assert infer_shape(parse("xs")) == UNKNOWN
+
+    def test_build_of_scalars(self):
+        assert infer_shape(parse("build 4 (λ 0)")) == vector(4)
+
+    def test_nested_build_is_matrix(self):
+        term = parse("build 4 (λ build 6 (λ 0))")
+        assert infer_shape(term) == matrix(4, 6)
+
+    def test_indexing_peels_dimension(self):
+        env = {"A": matrix(4, 6)}
+        assert infer_shape(parse("A[i]"), env) == vector(6)
+        assert infer_shape(parse("A[i][j]"), env) == SCALAR
+
+    def test_indexing_scalar_raises(self):
+        with pytest.raises(ShapeError):
+            infer_shape(parse("x[0]"), {"x": SCALAR})
+
+    def test_indexing_scalar_lenient(self):
+        assert infer_shape(parse("x[0]"), {"x": SCALAR}, strict=False) == UNKNOWN
+
+    def test_ifold_accumulator(self):
+        term = parse("ifold 4 0 (λ λ xs[•1] + •0)")
+        assert infer_shape(term, {"xs": vector(4)}) == SCALAR
+
+    def test_tuple_shapes(self):
+        term = parse("tuple 1 (build 4 (λ 0))")
+        assert infer_shape(term) == Pair(SCALAR, vector(4))
+        assert infer_shape(parse("fst (tuple 1 xs)"), {"xs": vector(4)}) == SCALAR
+        assert infer_shape(parse("snd (tuple 1 xs)"), {"xs": vector(4)}) == vector(4)
+
+    def test_beta_redex_propagates_argument_shape(self):
+        term = parse("(λ •0) xs")
+        assert infer_shape(term, {"xs": vector(4)}) == vector(4)
+
+    def test_kernel_shapes(self):
+        from repro.kernels import all_kernels
+
+        for kernel in all_kernels():
+            shape = infer_shape(kernel.term, kernel.symbol_shapes)
+            assert not isinstance(shape, Unknown), kernel.name
+
+
+class TestShapeOfCall:
+    def test_arithmetic(self):
+        assert shape_of_call("+", (SCALAR, SCALAR)) == SCALAR
+        assert shape_of_call("+", (SCALAR, UNKNOWN)) == UNKNOWN
+
+    def test_blas_calls(self):
+        assert shape_of_call("dot", (vector(4), vector(4))) == SCALAR
+        assert shape_of_call("axpy", (SCALAR, vector(4), vector(4))) == vector(4)
+        assert shape_of_call(
+            "gemv", (SCALAR, matrix(4, 6), vector(6), SCALAR, vector(4))
+        ) == vector(4)
+        assert shape_of_call("transpose", (matrix(4, 6),)) == matrix(6, 4)
+
+    def test_gemm_variants(self):
+        args = (SCALAR, matrix(4, 5), matrix(5, 6), SCALAR, UNKNOWN)
+        assert shape_of_call("gemm_nn", args) == matrix(4, 6)
+        args_nt = (SCALAR, matrix(4, 5), matrix(6, 5), SCALAR, UNKNOWN)
+        assert shape_of_call("gemm_nt", args_nt) == matrix(4, 6)
+        args_tn = (SCALAR, matrix(5, 4), matrix(5, 6), SCALAR, UNKNOWN)
+        assert shape_of_call("gemm_tn", args_tn) == matrix(4, 6)
+
+    def test_pytorch_calls(self):
+        assert shape_of_call("mv", (matrix(4, 6), vector(6))) == vector(4)
+        assert shape_of_call("mm", (matrix(4, 5), matrix(5, 6))) == matrix(4, 6)
+        assert shape_of_call("sum", (vector(8),)) == SCALAR
+        assert shape_of_call("add", (vector(4), vector(4))) == vector(4)
+        assert shape_of_call("mul", (SCALAR, matrix(4, 6))) == matrix(4, 6)
+        assert shape_of_call("mul", (SCALAR, SCALAR)) == SCALAR
+
+    def test_unknown_function(self):
+        assert shape_of_call("mystery", (SCALAR,)) == UNKNOWN

@@ -1,0 +1,155 @@
+"""Parser + pretty-printer tests, including the roundtrip property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import builders as b
+from repro.ir.parser import ParseError, parse
+from repro.ir.printer import pretty
+from repro.ir.terms import App, Call, Const, Lam, Symbol, Term, Var
+
+
+class TestParseBasics:
+    def test_de_bruijn_variable(self):
+        assert parse("•0") == Var(0)
+        assert parse("%3") == Var(3)
+
+    def test_integer_and_float_constants(self):
+        assert parse("42") == Const(42)
+        assert parse("2.5") == Const(2.5)
+        assert parse("1e3") == Const(1000.0)
+
+    def test_negative_constants(self):
+        assert parse("-3") == Const(-3)
+        assert parse("-2.5") == Const(-2.5)
+        assert parse("a - -3") == Call("-", (Symbol("a"), Const(-3)))
+        assert parse("a * -3") == Call("*", (Symbol("a"), Const(-3)))
+
+    def test_symbol(self):
+        assert parse("xs") == Symbol("xs")
+
+    def test_lambda_forms(self):
+        assert parse("λ •0") == Lam(Var(0))
+        assert parse("\\ •0") == Lam(Var(0))
+        assert parse("lam •0") == Lam(Var(0))
+
+    def test_nested_lambda(self):
+        assert parse("λ λ •1") == Lam(Lam(Var(1)))
+
+    def test_application_left_associative(self):
+        term = parse("(λ λ •1) a c")
+        assert term == App(App(Lam(Lam(Var(1))), Symbol("a")), Symbol("c"))
+
+    def test_build(self):
+        assert parse("build 4 (λ •0)") == b.build(4, b.lam(b.v(0)))
+
+    def test_ifold(self):
+        expected = b.ifold(8, 0, b.lam2(b.sym("xs")[b.v(1)] + b.v(0)))
+        assert parse("ifold 8 0 (λ λ xs[•1] + •0)") == expected
+
+    def test_indexing_chain(self):
+        assert parse("A[•1][•0]") == b.sym("A")[b.v(1)][b.v(0)]
+
+    def test_tuple_forms(self):
+        assert parse("tuple 1 2") == b.tup(1, 2)
+        assert parse("fst (tuple 1 2)") == b.fst(b.tup(1, 2))
+        assert parse("snd (tuple 1 2)") == b.snd(b.tup(1, 2))
+
+    def test_named_calls(self):
+        assert parse("dot(A, B)") == b.call("dot", b.sym("A"), b.sym("B"))
+        assert parse("f()") == Call("f", ())
+
+    def test_operator_precedence(self):
+        assert parse("a + b * c") == b.sym("a") + b.sym("b") * b.sym("c")
+        assert parse("(a + b) * c") == (b.sym("a") + b.sym("b")) * b.sym("c")
+
+    def test_comparison(self):
+        assert parse("a > b") == Call(">", (Symbol("a"), Symbol("b")))
+
+
+class TestParseErrors:
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse("1 )")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse("(a + b")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse("a ? b")
+
+    def test_build_requires_integer_size(self):
+        with pytest.raises(ParseError):
+            parse("build n (λ •0)")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+
+class TestPretty:
+    def test_matches_paper_notation(self):
+        vsum = b.ifold(8, 0, b.lam2(b.sym("xs")[b.v(1)] + b.v(0)))
+        assert pretty(vsum) == "ifold 8 0 (λ λ xs[•1] + •0)"
+
+    def test_infix_operators(self):
+        assert pretty(b.sym("a") + b.sym("b") * 2) == "a + b * 2"
+
+    def test_parenthesizes_when_needed(self):
+        term = (b.sym("a") + b.sym("b")) * 2
+        assert pretty(term) == "(a + b) * 2"
+
+    def test_call_rendering(self):
+        term = b.call("gemv", b.sym("alpha"), b.sym("A"), b.sym("B"),
+                      b.sym("beta"), b.sym("C"))
+        assert pretty(term) == "gemv(alpha, A, B, beta, C)"
+
+    def test_float_rendering_roundtrips(self):
+        assert parse(pretty(Const(2.0))) == Const(2.0)
+        assert parse(pretty(Const(0.5))) == Const(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Roundtrip property: parse(pretty(t)) == t
+# ---------------------------------------------------------------------------
+
+def _terms() -> st.SearchStrategy[Term]:
+    leaves = st.one_of(
+        st.integers(0, 3).map(b.v),
+        st.integers(-9, 9).map(Const),
+        st.floats(-4.0, 4.0, allow_nan=False).map(lambda f: Const(float(f))),
+        st.sampled_from(["x", "ys", "A"]).map(Symbol),
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(b.lam),
+            st.tuples(children, children).map(lambda p: App(p[0], p[1])),
+            st.tuples(children, children).map(lambda p: p[0] + p[1]),
+            st.tuples(children, children).map(lambda p: p[0] - p[1]),
+            st.tuples(children, children).map(lambda p: p[0] * p[1]),
+            st.tuples(children, children).map(lambda p: p[0] / p[1]),
+            st.tuples(st.integers(1, 9), children.map(b.lam)).map(
+                lambda p: b.build(p[0], p[1])
+            ),
+            st.tuples(st.integers(1, 9), children, children.map(b.lam2)).map(
+                lambda p: b.ifold(p[0], p[1], p[2])
+            ),
+            st.tuples(children, children).map(lambda p: p[0][p[1]]),
+            st.tuples(children, children).map(lambda p: b.tup(p[0], p[1])),
+            children.map(b.fst),
+            children.map(b.snd),
+            st.tuples(st.sampled_from(["f", "dot", "gemv"]),
+                      st.lists(children, max_size=3)).map(
+                lambda p: Call(p[0], tuple(p[1]))
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=14)
+
+
+@given(_terms())
+def test_parse_pretty_roundtrip(term):
+    assert parse(pretty(term)) == term

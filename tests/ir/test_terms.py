@@ -1,0 +1,184 @@
+"""Unit tests for the term ADT (repro.ir.terms)."""
+
+import pytest
+
+from repro.ir import builders as b
+from repro.ir.terms import (
+    App,
+    Build,
+    Call,
+    Const,
+    IFold,
+    Index,
+    Lam,
+    Symbol,
+    Term,
+    Tuple,
+    Var,
+    children,
+    collect_calls,
+    collect_sizes,
+    collect_symbols,
+    free_indices,
+    is_closed,
+    max_free_index,
+    subterms,
+    term_size,
+    with_children,
+)
+
+
+class TestConstruction:
+    def test_var_requires_nonnegative_index(self):
+        with pytest.raises(ValueError):
+            Var(-1)
+
+    def test_build_requires_nonnegative_size(self):
+        with pytest.raises(ValueError):
+            Build(-3, Lam(Var(0)))
+
+    def test_ifold_requires_int_size(self):
+        with pytest.raises(ValueError):
+            IFold("n", Const(0), Lam(Lam(Var(0))))
+
+    def test_const_rejects_bool(self):
+        with pytest.raises(TypeError):
+            Const(True)
+
+    def test_const_rejects_string(self):
+        with pytest.raises(TypeError):
+            Const("x")
+
+    def test_call_args_coerced_to_tuple(self):
+        call = Call("f", [Const(1), Const(2)])
+        assert isinstance(call.args, tuple)
+
+    def test_terms_are_hashable_and_equal_by_value(self):
+        t1 = b.lam(b.v(0) + 1)
+        t2 = b.lam(b.v(0) + 1)
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+        assert t1 is not t2
+
+    def test_alpha_equivalent_lambdas_are_identical(self):
+        # De Bruijn indices make alpha-equivalence syntactic (§IV-A1).
+        identity_a = Lam(Var(0))
+        identity_b = Lam(Var(0))
+        assert identity_a == identity_b
+
+
+class TestOperatorSugar:
+    def test_add_builds_call(self):
+        term = b.sym("x") + 1
+        assert term == Call("+", (Symbol("x"), Const(1)))
+
+    def test_radd_coerces_left_operand(self):
+        term = 2 + b.sym("x")
+        assert term == Call("+", (Const(2), Symbol("x")))
+
+    def test_mul_sub_div(self):
+        x = b.sym("x")
+        assert (x * 3).name == "*"
+        assert (x - 3).name == "-"
+        assert (x / 3).name == "/"
+
+    def test_getitem_builds_index(self):
+        term = b.sym("xs")[b.v(0)]
+        assert term == Index(Symbol("xs"), Var(0))
+
+    def test_call_syntax_builds_apps(self):
+        f = b.lam(b.v(0))
+        applied = f(1, 2)
+        assert applied == App(App(f, Const(1)), Const(2))
+
+    def test_bool_coercion_rejected(self):
+        with pytest.raises(TypeError):
+            b.sym("x") + True
+
+
+class TestTraversal:
+    def test_children_of_leaves(self):
+        assert children(Var(0)) == ()
+        assert children(Const(1)) == ()
+        assert children(Symbol("a")) == ()
+
+    def test_children_of_compound_nodes(self):
+        term = b.ifold(4, 0, b.lam2(b.v(0)))
+        init, fn = children(term)
+        assert init == Const(0)
+        assert isinstance(fn, Lam)
+
+    def test_with_children_roundtrip(self):
+        for term in [
+            b.lam(b.v(0)),
+            b.app(b.lam(b.v(0)), 1),
+            b.build(4, b.lam(b.v(0))),
+            b.sym("a")[b.v(0)],
+            b.ifold(4, 0, b.lam2(b.v(0))),
+            b.tup(1, 2),
+            b.fst(b.tup(1, 2)),
+            b.snd(b.tup(1, 2)),
+            b.call("f", 1, 2),
+        ]:
+            assert with_children(term, children(term)) == term
+
+    def test_with_children_replaces(self):
+        term = b.build(4, b.lam(b.v(0)))
+        replaced = with_children(term, (b.lam(Const(7)),))
+        assert replaced == b.build(4, b.lam(7))
+
+    def test_with_children_arity_checked(self):
+        with pytest.raises(ValueError):
+            with_children(Const(1), (Const(2),))
+
+    def test_term_size(self):
+        assert term_size(Const(1)) == 1
+        assert term_size(b.sym("x") + 1) == 3
+        assert term_size(b.build(4, b.lam(b.v(0)))) == 3
+
+    def test_subterms_preorder(self):
+        term = b.sym("x") + 1
+        nodes = list(subterms(term))
+        assert nodes[0] == term
+        assert Const(1) in nodes
+        assert Symbol("x") in nodes
+
+
+class TestFreeIndices:
+    def test_closed_term(self):
+        assert is_closed(b.lam(b.v(0)))
+        assert free_indices(b.lam(b.v(0))) == set()
+
+    def test_open_term(self):
+        assert free_indices(b.v(2)) == {2}
+        assert max_free_index(b.v(2)) == 2
+
+    def test_lambda_binds_innermost(self):
+        term = b.lam(b.v(0) + b.v(1))
+        assert free_indices(term) == {0}
+
+    def test_double_lambda(self):
+        term = b.lam2(b.v(1) * b.v(0) + b.v(2))
+        assert free_indices(term) == {0}
+
+    def test_max_free_index_of_closed_is_minus_one(self):
+        assert max_free_index(Const(3)) == -1
+
+    def test_build_does_not_bind(self):
+        # build's function child is a lambda; build itself binds nothing.
+        term = b.build(4, b.lam(b.v(1)))
+        assert free_indices(term) == {0}
+
+
+class TestCollectors:
+    def test_collect_sizes(self):
+        term = b.build(4, b.lam(b.ifold(8, 0, b.lam2(b.v(0)))))
+        assert collect_sizes(term) == {4, 8}
+
+    def test_collect_calls_counts(self):
+        term = b.call("dot", b.sym("a"), b.call("dot", b.sym("b"), b.sym("c")))
+        assert collect_calls(term) == {"dot": 2}
+
+    def test_collect_symbols(self):
+        term = b.sym("A")[b.v(0)] + b.sym("alpha")
+        assert collect_symbols(term) == {"A", "alpha"}

@@ -1,0 +1,132 @@
+"""Unit tests for the BLAS idiom rules (listing 4)."""
+
+import pytest
+
+from repro.egraph import EGraph, Runner, ShapeAnalysis
+from repro.ir import builders as b, parse
+from repro.ir.shapes import SCALAR, matrix, vector
+from repro.kernels.combinators import (
+    dot_ir,
+    matvec,
+    transpose_ir,
+    vadd,
+    vscale,
+)
+from repro.rules.blas import (
+    BLAS_FUNCTIONS,
+    axpy_rule,
+    blas_rules,
+    dot_rule,
+    flip_gemm_flag,
+    gemm_variant,
+    gemv_rule,
+    hoist_mul_from_dot_rule,
+    memset_zero_rule,
+    transpose_in_gemv_rules,
+    transpose_rule,
+)
+from repro.ir.terms import Symbol
+
+
+def _saturate(term, shapes, rules, steps=3, nodes=6000):
+    eg = EGraph(ShapeAnalysis(shapes))
+    root = eg.add_term(term)
+    Runner(eg, rules, step_limit=steps, node_limit=nodes).run(root)
+    return eg
+
+
+class TestGemmFlagHelpers:
+    def test_gemm_variant(self):
+        assert gemm_variant(False, False) == "gemm_nn"
+        assert gemm_variant(False, True) == "gemm_nt"
+        assert gemm_variant(True, False) == "gemm_tn"
+        assert gemm_variant(True, True) == "gemm_tt"
+
+    def test_flip_flags(self):
+        assert flip_gemm_flag("gemm_nn", "a") == "gemm_tn"
+        assert flip_gemm_flag("gemm_nn", "b") == "gemm_nt"
+        assert flip_gemm_flag("gemm_tt", "a") == "gemm_nt"
+        assert flip_gemm_flag("gemm_tt", "b") == "gemm_tn"
+
+
+class TestRecognitionRules:
+    def test_dot_recognized_from_expansion(self):
+        expansion = dot_ir(Symbol("A"), Symbol("B"), 8)
+        eg = _saturate(expansion, {"A": vector(8), "B": vector(8)}, [dot_rule()], 1)
+        assert eg.equivalent(expansion, parse("dot(A, B)"))
+
+    def test_axpy_recognized_from_expansion(self):
+        expansion = parse("build 8 (λ alpha * A[•0] + B[•0])")
+        eg = _saturate(
+            expansion,
+            {"alpha": SCALAR, "A": vector(8), "B": vector(8)},
+            [axpy_rule()],
+            1,
+        )
+        assert eg.equivalent(expansion, parse("axpy(alpha, A, B)"))
+
+    def test_gemv_recognized_from_dot_form(self):
+        expansion = parse(
+            "build 4 (λ alpha * dot(A[•0], B) + beta * C[•0])"
+        )
+        shapes = {
+            "alpha": SCALAR, "beta": SCALAR,
+            "A": matrix(4, 8), "B": vector(8), "C": vector(4),
+        }
+        eg = _saturate(expansion, shapes, [gemv_rule()], 1)
+        assert eg.equivalent(expansion, parse("gemv(alpha, A, B, beta, C)"))
+
+    def test_transpose_recognized(self):
+        expansion = transpose_ir(Symbol("A"), 4, 6)
+        eg = _saturate(expansion, {"A": matrix(4, 6)}, [transpose_rule()], 1)
+        assert eg.equivalent(expansion, parse("transpose(A)"))
+
+    def test_memset_zero_recognized(self):
+        expansion = parse("build 16 (λ 0)")
+        eg = _saturate(expansion, {}, [memset_zero_rule()], 1)
+        assert eg.equivalent(expansion, parse("memset(0, 16)"))
+
+    def test_hoist_mul_from_dot(self):
+        term = parse("dot(build 8 (λ alpha * A[•0]), B)")
+        shapes = {"alpha": SCALAR, "A": vector(8), "B": vector(8)}
+        eg = _saturate(term, shapes, [hoist_mul_from_dot_rule()], 1)
+        assert eg.equivalent(term, parse("alpha * dot(A, B)"))
+
+    def test_transpose_in_gemv_flips_both_ways(self):
+        term = parse("gemv(alpha, transpose(A), B, beta, C)")
+        shapes = {
+            "alpha": SCALAR, "beta": SCALAR,
+            "A": matrix(4, 8), "B": vector(4), "C": vector(8),
+        }
+        eg = _saturate(term, shapes, transpose_in_gemv_rules(), 2)
+        assert eg.equivalent(term, parse("gemv_t(alpha, A, B, beta, C)"))
+        # And back: gemv_t(alpha, transpose(A), ...) = gemv(alpha, A, ...).
+        term2 = parse("gemv_t(alpha, transpose(A), B, beta, C)")
+        eg2 = _saturate(term2, shapes, transpose_in_gemv_rules(), 2)
+        assert eg2.equivalent(term2, parse("gemv(alpha, A, B, beta, C)"))
+
+
+class TestComposedRecognition:
+    def test_matvec_composition_reaches_gemv(self):
+        """The full §VI gemv kernel composition collapses to one call."""
+        from repro.rules import CoreRuleConfig, core_rules, scalar_rules
+
+        n, m = 4, 6
+        term = vadd(
+            vscale(Symbol("alpha"), matvec(Symbol("A"), Symbol("B"), n, m), n),
+            vscale(Symbol("beta"), Symbol("C"), n),
+            n,
+        )
+        shapes = {
+            "alpha": SCALAR, "beta": SCALAR,
+            "A": matrix(n, m), "B": vector(m), "C": vector(n),
+        }
+        rules = blas_rules() + core_rules() + scalar_rules()
+        eg = _saturate(term, shapes, rules, steps=4, nodes=9000)
+        assert eg.equivalent(term, parse("gemv(alpha, A, B, beta, C)"))
+
+    def test_all_blas_functions_declared(self):
+        assert set(BLAS_FUNCTIONS) >= {
+            "dot", "axpy", "gemv", "gemv_t", "transpose", "memset",
+            "gemm_nn", "gemm_nt", "gemm_tn", "gemm_tt",
+        }

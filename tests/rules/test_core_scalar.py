@@ -1,0 +1,118 @@
+"""Tests for the core rule set (listing 2) and scalar rules
+(listing 3), including the paper's worked examples (§IV-C, §V-A)."""
+
+import pytest
+
+from repro.egraph import EGraph, Runner, ShapeAnalysis
+from repro.ir import builders as b, parse
+from repro.ir.shapes import SCALAR, vector
+from repro.rules import CoreRuleConfig, core_rules, scalar_rules
+from repro.rules.core import elim_rules
+
+
+def _saturate(term_text_or_term, shapes=None, rules=None, steps=4, nodes=6000):
+    eg = EGraph(ShapeAnalysis(shapes or {}))
+    term = parse(term_text_or_term) if isinstance(term_text_or_term, str) else term_text_or_term
+    root = eg.add_term(term)
+    Runner(eg, rules or core_rules(), step_limit=steps, node_limit=nodes).run(root)
+    return eg
+
+
+class TestCoreRuleCount:
+    def test_eight_core_rules(self):
+        # The paper's headline: language semantics in just eight rules.
+        assert len(core_rules()) == 8
+
+    def test_config_can_disable_intros(self):
+        config = CoreRuleConfig(
+            include_tuple_intros=False,
+            include_intro_lambda=False,
+            include_intro_index_build=False,
+        )
+        assert len(core_rules(config)) == 4
+
+
+class TestElimRules:
+    def test_elim_index_build(self):
+        eg = _saturate("(build 4 (λ •0 + 1))[i]", rules=elim_rules())
+        assert eg.equivalent(parse("(build 4 (λ •0 + 1))[i]"), parse("i + 1"))
+
+    def test_elim_fst_snd(self):
+        eg = _saturate("fst (tuple a c) + snd (tuple a c)", rules=elim_rules())
+        assert eg.equivalent(
+            parse("fst (tuple a c) + snd (tuple a c)"), parse("a + c")
+        )
+
+    def test_beta_reduce_through_elim(self):
+        eg = _saturate("(build 4 (λ xs[•0]))[j]", rules=elim_rules())
+        assert eg.equivalent(parse("(build 4 (λ xs[•0]))[j]"), parse("xs[j]"))
+
+
+class TestMapFusion:
+    def test_map_fusion_example(self):
+        """§IV-C1: fused and unfused maps are equal via
+        R-ELIMINDEXBUILD + R-BETAREDUCE."""
+        unfused = parse("build 4 (λ f((build 4 (λ g(xs[•0])))[•0]))")
+        fused = parse("build 4 (λ f(g(xs[•0])))")
+        eg = _saturate(unfused, shapes={"xs": vector(4)}, rules=elim_rules())
+        assert eg.equivalent(unfused, fused)
+
+
+class TestConstantArrayConstruction:
+    def test_scalar_becomes_indexed_constant_array(self):
+        """§IV-C2: 0 = (λ 0) i = (build n (λ 0))[i]."""
+        term = parse("build 4 (λ xs[•0] + 42)")
+        eg = _saturate(term, shapes={"xs": vector(4)}, steps=3)
+        assert eg.equivalent(parse("42"), parse("(build 4 (λ 42))[•0]"))
+
+    def test_addvec_idiom_exposed(self):
+        """The build with a hidden constant-vector operand becomes an
+        elementwise addition of two vectors."""
+        term = parse("build 4 (λ xs[•0] + 42)")
+        rules = core_rules() + scalar_rules()
+        eg = _saturate(term, shapes={"xs": vector(4)}, rules=rules, steps=3)
+        exposed = parse("build 4 (λ xs[•0] + (build 4 (λ 42))[•0])")
+        assert eg.equivalent(term, exposed)
+
+
+class TestScalarRules:
+    def test_add_zero_elim(self):
+        eg = _saturate("x + 0", shapes={"x": SCALAR}, rules=scalar_rules(), steps=2)
+        assert eg.equivalent(parse("x + 0"), parse("x"))
+
+    def test_mul_one_elims(self):
+        eg = _saturate("1 * x", shapes={"x": SCALAR}, rules=scalar_rules(), steps=2)
+        assert eg.equivalent(parse("1 * x"), parse("x"))
+        eg = _saturate("x * 1", shapes={"x": SCALAR}, rules=scalar_rules(), steps=2)
+        assert eg.equivalent(parse("x * 1"), parse("x"))
+
+    def test_commute_mul(self):
+        eg = _saturate("a * c", shapes={"a": SCALAR, "c": SCALAR},
+                       rules=scalar_rules(), steps=2)
+        assert eg.equivalent(parse("a * c"), parse("c * a"))
+
+    def test_intro_directions_fire_on_scalars(self):
+        eg = _saturate("x", shapes={"x": SCALAR}, rules=scalar_rules(), steps=2)
+        assert eg.equivalent(parse("x"), parse("x + 0"))
+        assert eg.equivalent(parse("x"), parse("1 * x"))
+        assert eg.equivalent(parse("x"), parse("x * 1"))
+
+    def test_intro_directions_skip_arrays(self):
+        eg = _saturate("xs", shapes={"xs": vector(4)}, rules=scalar_rules(), steps=2)
+        assert not eg.equivalent(parse("xs"), parse("xs + 0"))
+
+
+class TestLatentDot:
+    def test_vector_sum_equals_dot_with_ones(self):
+        """§V-A: the latent dot product inside the vector sum.
+
+        ifold n 0 (λ λ xs[•1] + •0) = dot(xs, fill(1)) — exposed by
+        E-MULONER(rev) + R-INTROLAMBDA + R-INTROINDEXBUILD.
+        """
+        from repro.rules.blas import dot_rule
+
+        vsum = parse("ifold 8 0 (λ λ xs[•1] + •0)")
+        rules = core_rules() + scalar_rules() + [dot_rule()]
+        eg = _saturate(vsum, shapes={"xs": vector(8)}, rules=rules,
+                       steps=5, nodes=8000)
+        assert eg.equivalent(vsum, parse("dot(xs, build 8 (λ 1))"))

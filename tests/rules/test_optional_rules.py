@@ -1,0 +1,58 @@
+"""Tests for optional rules and rule-config behaviour."""
+
+import pytest
+
+from repro.egraph import EGraph, Runner, ShapeAnalysis
+from repro.ir import parse
+from repro.ir.shapes import vector
+from repro.rules import CoreRuleConfig, core_rules
+from repro.rules.core import elim_rules, map_fission_rule
+
+
+class TestMapFission:
+    def test_fission_direction(self):
+        eg = EGraph(ShapeAnalysis({"xs": vector(4)}))
+        term = parse("build 4 (λ f (g xs[•0]))")
+        root = eg.add_term(term)
+        Runner(eg, [map_fission_rule()], step_limit=2, node_limit=3000).run(root)
+        fissioned = parse("build 4 (λ f ((build 4 (λ g xs[•0]))[•0]))")
+        assert eg.equivalent(term, fissioned)
+
+    def test_fusion_recovers_fissioned_form(self):
+        # The elim rules fuse what fission splits: both forms coincide.
+        eg = EGraph(ShapeAnalysis({"xs": vector(4)}))
+        fissioned = parse("build 4 (λ f ((build 4 (λ g xs[•0]))[•0]))")
+        root = eg.add_term(fissioned)
+        Runner(eg, elim_rules(), step_limit=3, node_limit=3000).run(root)
+        assert eg.equivalent(fissioned, parse("build 4 (λ f (g xs[•0]))"))
+
+    def test_fission_not_in_default_rule_set(self):
+        # The paper chooses to exclude it (§IV-C1).
+        names = {rule.name for rule in core_rules()}
+        assert "R-MapFission" not in names
+
+
+class TestCoreConfig:
+    def test_zero_candidates_disable_intro_lambda(self):
+        config = CoreRuleConfig(max_intro_candidates=0)
+        eg = EGraph(ShapeAnalysis({"xs": vector(4)}))
+        term = parse("build 4 (λ xs[•0] + 1)")
+        root = eg.add_term(term)
+        Runner(eg, core_rules(config), step_limit=2, node_limit=3000).run(root)
+        assert not eg.equivalent(parse("1"), parse("(λ 1) •0"))
+
+    def test_default_candidates_find_index_abstraction(self):
+        eg = EGraph(ShapeAnalysis({"xs": vector(4)}))
+        term = parse("build 4 (λ xs[•0] + 1)")
+        root = eg.add_term(term)
+        Runner(eg, core_rules(), step_limit=1, node_limit=3000).run(root)
+        assert eg.equivalent(parse("1"), parse("(λ 1) •0"))
+
+    def test_size_cap_respected(self):
+        config = CoreRuleConfig(max_intro_sizes=0)
+        eg = EGraph(ShapeAnalysis({"xs": vector(4)}))
+        term = parse("build 4 (λ xs[•0] + 1)")
+        root = eg.add_term(term)
+        Runner(eg, core_rules(config), step_limit=2, node_limit=3000).run(root)
+        # No sizes to instantiate: the constant-array form cannot appear.
+        assert not eg.equivalent(parse("1"), parse("(build 4 (λ 1))[•0]"))

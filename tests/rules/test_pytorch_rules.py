@@ -1,0 +1,123 @@
+"""Unit tests for the PyTorch idiom rules (listing 5)."""
+
+import pytest
+
+from repro.egraph import EGraph, Runner, ShapeAnalysis
+from repro.ir import builders as b, parse
+from repro.ir.shapes import SCALAR, matrix, vector
+from repro.ir.terms import Symbol
+from repro.kernels.combinators import dot_ir, matvec, transpose_ir, vsum_ir
+from repro.rules.pytorch import (
+    PYTORCH_FUNCTIONS,
+    add_vec_rule,
+    dot_rule,
+    full_vec_rule,
+    lift_add_rule,
+    lift_mul_rule,
+    matmat_rule,
+    matvec_rule,
+    mul_scalar_and_vec_rule,
+    pytorch_rules,
+    transpose_twice_rules,
+    vec_sum_rule,
+)
+
+
+def _saturate(term, shapes, rules, steps=3, nodes=6000):
+    eg = EGraph(ShapeAnalysis(shapes))
+    root = eg.add_term(term)
+    Runner(eg, rules, step_limit=steps, node_limit=nodes).run(root)
+    return eg
+
+
+class TestRecognitionRules:
+    def test_vec_sum(self):
+        expansion = vsum_ir(Symbol("A"), 8)
+        eg = _saturate(expansion, {"A": vector(8)}, [vec_sum_rule()], 1)
+        assert eg.equivalent(expansion, parse("sum(A)"))
+
+    def test_dot(self):
+        expansion = dot_ir(Symbol("A"), Symbol("B"), 8)
+        eg = _saturate(expansion, {"A": vector(8), "B": vector(8)}, [dot_rule()], 1)
+        assert eg.equivalent(expansion, parse("dot(A, B)"))
+
+    def test_mv_from_dot_rows(self):
+        expansion = parse("build 4 (λ dot(A[•0], B))")
+        eg = _saturate(
+            expansion, {"A": matrix(4, 8), "B": vector(8)}, [matvec_rule()], 1
+        )
+        assert eg.equivalent(expansion, parse("mv(A, B)"))
+
+    def test_mm_from_mv_rows(self):
+        expansion = parse("build 4 (λ mv(X, A[•0]))")
+        eg = _saturate(
+            expansion, {"X": matrix(6, 8), "A": matrix(4, 8)}, [matmat_rule()], 1
+        )
+        assert eg.equivalent(expansion, parse("mm(A, transpose(X))"))
+
+    def test_add_vec(self):
+        expansion = parse("build 8 (λ A[•0] + B[•0])")
+        eg = _saturate(
+            expansion, {"A": vector(8), "B": vector(8)}, [add_vec_rule()], 1
+        )
+        assert eg.equivalent(expansion, parse("add(A, B)"))
+
+    def test_lift_add(self):
+        expansion = parse("build 4 (λ add(A[•0], B[•0]))")
+        eg = _saturate(
+            expansion, {"A": matrix(4, 8), "B": matrix(4, 8)}, [lift_add_rule()], 1
+        )
+        assert eg.equivalent(expansion, parse("add(A, B)"))
+
+    def test_mul_scalar_and_vec(self):
+        expansion = parse("build 8 (λ alpha * A[•0])")
+        eg = _saturate(
+            expansion, {"alpha": SCALAR, "A": vector(8)},
+            [mul_scalar_and_vec_rule()], 1,
+        )
+        assert eg.equivalent(expansion, parse("mul(alpha, A)"))
+
+    def test_lift_mul(self):
+        expansion = parse("build 4 (λ mul(alpha, A[•0]))")
+        eg = _saturate(
+            expansion, {"alpha": SCALAR, "A": matrix(4, 8)}, [lift_mul_rule()], 1
+        )
+        assert eg.equivalent(expansion, parse("mul(alpha, A)"))
+
+    def test_full_vec(self):
+        expansion = parse("build 8 (λ 2.5)")
+        eg = _saturate(expansion, {}, [full_vec_rule()], 1)
+        assert eg.equivalent(expansion, parse("full(2.5, 8)"))
+
+    def test_transpose_twice_collapses(self):
+        term = parse("transpose(transpose(A))")
+        eg = _saturate(term, {"A": matrix(4, 6)}, transpose_twice_rules(), 1)
+        assert eg.equivalent(term, parse("A"))
+
+    def test_transpose_twice_inflates_matrices_only(self):
+        rules = transpose_twice_rules()
+        eg = _saturate(Symbol("A"), {"A": matrix(4, 6)}, rules, 1)
+        assert eg.equivalent(Symbol("A"), parse("transpose(transpose(A))"))
+        eg2 = _saturate(Symbol("x"), {"x": vector(4)}, rules, 1)
+        assert not eg2.equivalent(Symbol("x"), parse("transpose(transpose(x))"))
+
+
+class TestComposedRecognition:
+    def test_paper_mm_solution_for_row_major_product(self):
+        """matvec(transpose(B), A[i]) rows assemble to
+        mm(A, transpose(transpose(B))) = mm(A, B) (table III's 1mm)."""
+        from repro.rules import core_rules, scalar_rules
+
+        n, k, m = 4, 5, 6
+        from repro.kernels.combinators import matmat
+
+        term = matmat(Symbol("A"), Symbol("B"), n, k, m)
+        shapes = {"A": matrix(n, k), "B": matrix(k, m)}
+        rules = pytorch_rules() + core_rules() + scalar_rules()
+        eg = _saturate(term, shapes, rules, steps=4, nodes=9000)
+        assert eg.equivalent(term, parse("mm(A, B)"))
+
+    def test_function_inventory(self):
+        assert set(PYTORCH_FUNCTIONS) == {
+            "dot", "sum", "mv", "mm", "transpose", "add", "mul", "full",
+        }

@@ -1,0 +1,144 @@
+"""Tests for the BLAS and PyTorch cost models (listings 7 and 8)."""
+
+import math
+
+import pytest
+
+from repro.egraph import EGraph, Extractor, ShapeAnalysis
+from repro.ir import parse
+from repro.ir.shapes import SCALAR, matrix, vector
+from repro.targets import (
+    BaseCostModel,
+    BlasCostModel,
+    TorchCostModel,
+    blas_target,
+    make_target,
+    pure_c_target,
+    pytorch_target,
+)
+
+
+def _cost(text, shapes, model):
+    eg = EGraph(ShapeAnalysis(shapes))
+    root = eg.add_term(parse(text))
+    return Extractor(eg, model).cost_of(root)
+
+
+class TestBlasCosts:
+    def test_dot_cost(self):
+        # cost(dot(A,B)) = cost(A)+cost(B)+.8N = 1+1+6.4
+        cost = _cost("dot(A, B)", {"A": vector(8), "B": vector(8)}, BlasCostModel())
+        assert cost == pytest.approx(2 + 0.8 * 8)
+
+    def test_axpy_cost(self):
+        shapes = {"alpha": SCALAR, "A": vector(8), "B": vector(8)}
+        cost = _cost("axpy(alpha, A, B)", shapes, BlasCostModel())
+        assert cost == pytest.approx(3 + 0.8 * 8)
+
+    def test_gemv_cost(self):
+        shapes = {
+            "alpha": SCALAR, "beta": SCALAR,
+            "A": matrix(4, 8), "B": vector(8), "C": vector(4),
+        }
+        cost = _cost("gemv(alpha, A, B, beta, C)", shapes, BlasCostModel())
+        assert cost == pytest.approx(5 + 0.7 * 4 * 8)
+
+    def test_gemm_cost_uses_nmk(self):
+        shapes = {
+            "alpha": SCALAR, "beta": SCALAR,
+            "A": matrix(4, 5), "B": matrix(5, 6), "C": matrix(4, 6),
+        }
+        cost = _cost("gemm_nn(alpha, A, B, beta, C)", shapes, BlasCostModel())
+        assert cost == pytest.approx(5 + 0.6 * 4 * 6 * 5)
+
+    def test_transpose_cost(self):
+        cost = _cost("transpose(A)", {"A": matrix(4, 8)}, BlasCostModel())
+        assert cost == pytest.approx(1 + 0.9 * 4 * 8)
+
+    def test_memset_cost_reads_length_argument(self):
+        cost = _cost("memset(0, 16)", {}, BlasCostModel())
+        assert cost == pytest.approx(2 + 0.8 * 16 + 1)
+
+    def test_unknown_dims_price_infinite(self):
+        assert math.isinf(_cost("dot(A, B)", {}, BlasCostModel()))
+
+    def test_discount_beats_loop_nest(self):
+        # The whole point: a priced dot must be cheaper than the ifold.
+        shapes = {"A": vector(8), "B": vector(8)}
+        dot_cost = _cost("dot(A, B)", shapes, BlasCostModel())
+        loop_cost = _cost(
+            "ifold 8 0 (λ λ A[•1] * B[•1] + •0)", shapes, BlasCostModel()
+        )
+        assert dot_cost < loop_cost
+
+
+class TestTorchCosts:
+    def test_sum_cost(self):
+        cost = _cost("sum(A)", {"A": vector(8)}, TorchCostModel())
+        assert cost == pytest.approx(1 + 0.8 * 8)
+
+    def test_mv_cost(self):
+        shapes = {"A": matrix(4, 8), "x": vector(8)}
+        cost = _cost("mv(A, x)", shapes, TorchCostModel())
+        assert cost == pytest.approx(2 + 0.7 * 4 * 8)
+
+    def test_mm_cost(self):
+        shapes = {"A": matrix(4, 5), "B": matrix(5, 6)}
+        cost = _cost("mm(A, B)", shapes, TorchCostModel())
+        assert cost == pytest.approx(2 + 0.6 * 4 * 5 * 6)
+
+    def test_add_uses_total_sizes(self):
+        shapes = {"A": matrix(4, 6), "B": matrix(4, 6)}
+        cost = _cost("add(A, B)", shapes, TorchCostModel())
+        assert cost == pytest.approx(2 + 0.4 * 24 + 0.4 * 24)
+
+    def test_mul_scalar_tensor(self):
+        shapes = {"alpha": SCALAR, "A": vector(8)}
+        cost = _cost("mul(alpha, A)", shapes, TorchCostModel())
+        assert cost == pytest.approx(2 + 0.4 * 1 + 0.4 * 8)
+
+    def test_full_cost(self):
+        cost = _cost("full(1, 8)", {}, TorchCostModel())
+        assert cost == pytest.approx(2 + 0.8 * 8 + 1)
+
+    def test_blas_functions_not_priced(self):
+        shapes = {"alpha": SCALAR, "A": vector(8), "B": vector(8)}
+        assert math.isinf(_cost("axpy(alpha, A, B)", shapes, TorchCostModel()))
+
+
+class TestTargets:
+    def test_target_names(self):
+        assert pure_c_target().name == "pure_c"
+        assert blas_target().name == "blas"
+        assert pytorch_target().name == "pytorch"
+
+    def test_make_target(self):
+        assert make_target("blas").name == "blas"
+        with pytest.raises(ValueError):
+            make_target("cuda")
+
+    def test_pure_c_has_no_idiom_rules(self):
+        names = {rule.name for rule in pure_c_target().rules}
+        assert not any(name.startswith("I-") for name in names)
+
+    def test_blas_includes_core_scalar_and_idioms(self):
+        names = {rule.name for rule in blas_target().rules}
+        assert "I-Dot" in names
+        assert "R-BetaReduce" in names
+        assert "E-CommuteMul" in names
+
+    def test_runtime_registries_cover_declared_functions(self):
+        blas = blas_target()
+        assert set(blas.library_functions) <= set(blas.runtime)
+        torch = pytorch_target()
+        assert set(torch.library_functions) <= set(torch.runtime)
+
+    def test_pure_c_never_extracts_calls(self):
+        from repro.egraph import Extractor
+
+        eg = EGraph(ShapeAnalysis({"A": vector(4), "B": vector(4)}))
+        root = eg.add_term(parse("dot(A, B)"))
+        eg.merge(root, eg.add_term(parse("ifold 4 0 (λ λ A[•1] * B[•1] + •0)")))
+        eg.rebuild()
+        result = Extractor(eg, pure_c_target().cost_model).extract(root)
+        assert result.term == parse("ifold 4 0 (λ λ A[•1] * B[•1] + •0)")

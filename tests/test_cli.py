@@ -1,0 +1,41 @@
+"""Tests for the command-line evaluation driver (repro.cli)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_unknown_kernel_is_an_error(self, capsys):
+        assert main(["not-a-kernel"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_small_run_writes_artifacts(self, tmp_path, capsys):
+        code = main([
+            "memset", "-t", "blas",
+            "--steps", "3", "--nodes", "2000",
+            "--out", str(tmp_path), "-q",
+        ])
+        assert code == 0
+        overview = (tmp_path / "blas-overview.csv").read_text()
+        assert overview.splitlines()[0] == "name,externs,steps,nodes"
+        assert overview.splitlines()[1].startswith("memset,")
+        assert (tmp_path / "blas-table.txt").exists()
+
+    def test_run_flag_times_solutions(self, tmp_path):
+        code = main([
+            "memset", "-t", "blas",
+            "--steps", "3", "--nodes", "2000",
+            "--run", "--budget", "0.02",
+            "--out", str(tmp_path), "-q",
+        ])
+        assert code == 0
+        speedups = (tmp_path / "blas-speedups.csv").read_text()
+        assert speedups.splitlines()[1].startswith("memset,")
+
+    def test_progress_lines_printed(self, capsys):
+        main(["memset", "-t", "blas", "--steps", "2", "--nodes", "1000"])
+        out = capsys.readouterr().out
+        assert "[blas] memset" in out

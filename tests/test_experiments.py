@@ -1,0 +1,54 @@
+"""Tests for the shared experiment harness (repro.experiments)."""
+
+import pytest
+
+from repro import experiments
+
+
+class TestLimits:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STEP_LIMIT", raising=False)
+        monkeypatch.delenv("REPRO_NODE_LIMIT", raising=False)
+        assert experiments.step_limit() == 8
+        assert experiments.node_limit() == 12000
+
+    def test_environment_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STEP_LIMIT", "3")
+        monkeypatch.setenv("REPRO_NODE_LIMIT", "1234")
+        assert experiments.step_limit() == 3
+        assert experiments.node_limit() == 1234
+
+
+class TestKernelSelection:
+    def test_default_is_full_table(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        names = experiments.selected_kernels()
+        assert len(names) == 16
+        assert names[0] == "2mm"  # table I order
+
+    def test_subset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "gemv, vsum")
+        assert experiments.selected_kernels() == ["gemv", "vsum"]
+
+    def test_typo_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "gemvv")
+        with pytest.raises(KeyError):
+            experiments.selected_kernels()
+
+
+class TestCaching:
+    def test_optimize_pair_is_cached(self):
+        first = experiments.optimize_pair("memset", "blas", steps=2, nodes=500)
+        second = experiments.optimize_pair("memset", "blas", steps=2, nodes=500)
+        assert first is second
+
+    def test_distinct_limits_distinct_runs(self):
+        first = experiments.optimize_pair("memset", "blas", steps=2, nodes=500)
+        second = experiments.optimize_pair("memset", "blas", steps=1, nodes=500)
+        assert first is not second
+
+    def test_per_kernel_override_applies(self):
+        override = experiments.PER_KERNEL_OVERRIDES[("doitgen", "blas")]
+        assert override["steps"] > experiments.step_limit() or (
+            override["nodes"] > experiments.node_limit()
+        )

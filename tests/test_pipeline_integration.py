@@ -1,0 +1,119 @@
+"""End-to-end pipeline tests: kernel → saturation → extraction →
+verified execution (fig. 2 to §VI, in miniature).
+
+These use reduced limits to stay fast; the benchmark suite runs the
+full table settings.
+"""
+
+import pytest
+
+from repro.backend.executor import verify_solution
+from repro.egraph.runner import StopReason
+from repro.ir.terms import Call, subterms
+from repro.kernels import registry
+from repro.pipeline import optimize, optimize_term
+from repro.targets import blas_target, pure_c_target, pytorch_target
+
+
+@pytest.fixture(scope="module")
+def vsum_blas():
+    return optimize(registry.get("vsum"), blas_target(),
+                    step_limit=5, node_limit=5000)
+
+
+@pytest.fixture(scope="module")
+def vsum_pytorch():
+    return optimize(registry.get("vsum"), pytorch_target(),
+                    step_limit=5, node_limit=5000)
+
+
+@pytest.fixture(scope="module")
+def memset_blas():
+    return optimize(registry.get("memset"), blas_target(),
+                    step_limit=4, node_limit=4000)
+
+
+class TestVsum:
+    def test_blas_finds_latent_dot(self, vsum_blas):
+        """The paper's central example: vector sum becomes a dot
+        product with a ones vector (§V-A, table II)."""
+        assert vsum_blas.library_calls == {"dot": 1}
+
+    def test_blas_solution_executes_correctly(self, vsum_blas):
+        kernel = registry.get("vsum")
+        target = blas_target()
+        assert verify_solution(kernel, vsum_blas.best_term, target.runtime)
+
+    def test_pytorch_finds_sum(self, vsum_pytorch):
+        assert vsum_pytorch.library_calls == {"sum": 1}
+        kernel = registry.get("vsum")
+        assert verify_solution(kernel, vsum_pytorch.best_term,
+                               pytorch_target().runtime)
+
+    def test_solution_improves_over_steps(self, vsum_blas):
+        costs = [s.best_cost for s in vsum_blas.steps]
+        assert costs[-1] < costs[0]
+
+    def test_enodes_grow_overall(self, vsum_blas):
+        # Congruence merges can shrink the canonical node count a
+        # little between steps; the overall trend is strong growth.
+        nodes = [s.enodes for s in vsum_blas.steps]
+        assert nodes[-1] > nodes[0] * 10
+        assert all(b >= a * 0.9 for a, b in zip(nodes, nodes[1:]))
+
+
+class TestMemset:
+    def test_blas_finds_memset(self, memset_blas):
+        assert memset_blas.library_calls == {"memset": 1}
+
+    def test_memset_solution_executes(self, memset_blas):
+        kernel = registry.get("memset")
+        assert verify_solution(kernel, memset_blas.best_term,
+                               blas_target().runtime)
+
+
+class TestPureC:
+    def test_pure_c_extracts_no_library_calls(self):
+        result = optimize(registry.get("axpy"), pure_c_target(),
+                          step_limit=3, node_limit=4000)
+        assert result.library_calls == {}
+        calls = [t for t in subterms(result.best_term)
+                 if isinstance(t, Call) and t.name not in "+-*/"]
+        assert calls == []
+
+    def test_pure_c_solution_executes(self):
+        kernel = registry.get("axpy")
+        result = optimize(kernel, pure_c_target(), step_limit=3, node_limit=4000)
+        assert verify_solution(kernel, result.best_term)
+
+
+class TestOptimizeTerm:
+    def test_bare_term_interface(self):
+        from repro.ir import parse
+        from repro.ir.shapes import vector
+
+        result = optimize_term(
+            parse("ifold 8 0 (λ λ xs[•1] + •0)"),
+            pytorch_target(),
+            {"xs": vector(8)},
+            step_limit=5,
+            node_limit=5000,
+        )
+        assert result.library_calls == {"sum": 1}
+
+    def test_result_metadata(self):
+        from repro.ir import parse
+
+        result = optimize_term(parse("1 + 0"), pure_c_target(),
+                               step_limit=2, node_limit=100,
+                               kernel_name="tiny")
+        assert result.kernel_name == "tiny"
+        assert result.target_name == "pure_c"
+        assert result.best_term == parse("1")
+
+    def test_best_step_selects_minimum_cost(self):
+        from repro.ir import parse
+
+        result = optimize_term(parse("1 + 0"), pure_c_target(),
+                               step_limit=2, node_limit=100)
+        assert result.best_step().best_cost <= result.steps[0].best_cost
