@@ -9,10 +9,12 @@ two-function vector library —
 * ``constvec(c, n)`` — a constant vector —
 
 as (1) two idiom rewrite rules written in the same minimalist IR, and
-(2) a small cost model, then optimizes the §IV-C2 program
-``build n (λ xs[•0] + 42)``.  The constant vector is *latent*: the
-engine manufactures it via R-INTROLAMBDA / R-INTROINDEXBUILD and then
-recognizes both idioms:
+(2) a small cost model, registers it under the name ``"toy"`` with
+``@register_target`` — making it a first-class target, addressable by
+name everywhere a built-in is — and optimizes the §IV-C2 program
+``build n (λ xs[•0] + 42)`` through a :class:`~repro.api.Session`.
+The constant vector is *latent*: the engine manufactures it via
+R-INTROLAMBDA / R-INTROINDEXBUILD and then recognizes both idioms:
 
     addvec(xs, constvec(42, n))
 
@@ -21,11 +23,10 @@ Run:  python examples/custom_library.py
 
 import numpy as np
 
-from repro.egraph.extract import CostModel
+from repro.api import Session, register_target
 from repro.ir import pretty
 from repro.ir.shapes import vector
 from repro.ir.terms import Call, Const
-from repro.pipeline import optimize_term
 from repro.rules.dsl import n, padd, pbuild, pcall, pdb, pindex, plam, pv
 from repro.targets.base import Target
 from repro.targets.cost import BaseCostModel
@@ -34,6 +35,7 @@ from repro.rules import core_rules, scalar_rules
 from repro.ir import builders as b
 
 
+@register_target("toy")
 def make_toy_target() -> Target:
     # --- idiom rules, written in the IR itself ------------------------
     addvec = rewrite(
@@ -87,9 +89,10 @@ def main() -> None:
     program = b.build(size, b.lam(b.sym("xs")[b.v(0)] + 42))
     print(f"program : {pretty(program)}")
 
-    target = make_toy_target()
-    result = optimize_term(
-        program, target, {"xs": vector(size)},
+    # "toy" now resolves by name, exactly like "blas" or "pytorch".
+    session = Session()
+    result = session.optimize_term(
+        program, "toy", {"xs": vector(size)},
         step_limit=5, node_limit=6000, kernel_name="add42",
     )
 
@@ -99,9 +102,24 @@ def main() -> None:
     from repro.backend import run_solution
 
     xs = np.arange(size, dtype=float)
-    out = run_solution(result.best_term, {"xs": xs}, target.runtime)
+    out = run_solution(result.best_term, {"xs": xs}, session.target("toy").runtime)
     assert np.allclose(out, xs + 42)
     print("verified: addvec(xs, constvec(42)) == xs + 42 ✓")
+
+    # The registered target also serves batch requests alongside the
+    # built-ins...
+    reports = session.optimize_many(
+        [("vsum", "toy"), ("vsum", "blas")], parallel=False
+    )
+    for report in reports:
+        print(f"batch   : {report.kernel} @ {report.target}: "
+              f"[{report.solution_summary}]")
+
+    # ...and repeating the batch is answered entirely from the cache.
+    again = session.optimize_many([("vsum", "toy"), ("vsum", "blas")],
+                                  parallel=False)
+    assert all(r.cache_hit for r in again)
+    print("repeat batch answered from the session cache ✓")
 
 
 if __name__ == "__main__":

@@ -1,31 +1,36 @@
 #!/usr/bin/env python3
 """Quickstart: optimize the gemv kernel for BLAS and inspect the result.
 
-This walks the full LIAR pipeline (fig. 2 of the paper):
+This walks the full LIAR pipeline (fig. 2 of the paper) through the
+session API:
 
 1. a kernel written in the minimalist array IR,
 2. equality saturation with core + scalar + BLAS idiom rules,
 3. per-step cost-model extraction,
 4. execution of the final solution against the reference, and
-5. C code generation for the extracted expression.
+5. C code generation for the extracted expression,
+
+then shows the batch side: several (kernel, target) pairs optimized in
+one `optimize_many` call, with repeats answered from the cache.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import blas_target, optimize, registry
+from repro.api import Session
 from repro.backend import generate_c, run_solution
 from repro.backend.executor import outputs_match
 from repro.ir import pretty
 
+
 def main() -> None:
-    kernel = registry.get("gemv")
-    target = blas_target()
+    session = Session()
+    kernel = session.kernels.get("gemv")
 
     print(f"kernel {kernel.name}: {kernel.description}")
     print(f"source IR:\n  {pretty(kernel.term)[:100]}...\n")
 
     print("running equality saturation (a few seconds)...")
-    result = optimize(kernel, target, step_limit=6, node_limit=8000)
+    result = session.optimize("gemv", "blas", step_limit=6, node_limit=8000)
 
     print(f"\n{'step':>4} {'e-nodes':>8} {'time':>7}  best solution")
     for record in result.steps:
@@ -37,12 +42,25 @@ def main() -> None:
     print(f"\nfinal expression: {pretty(result.best_term)}")
 
     inputs = kernel.inputs(seed=0)
-    got = run_solution(result.best_term, inputs, target.runtime)
+    got = run_solution(result.best_term, inputs, session.target("blas").runtime)
     assert outputs_match(got, kernel.reference(inputs))
     print("verified: solution output matches the numpy reference ✓")
 
     print("\ngenerated C:")
     print(generate_c(result.best_term, kernel.symbol_shapes, "gemv_kernel"))
+
+    print("batch API: fan (kernel, target) pairs across a process pool...")
+    reports = session.optimize_many(
+        [("vsum", "blas"), ("axpy", "blas"),
+         ("vsum", "pytorch"), ("axpy", "pytorch")],
+    )
+    for report in reports:
+        print(f"  {report.kernel:6s} @ {report.target:8s} "
+              f"[{report.solution_summary}] {report.seconds:5.1f}s")
+
+    again = session.optimize_many([("vsum", "blas"), ("axpy", "pytorch")])
+    assert all(r.cache_hit for r in again)
+    print("repeat requests answered from the session cache ✓")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,56 @@
+"""Service-style API for LIAR: sessions, registries, requests, caching.
+
+This package is the primary entry point for programmatic use:
+
+* :class:`Limits` — the single source of truth for step/node/time
+  budgets (environment-overridable via ``REPRO_STEP_LIMIT``,
+  ``REPRO_NODE_LIMIT``, ``REPRO_TIME_LIMIT``);
+* :class:`TargetRegistry` / :func:`register_target` — pluggable
+  name → target mapping, pre-populated with the paper's Pure C / BLAS /
+  PyTorch targets and open to custom libraries (§IV-C2);
+* :class:`OptimizationRequest` / :class:`OptimizationReport` — JSON
+  round-trippable work units and result digests;
+* :class:`Session` — configuration + two-tier result cache + batch
+  execution (:meth:`Session.optimize_many` fans cache misses across a
+  process pool).
+
+Quickstart::
+
+    from repro.api import Session, register_target
+
+    session = Session()
+    result = session.optimize("gemv", "blas")
+    print(result.solution_summary)                     # "1 × gemv"
+
+    reports = session.optimize_many(
+        [("gemv", "blas"), ("vsum", "blas"), ("axpy", "pytorch")]
+    )
+"""
+
+from .cache import CacheStats, ResultCache
+from .limits import Limits
+from .registry import TargetRegistry, register_target, target_registry
+from .session import Session, default_session
+from .types import (
+    OptimizationReport,
+    OptimizationRequest,
+    report_cache_key,
+    shapes_to_spec,
+    spec_to_shapes,
+)
+
+__all__ = [
+    "Session",
+    "default_session",
+    "Limits",
+    "TargetRegistry",
+    "register_target",
+    "target_registry",
+    "OptimizationRequest",
+    "OptimizationReport",
+    "CacheStats",
+    "ResultCache",
+    "report_cache_key",
+    "shapes_to_spec",
+    "spec_to_shapes",
+]

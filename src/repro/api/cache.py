@@ -1,0 +1,130 @@
+"""Two-tier result cache: in-memory objects + optional on-disk JSON.
+
+Saturation dominates every workload (seconds to minutes per kernel),
+so results are cached aggressively:
+
+* **Tier 1 (memory)** holds full :class:`~repro.pipeline.OptimizationResult`
+  objects, so repeated in-process requests get the *same* object back
+  (the identity guarantee the experiment harness relies on), plus
+  deserialized reports.
+* **Tier 2 (disk)** persists :class:`~repro.api.types.OptimizationReport`
+  JSON under ``<cache_dir>/<sha256>.json``, surviving process restarts
+  and shared between the process-pool workers' parent sessions.
+
+Keys are content hashes of (term text × symbol shapes × target name ×
+limits) — see :func:`repro.api.types.report_cache_key` — so a cache
+never confuses runs with different budgets or targets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from .types import OptimizationReport
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, exposed as ``Session.stats``."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+        }
+
+
+@dataclass
+class ResultCache:
+    """In-memory + optional persistent report cache."""
+
+    cache_dir: Optional[Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._results: Dict[str, object] = {}
+        self._reports: Dict[str, OptimizationReport] = {}
+
+    # -- tier 1: full in-process results --------------------------------
+    def get_result(self, key: str):
+        result = self._results.get(key)
+        if result is not None:
+            self.stats.hits += 1
+        return result
+
+    def put_result(self, key: str, result) -> None:
+        self._results[key] = result
+
+    # -- reports (tier 1 dict, tier 2 JSON files) -----------------------
+    def _path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def get_report(self, key: str) -> Optional[OptimizationReport]:
+        report = self._reports.get(key)
+        if report is not None:
+            self.stats.hits += 1
+            return report
+        path = self._path(key)
+        if path is not None and path.exists():
+            try:
+                report = OptimizationReport.from_json(path.read_text())
+            except (ValueError, TypeError, KeyError):
+                return None  # corrupt entry: treat as a miss
+            self._reports[key] = report
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return report
+        return None
+
+    def put_report(self, key: str, report: OptimizationReport) -> None:
+        self._reports[key] = report
+        self.stats.stores += 1
+        path = self._path(key)
+        if path is None:
+            return
+        # Atomic write: concurrent sessions may share the directory.
+        fd, tmp = tempfile.mkstemp(dir=str(self.cache_dir), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(report.to_json())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def miss(self) -> None:
+        self.stats.misses += 1
+
+    def clear(self, *, disk: bool = False) -> None:
+        self._results.clear()
+        self._reports.clear()
+        if disk and self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        return len(self._results) + len(self._reports)

@@ -1,0 +1,94 @@
+"""Saturation resource limits, unified across every entry point.
+
+Before this package existed the repo carried three conflicting default
+profiles — ``pipeline.DEFAULT_LIMITS`` (10 000 e-nodes), the CLI's
+``--nodes`` default (8 000), and ``experiments.node_limit()`` (12 000).
+:class:`Limits` is now the single source of truth: 8 saturation steps,
+12 000 e-nodes, 120 s wall clock — the benchmark-suite profile, which
+is the heaviest consumer and the one the paper artifacts were produced
+with.  The CLI, the experiment harness, and :class:`~repro.api.Session`
+all resolve through it, and the environment knobs
+
+* ``REPRO_STEP_LIMIT`` — saturation steps per kernel,
+* ``REPRO_NODE_LIMIT`` — e-node budget,
+* ``REPRO_TIME_LIMIT`` — wall-clock cap in seconds,
+
+override the defaults everywhere at once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+__all__ = ["Limits"]
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Resource budget for one equality-saturation run."""
+
+    step_limit: int = 8
+    node_limit: int = 12_000
+    time_limit: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.step_limit < 0:
+            raise ValueError(f"step_limit must be >= 0, got {self.step_limit}")
+        if self.node_limit <= 0:
+            raise ValueError(f"node_limit must be > 0, got {self.node_limit}")
+        if self.time_limit <= 0:
+            raise ValueError(f"time_limit must be > 0, got {self.time_limit}")
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "Limits":
+        """Defaults overridden by ``REPRO_*`` environment variables."""
+        env = os.environ if env is None else env
+        base = cls()
+        return cls(
+            step_limit=int(env.get("REPRO_STEP_LIMIT", base.step_limit)),
+            node_limit=int(env.get("REPRO_NODE_LIMIT", base.node_limit)),
+            time_limit=float(env.get("REPRO_TIME_LIMIT", base.time_limit)),
+        )
+
+    def override(
+        self,
+        step_limit: Optional[int] = None,
+        node_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> "Limits":
+        """A copy with any non-``None`` field replaced."""
+        updates = {
+            name: value
+            for name, value in (
+                ("step_limit", step_limit),
+                ("node_limit", node_limit),
+                ("time_limit", time_limit),
+            )
+            if value is not None
+        }
+        return replace(self, **updates) if updates else self
+
+    def as_kwargs(self) -> dict:
+        """Keyword arguments for :func:`repro.pipeline.optimize`."""
+        return {
+            "step_limit": self.step_limit,
+            "node_limit": self.node_limit,
+            "time_limit": self.time_limit,
+        }
+
+    def to_dict(self) -> dict:
+        return dict(self.as_kwargs())
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Limits":
+        return cls(
+            step_limit=int(data["step_limit"]),
+            node_limit=int(data["node_limit"]),
+            time_limit=float(data["time_limit"]),
+        )
+
+    def key(self) -> tuple:
+        """Hashable cache-key fragment."""
+        return (self.step_limit, self.node_limit, self.time_limit)

@@ -1,0 +1,120 @@
+"""Pluggable target registry: name → target factory.
+
+The paper's §IV-C2 claim is that LIAR retargets to a new library by
+supplying idiom rules and a cost model.  The registry makes that a
+first-class operation: a *factory* (a zero- or one-argument callable
+returning a :class:`~repro.targets.base.Target`) is registered under a
+name, and every entry point — ``Session``, the CLI, ``make_target`` —
+builds targets by name through it.
+
+The three paper targets are pre-registered; custom libraries join them
+with the decorator::
+
+    from repro.api import register_target
+
+    @register_target("toy")
+    def toy_target():
+        return Target(name="toy", rules=[...], cost_model=ToyCost(), ...)
+
+    Session().optimize("gemv", "toy")      # same path as the built-ins
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..rules.core import CoreRuleConfig
+from ..targets.base import Target, blas_target, pure_c_target, pytorch_target
+
+__all__ = [
+    "TargetFactory",
+    "TargetRegistry",
+    "register_target",
+    "target_registry",
+]
+
+TargetFactory = Callable[..., Target]
+
+
+class TargetRegistry:
+    """Name → target-factory lookup with duplicate protection."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, TargetFactory] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: TargetFactory,
+        *,
+        overwrite: bool = False,
+    ) -> TargetFactory:
+        if not name or not isinstance(name, str):
+            raise ValueError(f"target name must be a non-empty string, got {name!r}")
+        if not callable(factory):
+            raise TypeError(f"target factory for {name!r} must be callable")
+        if name in self._factories and not overwrite:
+            raise ValueError(
+                f"duplicate target {name!r}; pass overwrite=True to replace it"
+            )
+        self._factories[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        self._factories.pop(name, None)
+
+    def get(self, name: str, config: Optional[CoreRuleConfig] = None) -> Target:
+        """Build a fresh :class:`Target` by registered name."""
+        if name not in self._factories:
+            raise ValueError(
+                f"unknown target {name!r}; expected one of {tuple(self.names())}"
+            )
+        factory = self._factories[name]
+        target = factory(config) if config is not None else factory()
+        if not isinstance(target, Target):
+            raise TypeError(
+                f"factory for {name!r} returned {type(target).__name__}, "
+                "expected a Target"
+            )
+        return target
+
+    def names(self) -> List[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+
+#: Targets registered at import time, hence visible even to freshly
+#: spawned worker interpreters (runtime registrations need ``fork``).
+BUILTIN_TARGETS = ("pure_c", "blas", "pytorch")
+
+#: The process-wide default registry, pre-populated with the paper's
+#: three targets.  ``Session`` instances use it unless given their own.
+target_registry = TargetRegistry()
+target_registry.register("pure_c", pure_c_target)
+target_registry.register("blas", blas_target)
+target_registry.register("pytorch", pytorch_target)
+
+
+def register_target(
+    name: str,
+    *,
+    registry: Optional[TargetRegistry] = None,
+    overwrite: bool = False,
+) -> Callable[[TargetFactory], TargetFactory]:
+    """Decorator registering a target factory under ``name``::
+
+        @register_target("mylib")
+        def mylib_target() -> Target: ...
+    """
+    use = target_registry if registry is None else registry
+
+    def decorate(factory: TargetFactory) -> TargetFactory:
+        use.register(name, factory, overwrite=overwrite)
+        return factory
+
+    return decorate

@@ -1,0 +1,406 @@
+"""The :class:`Session` facade — the primary entry point of the repo.
+
+A session holds everything one client needs to optimize kernels at
+scale: a unified :class:`~repro.api.limits.Limits` budget, a pluggable
+:class:`~repro.api.registry.TargetRegistry`, and a two-tier result
+cache (in-memory objects + optional on-disk JSON reports).  On top of
+the single-run :meth:`Session.optimize` it adds
+:meth:`Session.optimize_many`, which fans a batch of (kernel, target)
+pairs across a ``concurrent.futures`` process pool — saturation is
+CPU-bound pure Python, so parallelism across *runs* is the scaling
+axis — with cache lookups short-circuiting repeated work entirely.
+
+Typical use::
+
+    from repro.api import Session
+
+    session = Session(cache_dir="~/.cache/repro")
+    result = session.optimize("gemv", "blas")          # full result
+    reports = session.optimize_many(
+        [("gemv", "blas"), ("gemv", "pytorch"),
+         ("vsum", "blas"), ("axpy", "pytorch")],
+    )                                                   # parallel batch
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace as dc_replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from typing import TYPE_CHECKING
+
+from ..ir.printer import pretty
+from ..ir.terms import Term
+from ..kernels import registry as default_kernel_registry
+from ..kernels.base import Kernel, KernelRegistry
+from ..targets.base import Target
+
+if TYPE_CHECKING:  # pipeline imports Limits from here; stay lazy at runtime
+    from ..pipeline import OptimizationResult
+from .cache import ResultCache
+from .limits import Limits
+from .registry import BUILTIN_TARGETS, TargetRegistry, target_registry
+from .types import (
+    OptimizationReport,
+    OptimizationRequest,
+    report_cache_key,
+    shapes_to_spec,
+    spec_to_shapes,
+)
+
+__all__ = ["Session", "default_session"]
+
+RequestLike = Union[OptimizationRequest, Tuple[str, str], dict]
+
+
+def _execute_payload(payload: dict, registry: TargetRegistry,
+                     kernels: Optional[KernelRegistry] = None) -> dict:
+    """Run one serialized request to a report dict.
+
+    Shared by the in-process serial path and the process-pool workers,
+    so a custom target registered via ``@register_target`` optimizes
+    through exactly the same code path as the built-ins.
+    """
+    from time import perf_counter
+
+    try:
+        from ..ir.parser import parse
+        from ..pipeline import optimize_term as _pipeline_optimize_term
+
+        limits = Limits.from_dict(payload["limits"])
+        target = registry.get(payload["target"])
+        if payload.get("kernel"):
+            kernel = (kernels or default_kernel_registry).get(payload["kernel"])
+            term, shapes, name = kernel.term, kernel.symbol_shapes, kernel.name
+        else:
+            term = parse(payload["term"])
+            shapes = spec_to_shapes(payload.get("symbol_shapes")) or {}
+            name = payload.get("name", "<term>")
+        started = perf_counter()
+        result = _pipeline_optimize_term(
+            term, target, shapes, kernel_name=name, **limits.as_kwargs()
+        )
+        seconds = perf_counter() - started
+        return OptimizationReport.from_result(result, limits, seconds).to_dict()
+    except Exception as exc:  # workers must never raise across the pool
+        return OptimizationReport.from_error(
+            payload, f"{type(exc).__name__}: {exc}"
+        ).to_dict()
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _pool_worker(payload: dict) -> dict:
+    """Process-pool entry point: resolves through the global registry.
+
+    Workers are forked from the parent on platforms that support it, so
+    targets registered at runtime (``@register_target``) are visible
+    here without any import gymnastics.
+    """
+    return _execute_payload(payload, target_registry)
+
+
+class Session:
+    """Configuration + caching + execution for LIAR optimization runs."""
+
+    def __init__(
+        self,
+        limits: Optional[Limits] = None,
+        *,
+        registry: Optional[TargetRegistry] = None,
+        kernels: Optional[KernelRegistry] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.limits = limits if limits is not None else Limits.from_env()
+        self.registry = registry if registry is not None else target_registry
+        self.kernels = kernels if kernels is not None else default_kernel_registry
+        self.cache = ResultCache(
+            Path(cache_dir).expanduser() if cache_dir is not None else None
+        )
+        self._targets: Dict[str, Target] = {}
+        # Ad-hoc Target objects are cache-keyed by id(); pin them so a
+        # recycled id can never alias a stale entry to a new target.
+        self._adhoc_targets: Dict[int, Target] = {}
+        #: Saturation runs actually executed (cache misses); the
+        #: acceptance counter for "no re-saturation on repeat calls".
+        self.runs = 0
+
+    # ------------------------------------------------------------------
+    # target / limits resolution
+    # ------------------------------------------------------------------
+    def target(self, name: str) -> Target:
+        """Build (once) and return the named target."""
+        if name not in self._targets:
+            self._targets[name] = self.registry.get(name)
+        return self._targets[name]
+
+    def target_names(self) -> List[str]:
+        return self.registry.names()
+
+    def resolve_limits(
+        self,
+        step_limit: Optional[int] = None,
+        node_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> Limits:
+        return self.limits.override(step_limit, node_limit, time_limit)
+
+    @property
+    def stats(self) -> dict:
+        """Cache and execution counters."""
+        data = self.cache.stats.to_dict()
+        data["runs"] = self.runs
+        return data
+
+    # ------------------------------------------------------------------
+    # single-run API (full OptimizationResult, in-process)
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        kernel: Union[str, Kernel],
+        target: Union[str, Target],
+        *,
+        step_limit: Optional[int] = None,
+        node_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> "OptimizationResult":
+        """Optimize one kernel for one target, with result caching.
+
+        ``kernel`` and ``target`` may be registered names or concrete
+        objects.  Repeated calls with the same name-based arguments and
+        limits return the identical cached result object.
+        """
+        if isinstance(kernel, str):
+            kernel = self.kernels.get(kernel)
+        return self.optimize_term(
+            kernel.term,
+            target,
+            kernel.symbol_shapes,
+            kernel_name=kernel.name,
+            step_limit=step_limit,
+            node_limit=node_limit,
+            time_limit=time_limit,
+        )
+
+    def optimize_term(
+        self,
+        term: Term,
+        target: Union[str, Target],
+        symbol_shapes: Optional[dict] = None,
+        *,
+        kernel_name: str = "<term>",
+        step_limit: Optional[int] = None,
+        node_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> "OptimizationResult":
+        """Optimize a bare IR term (see :func:`repro.pipeline.optimize_term`)."""
+        from ..pipeline import optimize_term as _pipeline_optimize_term
+
+        limits = self.resolve_limits(step_limit, node_limit, time_limit)
+        named = isinstance(target, str)
+        target_obj = self.target(target) if named else target
+        key = self._term_key(term, symbol_shapes, target, limits)
+        if key is not None:
+            cached = self.cache.get_result(key)
+            if cached is not None:
+                return cached
+            self.cache.miss()
+        result = _pipeline_optimize_term(
+            term,
+            target_obj,
+            symbol_shapes,
+            kernel_name=kernel_name,
+            **limits.as_kwargs(),
+        )
+        self.runs += 1
+        if key is not None:
+            self.cache.put_result(key, result)
+            if named:  # only name-resolved targets are reproducible on disk
+                self.cache.put_report(
+                    key, OptimizationReport.from_result(result, limits)
+                )
+        return result
+
+    def _term_key(
+        self,
+        term: Term,
+        symbol_shapes: Optional[dict],
+        target: Union[str, Target],
+        limits: Limits,
+    ) -> Optional[str]:
+        """Cache key for a run, or ``None`` when the run is uncacheable
+        (ad-hoc Target objects are distinguished by identity; exotic
+        symbol shapes fall outside the serializable spec)."""
+        try:
+            spec = shapes_to_spec(symbol_shapes)
+        except TypeError:
+            return None
+        if isinstance(target, str):
+            token = target
+        else:
+            self._adhoc_targets[id(target)] = target
+            token = f"{target.name}#{id(target)}"
+        return report_cache_key(pretty(term), spec, token, limits.key())
+
+    # ------------------------------------------------------------------
+    # batch API (OptimizationReports, process pool)
+    # ------------------------------------------------------------------
+    def report(self, request: RequestLike) -> OptimizationReport:
+        """One request to one report, through the report cache."""
+        return self.optimize_many([request], parallel=False)[0]
+
+    def optimize_many(
+        self,
+        requests: Sequence[RequestLike],
+        *,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+    ) -> List[OptimizationReport]:
+        """Optimize a batch of requests, fanning cache misses across a
+        process pool.
+
+        Each request is an :class:`OptimizationRequest`, a
+        ``(kernel_name, target_name)`` tuple, or an equivalent dict.
+        Returns reports in request order; previously-computed requests
+        come back instantly with ``cache_hit=True``.
+        """
+        normalized = [self._normalize_request(r) for r in requests]
+        payloads = [self._payload(r) for r in normalized]
+        keys = [p.pop("cache_key") for p in payloads]
+
+        reports: List[Optional[OptimizationReport]] = [None] * len(payloads)
+        pending: List[int] = []
+        for index, key in enumerate(keys):
+            cached = self.cache.get_report(key) if key is not None else None
+            if cached is not None:
+                reports[index] = dc_replace(cached, cache_hit=True)
+            else:
+                if key is not None:
+                    self.cache.miss()
+                pending.append(index)
+
+        if pending:
+            fresh = self._execute_batch(
+                [payloads[i] for i in pending], parallel, max_workers
+            )
+            self.runs += len(pending)
+            for index, report in zip(pending, fresh):
+                reports[index] = report
+                if report.ok and keys[index] is not None:
+                    self.cache.put_report(keys[index], report)
+        return [r for r in reports if r is not None]
+
+    def _normalize_request(self, request: RequestLike) -> OptimizationRequest:
+        if isinstance(request, OptimizationRequest):
+            return request
+        if isinstance(request, dict):
+            return OptimizationRequest.from_dict(request)
+        if isinstance(request, (tuple, list)) and len(request) == 2:
+            kernel, target = request
+            return OptimizationRequest(kernel=kernel, target=target)
+        raise TypeError(
+            f"cannot interpret {request!r} as an optimization request; "
+            "pass an OptimizationRequest, a (kernel, target) tuple, or a dict"
+        )
+
+    def _payload(self, request: OptimizationRequest) -> dict:
+        """Serialize one request for execution + caching.
+
+        Validates eagerly (unknown kernels/targets fail fast in the
+        caller, not inside a worker) and keys the cache by the kernel's
+        *term*, so name-based and term-based requests share entries.
+        """
+        if request.target not in self.registry:
+            raise ValueError(
+                f"unknown target {request.target!r}; "
+                f"expected one of {tuple(self.registry.names())}"
+            )
+        limits = self.resolve_limits(
+            request.step_limit, request.node_limit, request.time_limit
+        )
+        payload: dict = {"target": request.target, "limits": limits.to_dict()}
+        if request.kernel is not None:
+            kernel = self.kernels.get(request.kernel)
+            payload["kernel"] = kernel.name
+            term_text = pretty(kernel.term)
+            spec = shapes_to_spec(kernel.symbol_shapes)
+        else:
+            payload["term"] = request.term
+            payload["symbol_shapes"] = request.symbol_shapes
+            payload["name"] = request.display_name
+            term_text = request.term
+            spec = request.symbol_shapes
+        payload["cache_key"] = report_cache_key(
+            term_text, spec, request.target, limits.key()
+        )
+        return payload
+
+    def _execute_batch(
+        self,
+        payloads: List[dict],
+        parallel: bool,
+        max_workers: Optional[int],
+    ) -> List[OptimizationReport]:
+        # The pool workers resolve through the *global* target registry
+        # and the default kernel registry (inherited via fork); sessions
+        # with private registries stay in-process so their entries
+        # remain visible.  Without fork (spawn-only platforms), workers
+        # re-import from scratch and only see import-time registrations,
+        # so runtime-registered targets also stay in-process.
+        use_pool = (
+            parallel
+            and len(payloads) > 1
+            and self.registry is target_registry
+            and self.kernels is default_kernel_registry
+            and (
+                _fork_available()
+                or all(p["target"] in BUILTIN_TARGETS for p in payloads)
+            )
+        )
+        if use_pool:
+            try:
+                return self._execute_pool(payloads, max_workers)
+            except OSError:
+                pass  # pool unavailable (sandbox, fd limits): run serially
+        return [
+            OptimizationReport.from_dict(
+                _execute_payload(p, self.registry, self.kernels)
+            )
+            for p in payloads
+        ]
+
+    def _execute_pool(
+        self, payloads: List[dict], max_workers: Optional[int]
+    ) -> List[OptimizationReport]:
+        import multiprocessing
+
+        if max_workers is None or max_workers < 1:
+            max_workers = min(len(payloads), os.cpu_count() or 2, 8)
+        context = None
+        if _fork_available():
+            # Fork inherits runtime-registered targets and the kernel
+            # registry; spawn would only see import-time registrations.
+            context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=context
+        ) as pool:
+            dicts = list(pool.map(_pool_worker, payloads))
+        return [OptimizationReport.from_dict(d) for d in dicts]
+
+
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide session backing the legacy module-level API."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

@@ -1,0 +1,214 @@
+"""Structured request/response types for the service API.
+
+An :class:`OptimizationRequest` names one unit of work — a registered
+kernel (or a raw IR term plus symbol shapes) against a registered
+target, with optional per-request limit overrides.  An
+:class:`OptimizationReport` is the JSON-serializable digest of one run:
+the extracted solution (as IR text), its library-call breakdown, cost,
+and saturation statistics.  Both round-trip through JSON so results can
+be cached on disk, shipped across process boundaries by
+``Session.optimize_many``, and later served over the wire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..ir.shapes import Array, Scalar, Shape
+from ..ir.terms import Term
+
+__all__ = [
+    "OptimizationRequest",
+    "OptimizationReport",
+    "shapes_to_spec",
+    "spec_to_shapes",
+    "report_cache_key",
+]
+
+
+def shapes_to_spec(shapes: Optional[Mapping[str, Shape]]) -> Optional[Dict[str, Any]]:
+    """JSON-encodable form of a ``symbol → shape`` mapping."""
+    if shapes is None:
+        return None
+    spec: Dict[str, Any] = {}
+    for name in sorted(shapes):
+        shape = shapes[name]
+        if isinstance(shape, Scalar):
+            spec[name] = "scalar"
+        elif isinstance(shape, Array):
+            spec[name] = list(shape.dims)
+        else:
+            raise TypeError(
+                f"cannot serialize shape {shape!r} for symbol {name!r}; "
+                "only Scalar and Array inputs are supported in requests"
+            )
+    return spec
+
+
+def spec_to_shapes(spec: Optional[Mapping[str, Any]]) -> Optional[Dict[str, Shape]]:
+    """Inverse of :func:`shapes_to_spec`."""
+    if spec is None:
+        return None
+    shapes: Dict[str, Shape] = {}
+    for name, value in spec.items():
+        if value == "scalar":
+            shapes[name] = Scalar()
+        else:
+            shapes[name] = Array(tuple(int(d) for d in value))
+    return shapes
+
+
+@dataclass(frozen=True)
+class OptimizationRequest:
+    """One (kernel-or-term, target) unit of work.
+
+    Exactly one of ``kernel`` (a registered kernel name) or ``term``
+    (IR concrete syntax, see :mod:`repro.ir.parser`) must be given.
+    """
+
+    target: str
+    kernel: Optional[str] = None
+    term: Optional[str] = None
+    symbol_shapes: Optional[Dict[str, Any]] = None  # shapes_to_spec form
+    name: Optional[str] = None  # display name for term requests
+    step_limit: Optional[int] = None
+    node_limit: Optional[int] = None
+    time_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.kernel is None) == (self.term is None):
+            raise ValueError(
+                "request needs exactly one of 'kernel' (registered name) "
+                "or 'term' (IR text)"
+            )
+
+    @property
+    def display_name(self) -> str:
+        return self.name or self.kernel or "<term>"
+
+    def to_dict(self) -> dict:
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OptimizationRequest":
+        return cls(**dict(data))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OptimizationRequest":
+        return cls.from_dict(json.loads(text))
+
+
+def _cost_to_json(cost: float) -> Optional[float]:
+    return cost if math.isfinite(cost) else None
+
+
+def _cost_from_json(cost: Optional[float]) -> float:
+    return float("inf") if cost is None else float(cost)
+
+
+@dataclass
+class OptimizationReport:
+    """JSON-serializable digest of one optimization run."""
+
+    kernel: str
+    target: str
+    limits: Dict[str, Any]
+    solution: Optional[str]  # pretty-printed best term, or None
+    solution_summary: str
+    library_calls: Dict[str, int] = field(default_factory=dict)
+    best_cost: float = float("inf")
+    steps: int = 0
+    enodes: int = 0
+    stop_reason: str = ""
+    seconds: float = 0.0
+    cache_hit: bool = False
+    error: Optional[str] = None
+
+    @classmethod
+    def from_result(cls, result, limits, seconds: float = 0.0) -> "OptimizationReport":
+        """Digest a :class:`~repro.pipeline.OptimizationResult`."""
+        from ..ir.printer import pretty
+
+        final = result.final
+        best = result.best_term
+        return cls(
+            kernel=result.kernel_name,
+            target=result.target_name,
+            limits=limits.to_dict(),
+            solution=pretty(best) if best is not None else None,
+            solution_summary=result.solution_summary,
+            library_calls=dict(result.library_calls),
+            best_cost=final.best_cost,
+            steps=result.run.num_steps,
+            enodes=final.enodes,
+            stop_reason=result.run.stop_reason,
+            seconds=seconds,
+        )
+
+    @classmethod
+    def from_error(cls, request_payload: Mapping, message: str) -> "OptimizationReport":
+        return cls(
+            kernel=request_payload.get("name") or request_payload.get("kernel") or "<term>",
+            target=request_payload.get("target", "?"),
+            limits=dict(request_payload.get("limits", {})),
+            solution=None,
+            solution_summary="(error)",
+            error=message,
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def best_term(self) -> Optional[Term]:
+        """The solution parsed back into an IR term."""
+        if self.solution is None:
+            return None
+        from ..ir.parser import parse
+
+        return parse(self.solution)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["best_cost"] = _cost_to_json(self.best_cost)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "OptimizationReport":
+        data = dict(data)
+        data["best_cost"] = _cost_from_json(data.get("best_cost"))
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OptimizationReport":
+        return cls.from_dict(json.loads(text))
+
+
+def report_cache_key(
+    term_text: str,
+    shapes_spec: Optional[Mapping[str, Any]],
+    target_name: str,
+    limits_key: tuple,
+) -> str:
+    """Stable content hash: term × shapes × target × limits."""
+    payload = json.dumps(
+        {
+            "term": term_text,
+            "shapes": shapes_spec,
+            "target": target_name,
+            "limits": list(limits_key),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,5 +1,5 @@
 """Command-line evaluation driver, mirroring the artifact's
-``evaluate_all.py`` workflow.
+``evaluate_all.py`` workflow, rebuilt on the session API.
 
 Examples::
 
@@ -7,6 +7,12 @@ Examples::
     python -m repro gemv vsum -t blas        # subset of kernels/targets
     python -m repro --steps 10 --nodes 12000 --out results/
     python -m repro gemv --run               # also execute + time solutions
+    python -m repro -j 4                     # fan the batch across 4 processes
+    python -m repro --cache-dir ~/.cache/repro   # persist results on disk
+
+Limits default to the unified :class:`repro.api.Limits` profile and
+honour ``REPRO_STEP_LIMIT`` / ``REPRO_NODE_LIMIT`` /
+``REPRO_TIME_LIMIT``; explicit flags win over the environment.
 
 Outputs per target: an ``<target>-overview.csv`` (the artifact's
 column layout: name, externs, steps, nodes), a rendered text table,
@@ -22,13 +28,17 @@ from pathlib import Path
 from typing import List, Optional
 
 from .analysis.reporting import (
+    SolutionRow,
     SpeedupRow,
+    format_externs,
     render_solution_table,
     render_speedup_table,
-    solution_row,
     solutions_csv,
     speedups_csv,
 )
+from .api.limits import Limits
+from .api.session import Session
+from .api.registry import target_registry
 from .backend.executor import (
     outputs_match,
     run_solution,
@@ -36,13 +46,19 @@ from .backend.executor import (
     time_solution,
 )
 from .kernels import registry
-from .pipeline import optimize
-from .targets import TARGET_NAMES, make_target
 
 __all__ = ["main"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _parser() -> argparse.ArgumentParser:
+    defaults = Limits()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="LIAR evaluation driver (tables II/III, fig. 7 data)",
@@ -53,15 +69,22 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "-t", "--targets", nargs="+", default=["blas", "pytorch"],
-        choices=list(TARGET_NAMES),
+        choices=target_registry.names(),
         help="targets to optimize for (default: blas pytorch)",
     )
-    parser.add_argument("--steps", type=int, default=8,
-                        help="saturation step limit (default 8)")
-    parser.add_argument("--nodes", type=int, default=8000,
-                        help="e-node limit (default 8000)")
-    parser.add_argument("--time-limit", type=float, default=300.0,
-                        help="wall-clock limit per kernel in seconds")
+    parser.add_argument("--steps", type=int, default=None,
+                        help=f"saturation step limit (default {defaults.step_limit})")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help=f"e-node limit (default {defaults.node_limit})")
+    parser.add_argument("--time-limit", type=float, default=None,
+                        help="wall-clock limit per kernel in seconds "
+                             f"(default {defaults.time_limit:g})")
+    parser.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                        help="optimize (kernel, target) pairs on a process "
+                             "pool of this size (default 1: in-process)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="persist optimization reports as JSON here and "
+                             "reuse them across invocations")
     parser.add_argument("--run", action="store_true",
                         help="execute and time the extracted solutions")
     parser.add_argument("--budget", type=float, default=0.25,
@@ -72,6 +95,61 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _time_and_check(kernel, target, solution, budget, speedups) -> bool:
+    """--run: execute the solution term, verify it, record its speedup."""
+    inputs = kernel.inputs(0)
+    got = run_solution(solution, inputs, target.runtime)
+    if not outputs_match(got, kernel.reference(inputs)):
+        return False
+    # Time on the compiled substrate (the paper's compiled-C analogue);
+    # fall back to the interpreter for terms the vectorizer cannot lower.
+    from .backend.numpy_compiler import CompileError
+
+    try:
+        from .backend.executor import time_compiled
+
+        ref = time_compiled(kernel.term, inputs, budget)
+        lib = time_compiled(solution, inputs, budget)
+    except CompileError:
+        ref = time_callable(lambda: kernel.reference_loops(inputs), budget)
+        lib = time_solution(solution, inputs, target.runtime, budget)
+    speedups.append(SpeedupRow(
+        kernel=kernel.name,
+        library_speedup=ref.mean_seconds / lib.mean_seconds,
+        pure_c_speedup=None,
+    ))
+    return True
+
+
+def _parallel_rows(session, kernels, target_name, args, quiet) -> tuple:
+    """Batch one target's kernels through the process pool."""
+    reports = session.optimize_many(
+        [(kernel.name, target_name) for kernel in kernels],
+        max_workers=args.jobs,
+    )
+    rows, failures = [], 0
+    for report in reports:
+        if not report.ok:
+            print(f"error: [{target_name}] {report.kernel}: {report.error}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        if not quiet:
+            hit = " (cached)" if report.cache_hit else ""
+            print(
+                f"[{target_name}] {report.kernel:10s} {report.seconds:6.1f}s "
+                f"steps={report.steps} nodes={report.enodes:6d} "
+                f"[{report.solution_summary}]{hit}"
+            )
+        rows.append(SolutionRow(
+            kernel=report.kernel,
+            externs=format_externs(report.library_calls),
+            steps=report.steps,
+            enodes=report.enodes,
+        ))
+    return rows, failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     kernel_names = args.kernels or registry.names()
@@ -80,6 +158,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+    limits = Limits.from_env().override(args.steps, args.nodes, args.time_limit)
+    session = Session(limits, cache_dir=args.cache_dir)
+    if args.run and args.jobs != 1:
+        print("note: --run executes solutions in-process; ignoring -j",
+              file=sys.stderr)
 
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
@@ -92,57 +176,51 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     exit_code = 0
     for target_name in args.targets:
-        target = make_target(target_name)
-        rows = []
-        speedups = []
-        for kernel in kernels:
-            started = time.perf_counter()
-            result = optimize(
-                kernel, target,
-                step_limit=args.steps, node_limit=args.nodes,
-                time_limit=args.time_limit,
+        rows: List[SolutionRow] = []
+        speedups: List[SpeedupRow] = []
+        if args.jobs != 1 and not args.run:
+            rows, failures = _parallel_rows(
+                session, kernels, target_name, args, args.quiet
             )
-            elapsed = time.perf_counter() - started
-            rows.append(solution_row(result))
-            if not args.quiet:
-                print(
-                    f"[{target_name}] {kernel.name:10s} {elapsed:6.1f}s "
-                    f"steps={result.run.num_steps} "
-                    f"nodes={result.final.enodes:6d} "
-                    f"[{result.solution_summary}]"
-                )
-            if args.run and result.best_term is not None:
-                inputs = kernel.inputs(0)
-                got = run_solution(result.best_term, inputs, target.runtime)
-                if not outputs_match(got, kernel.reference(inputs)):
-                    print(f"error: {kernel.name} solution mismatch",
-                          file=sys.stderr)
+            if failures:
+                exit_code = 1
+        else:
+            target = session.target(target_name)
+            for kernel in kernels:
+                started = time.perf_counter()
+                report = session.report((kernel.name, target_name))
+                elapsed = time.perf_counter() - started
+                if not report.ok:
+                    print(f"error: [{target_name}] {kernel.name}: "
+                          f"{report.error}", file=sys.stderr)
                     exit_code = 1
                     continue
-                # Time on the compiled substrate (the paper's compiled-C
-                # analogue); fall back to the interpreter for terms the
-                # vectorizer cannot lower.
-                from .backend.numpy_compiler import CompileError
-
-                try:
-                    from .backend.executor import time_compiled
-
-                    ref = time_compiled(kernel.term, inputs, args.budget)
-                    lib = time_compiled(result.best_term, inputs, args.budget)
-                except CompileError:
-                    ref = time_callable(
-                        lambda: kernel.reference_loops(inputs), args.budget
-                    )
-                    lib = time_solution(
-                        result.best_term, inputs, target.runtime, args.budget
-                    )
-                speedups.append(SpeedupRow(
-                    kernel=kernel.name,
-                    library_speedup=ref.mean_seconds / lib.mean_seconds,
-                    pure_c_speedup=None,
+                rows.append(SolutionRow(
+                    kernel=report.kernel,
+                    externs=format_externs(report.library_calls),
+                    steps=report.steps,
+                    enodes=report.enodes,
                 ))
+                if not args.quiet:
+                    hit = " (cached)" if report.cache_hit else ""
+                    print(
+                        f"[{target_name}] {kernel.name:10s} {elapsed:6.1f}s "
+                        f"steps={report.steps} "
+                        f"nodes={report.enodes:6d} "
+                        f"[{report.solution_summary}]{hit}"
+                    )
+                if args.run and report.solution is not None:
+                    if not _time_and_check(
+                        kernel, target, report.best_term, args.budget, speedups
+                    ):
+                        print(f"error: {kernel.name} solution mismatch",
+                              file=sys.stderr)
+                        exit_code = 1
 
-        title = f"Solutions for target {target_name} (steps<={args.steps}, nodes<={args.nodes})"
+        title = (
+            f"Solutions for target {target_name} "
+            f"(steps<={limits.step_limit}, nodes<={limits.node_limit})"
+        )
         emit(f"{target_name}-overview.csv", solutions_csv(rows))
         emit(f"{target_name}-table.txt", render_solution_table(rows, title))
         if speedups:

@@ -2,12 +2,16 @@
 
 The benchmark modules (one per paper table/figure) all need optimized
 kernels; saturation is by far the dominant cost, so results are cached
-in-process per (kernel, target, limits).  Limits default to a
-laptop-scale profile and can be raised through environment variables:
+per (kernel, target, limits) — since the session-API redesign the
+caching lives in the process-wide :class:`repro.api.Session` rather
+than a private ``lru_cache``, so benchmarks, the CLI, and library
+callers all share one cache.  Limits default to the unified
+:class:`repro.api.Limits` profile and can be raised through
+environment variables:
 
-* ``REPRO_STEP_LIMIT``  (default 8)   — saturation steps per kernel;
-* ``REPRO_NODE_LIMIT``  (default 8000) — e-node budget;
-* ``REPRO_KERNELS``     (default all) — comma-separated kernel subset.
+* ``REPRO_STEP_LIMIT``  (default 8)     — saturation steps per kernel;
+* ``REPRO_NODE_LIMIT``  (default 12000) — e-node budget;
+* ``REPRO_KERNELS``     (default all)   — comma-separated kernel subset.
 
 The artifact's step-limited mode (appendix E-2) is the model here:
 CPU-independent solutions at CPU-dependent wall time.
@@ -16,12 +20,12 @@ CPU-independent solutions at CPU-dependent wall time.
 from __future__ import annotations
 
 import os
-from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
+from .api.limits import Limits
+from .api.session import Session, default_session
 from .kernels import registry
-from .pipeline import OptimizationResult, optimize
-from .targets import make_target
+from .pipeline import OptimizationResult
 
 __all__ = [
     "step_limit",
@@ -29,6 +33,7 @@ __all__ = [
     "selected_kernels",
     "optimized",
     "optimize_pair",
+    "session",
     "TABLE_KERNELS",
 ]
 
@@ -40,12 +45,17 @@ TABLE_KERNELS = (
 )
 
 
+def session() -> Session:
+    """The shared session all experiment runs go through."""
+    return default_session()
+
+
 def step_limit() -> int:
-    return int(os.environ.get("REPRO_STEP_LIMIT", "8"))
+    return Limits.from_env().step_limit
 
 
 def node_limit() -> int:
-    return int(os.environ.get("REPRO_NODE_LIMIT", "12000"))
+    return Limits.from_env().node_limit
 
 
 # Kernels whose marquee solutions need a little more budget than the
@@ -67,28 +77,25 @@ def selected_kernels() -> List[str]:
     return names
 
 
-@lru_cache(maxsize=None)
-def _optimize_cached(
-    kernel_name: str, target_name: str, steps: int, nodes: int
-) -> OptimizationResult:
-    kernel = registry.get(kernel_name)
-    target = make_target(target_name)
-    return optimize(kernel, target, step_limit=steps, node_limit=nodes)
-
-
 def optimize_pair(
     kernel_name: str,
     target_name: str,
     steps: Optional[int] = None,
     nodes: Optional[int] = None,
 ) -> OptimizationResult:
-    """Optimized (kernel, target) with explicit or environment limits."""
+    """Optimized (kernel, target) with explicit or environment limits.
+
+    Repeated calls with the same arguments return the identical cached
+    result object from the session's in-memory tier.
+    """
     override = PER_KERNEL_OVERRIDES.get((kernel_name, target_name), {})
     if steps is None:
         steps = override.get("steps", step_limit())
     if nodes is None:
         nodes = override.get("nodes", node_limit())
-    return _optimize_cached(kernel_name, target_name, steps, nodes)
+    return session().optimize(
+        kernel_name, target_name, step_limit=steps, node_limit=nodes
+    )
 
 
 def optimized(target_name: str) -> Dict[str, OptimizationResult]:

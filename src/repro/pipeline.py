@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .api.limits import Limits
 from .egraph.analysis import ShapeAnalysis
 from .egraph.egraph import EGraph
 from .egraph.runner import RunResult, Runner, StepRecord
@@ -20,11 +21,10 @@ from .targets.base import Target
 
 __all__ = ["OptimizationResult", "optimize", "optimize_term", "DEFAULT_LIMITS"]
 
-DEFAULT_LIMITS = {
-    "step_limit": 8,
-    "node_limit": 10_000,
-    "time_limit": 120.0,
-}
+# Kept as a plain dict for backward compatibility; the values come from
+# the unified :class:`repro.api.Limits` profile (8 steps, 12 000
+# e-nodes, 120 s) that every entry point now shares.
+DEFAULT_LIMITS = Limits().to_dict()
 
 
 @dataclass

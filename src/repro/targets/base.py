@@ -88,12 +88,13 @@ def pytorch_target(config: Optional[CoreRuleConfig] = None) -> Target:
 
 
 def make_target(name: str, config: Optional[CoreRuleConfig] = None) -> Target:
-    """Build a target by name (``pure_c``, ``blas``, or ``pytorch``)."""
-    factories = {
-        "pure_c": pure_c_target,
-        "blas": blas_target,
-        "pytorch": pytorch_target,
-    }
-    if name not in factories:
-        raise ValueError(f"unknown target {name!r}; expected one of {TARGET_NAMES}")
-    return factories[name](config)
+    """Build a target by registered name.
+
+    Backward-compatible shim over :mod:`repro.api.registry`: the three
+    built-ins (``pure_c``, ``blas``, ``pytorch``) are always available,
+    and any target registered via ``@register_target`` resolves here
+    too.
+    """
+    from ..api.registry import target_registry
+
+    return target_registry.get(name, config)

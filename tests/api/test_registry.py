@@ -1,0 +1,96 @@
+"""Tests for the pluggable target registry (repro.api.registry)."""
+
+import pytest
+
+from repro.api import TargetRegistry, register_target, target_registry
+from repro.targets import make_target
+from repro.targets.base import Target, pure_c_target
+
+
+def toy_factory() -> Target:
+    target = pure_c_target()
+    target.name = "toy-test"
+    return target
+
+
+class TestRegistry:
+    def test_builtins_are_preregistered(self):
+        for name in ("pure_c", "blas", "pytorch"):
+            assert name in target_registry
+            assert target_registry.get(name).name == name
+
+    def test_register_and_get(self):
+        registry = TargetRegistry()
+        registry.register("toy-test", toy_factory)
+        assert "toy-test" in registry
+        assert registry.get("toy-test").name == "toy-test"
+        assert registry.get("toy-test") is not registry.get("toy-test")
+
+    def test_duplicate_name_is_an_error(self):
+        registry = TargetRegistry()
+        registry.register("toy-test", toy_factory)
+        with pytest.raises(ValueError, match="duplicate target"):
+            registry.register("toy-test", toy_factory)
+        registry.register("toy-test", toy_factory, overwrite=True)  # explicit
+
+    def test_unknown_name_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            TargetRegistry().get("cuda")
+
+    def test_bad_registrations_rejected(self):
+        registry = TargetRegistry()
+        with pytest.raises(ValueError):
+            registry.register("", toy_factory)
+        with pytest.raises(TypeError):
+            registry.register("x", "not-callable")
+
+    def test_factory_must_return_target(self):
+        registry = TargetRegistry()
+        registry.register("broken", lambda: 42)
+        with pytest.raises(TypeError, match="expected a Target"):
+            registry.get("broken")
+
+    def test_unregister(self):
+        registry = TargetRegistry()
+        registry.register("toy-test", toy_factory)
+        registry.unregister("toy-test")
+        assert "toy-test" not in registry
+        registry.unregister("toy-test")  # idempotent
+
+
+class TestDecorator:
+    def test_decorator_registers_into_given_registry(self):
+        registry = TargetRegistry()
+
+        @register_target("toy-test", registry=registry)
+        def factory() -> Target:
+            return toy_factory()
+
+        assert "toy-test" in registry
+        assert "toy-test" not in target_registry
+        assert registry.get("toy-test").name == "toy-test"
+
+    def test_decorator_returns_factory_unchanged(self):
+        registry = TargetRegistry()
+
+        @register_target("toy-test", registry=registry)
+        def factory() -> Target:
+            return toy_factory()
+
+        assert factory().name == "toy-test"
+
+
+class TestMakeTargetShim:
+    def test_builtins_resolve(self):
+        assert make_target("blas").name == "blas"
+
+    def test_unknown_target_still_valueerror(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            make_target("cuda")
+
+    def test_custom_registration_reaches_make_target(self):
+        target_registry.register("toy-shim-test", toy_factory)
+        try:
+            assert make_target("toy-shim-test").name == "toy-test"
+        finally:
+            target_registry.unregister("toy-shim-test")

@@ -1,0 +1,265 @@
+"""Tests for the Session facade: caching, batching, custom targets,
+and the legacy shim surface."""
+
+import pytest
+
+from repro.api import (
+    Limits,
+    OptimizationRequest,
+    Session,
+    TargetRegistry,
+    target_registry,
+)
+from repro.api.session import _execute_payload
+from repro.ir import pretty
+from repro.ir.builders import build, lam, sym, v
+from repro.ir.shapes import vector
+from repro.kernels import registry as kernel_registry
+from repro.targets.base import blas_target
+
+FAST = Limits(step_limit=2, node_limit=500)
+PAIRS = [
+    ("memset", "blas"),
+    ("vsum", "blas"),
+    ("memset", "pytorch"),
+    ("vsum", "pytorch"),
+]
+
+
+@pytest.fixture
+def clone_target():
+    """A custom target registered under a fresh name for the test."""
+
+    def factory():
+        target = blas_target()
+        target.name = "test-blas-clone"
+        return target
+
+    target_registry.register("test-blas-clone", factory)
+    yield "test-blas-clone"
+    target_registry.unregister("test-blas-clone")
+
+
+class TestOptimize:
+    def test_repeat_returns_identical_object(self):
+        session = Session(FAST)
+        first = session.optimize("memset", "blas")
+        second = session.optimize("memset", "blas")
+        assert first is second
+        assert session.runs == 1
+
+    def test_distinct_limits_distinct_runs(self):
+        session = Session(FAST)
+        first = session.optimize("memset", "blas")
+        second = session.optimize("memset", "blas", step_limit=1)
+        assert first is not second
+        assert session.runs == 2
+
+    def test_kernel_and_target_objects_accepted(self):
+        session = Session(FAST)
+        kernel = kernel_registry.get("memset")
+        result = session.optimize(kernel, blas_target())
+        assert result.kernel_name == "memset"
+        assert result.target_name == "blas"
+
+    def test_limits_resolve_through_session(self):
+        session = Session(Limits(step_limit=1, node_limit=400))
+        result = session.optimize("memset", "blas")
+        assert result.run.num_steps <= 1
+
+    def test_unknown_names_fail_fast(self):
+        session = Session(FAST)
+        with pytest.raises(KeyError):
+            session.optimize("not-a-kernel", "blas")
+        with pytest.raises(ValueError, match="unknown target"):
+            session.optimize("memset", "cuda")
+
+
+class TestOptimizeMany:
+    def test_batch_uses_the_process_pool(self, monkeypatch):
+        session = Session(FAST)
+        pooled = []
+        original = session._execute_pool
+
+        def spy(payloads, max_workers):
+            pooled.append(len(payloads))
+            return original(payloads, max_workers)
+
+        monkeypatch.setattr(session, "_execute_pool", spy)
+        reports = session.optimize_many(PAIRS)
+        assert pooled == [len(PAIRS)]
+        assert [r.kernel for r in reports] == [k for k, _ in PAIRS]
+        assert [r.target for r in reports] == [t for _, t in PAIRS]
+        assert all(r.ok for r in reports)
+        assert all(not r.cache_hit for r in reports)
+        assert session.runs == len(PAIRS)
+
+    def test_second_invocation_is_all_cache_hits(self):
+        session = Session(FAST)
+        session.optimize_many(PAIRS)
+        runs_after_first = session.runs
+        again = session.optimize_many(PAIRS)
+        assert all(r.cache_hit for r in again)
+        assert session.runs == runs_after_first  # no re-saturation
+        assert [(r.kernel, r.target, r.solution_summary) for r in again] == [
+            (r.kernel, r.target, r.solution_summary)
+            for r in session.optimize_many(PAIRS, parallel=False)
+        ]
+
+    def test_serial_and_parallel_agree(self):
+        parallel = Session(FAST).optimize_many(PAIRS)
+        serial = Session(FAST).optimize_many(PAIRS, parallel=False)
+        assert [(r.solution, r.library_calls) for r in parallel] == [
+            (r.solution, r.library_calls) for r in serial
+        ]
+
+    def test_single_run_matches_batch_report(self):
+        session = Session(FAST)
+        result = session.optimize("vsum", "blas")
+        report = session.optimize_many([("vsum", "blas")])[0]
+        assert report.cache_hit  # optimize() already populated the cache
+        assert report.best_term == result.best_term
+
+    def test_term_requests(self):
+        request = OptimizationRequest(
+            target="blas",
+            term=pretty(build(8, lam(sym("xs")[v(0)]))),
+            symbol_shapes={"xs": [8]},
+            name="copy8",
+        )
+        session = Session(FAST)
+        report = session.optimize_many([request], parallel=False)[0]
+        assert report.ok
+        assert report.kernel == "copy8"
+        assert report.solution is not None
+
+    def test_request_validation_fails_fast(self):
+        session = Session(FAST)
+        with pytest.raises(ValueError, match="unknown target"):
+            session.optimize_many([("memset", "cuda")])
+        with pytest.raises(KeyError):
+            session.optimize_many([("nope", "blas")])
+        with pytest.raises(TypeError):
+            session.optimize_many(["memset"])
+
+    def test_worker_errors_become_error_reports(self):
+        payload = {
+            "target": "blas",
+            "limits": FAST.to_dict(),
+            "term": "build 8 (λ",  # malformed IR
+            "name": "broken",
+        }
+        report_dict = _execute_payload(payload, target_registry)
+        assert report_dict["error"] is not None
+        assert report_dict["kernel"] == "broken"
+
+
+class TestCustomTargets:
+    def test_custom_target_through_batch_path(self, clone_target):
+        session = Session(FAST)
+        reports = session.optimize_many(
+            [("memset", clone_target), ("memset", "blas")]
+        )
+        assert all(r.ok for r in reports)
+        # Same rules + cost model → identical solution via either name.
+        assert reports[0].solution == reports[1].solution
+        assert reports[0].target == clone_target
+
+    def test_custom_target_single_run(self, clone_target):
+        session = Session(FAST)
+        result = session.optimize("memset", clone_target)
+        assert result.target_name == clone_target
+        assert result.library_calls == {"memset": 1}
+
+    def test_private_registry_sessions_stay_in_process(self):
+        registry = TargetRegistry()
+        registry.register("private-blas", blas_target)
+        session = Session(FAST, registry=registry)
+        reports = session.optimize_many(
+            [("memset", "private-blas"), ("vsum", "private-blas")]
+        )
+        assert all(r.ok for r in reports)
+        with pytest.raises(ValueError, match="unknown target"):
+            session.optimize_many([("memset", "blas")])  # not in private registry
+
+    def test_private_kernel_registry_sessions_stay_in_process(self):
+        import dataclasses
+
+        from repro.kernels.base import KernelRegistry
+
+        kernels = KernelRegistry()
+        kernels.register(dataclasses.replace(
+            kernel_registry.get("memset"), name="my-memset"
+        ))
+        session = Session(FAST, kernels=kernels)
+        reports = session.optimize_many(
+            [("my-memset", "blas"), ("my-memset", "pytorch")]
+        )
+        assert all(r.ok for r in reports)
+        assert [r.kernel for r in reports] == ["my-memset", "my-memset"]
+
+
+class TestDiskCache:
+    def test_reports_persist_across_sessions(self, tmp_path):
+        first = Session(FAST, cache_dir=tmp_path)
+        first.optimize_many(PAIRS, parallel=False)
+        assert first.runs == len(PAIRS)
+        assert len(list(tmp_path.glob("*.json"))) == len(PAIRS)
+
+        second = Session(FAST, cache_dir=tmp_path)
+        reports = second.optimize_many(PAIRS, parallel=False)
+        assert all(r.cache_hit for r in reports)
+        assert second.runs == 0  # answered entirely from disk
+        assert second.cache.stats.disk_hits == len(PAIRS)
+
+    def test_corrupt_entries_degrade_to_miss(self, tmp_path):
+        session = Session(FAST, cache_dir=tmp_path)
+        session.optimize_many([("memset", "blas")], parallel=False)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        fresh = Session(FAST, cache_dir=tmp_path)
+        reports = fresh.optimize_many([("memset", "blas")], parallel=False)
+        assert reports[0].ok
+        assert not reports[0].cache_hit
+
+
+class TestLegacyShims:
+    def test_module_level_optimize_matches_pipeline(self):
+        import repro
+        from repro.pipeline import optimize as pipeline_optimize
+
+        kernel = kernel_registry.get("vsum")
+        direct = pipeline_optimize(
+            kernel, blas_target(), step_limit=3, node_limit=1500
+        )
+        shimmed = repro.optimize(
+            kernel, repro.make_target("blas"), step_limit=3, node_limit=1500
+        )
+        assert shimmed.best_term == direct.best_term
+        assert shimmed.library_calls == direct.library_calls
+
+    def test_module_level_optimize_accepts_names(self):
+        import repro
+
+        result = repro.optimize("memset", "blas", step_limit=2, node_limit=500)
+        assert result.kernel_name == "memset"
+        assert result.library_calls == {"memset": 1}
+
+    def test_module_level_optimize_term(self):
+        import repro
+        from repro.pipeline import optimize_term as pipeline_optimize_term
+
+        term = build(8, lam(sym("xs")[v(0)] + sym("ys")[v(0)]))
+        shapes = {"xs": vector(8), "ys": vector(8)}
+        direct = pipeline_optimize_term(
+            term, blas_target(), shapes, step_limit=3, node_limit=1500
+        )
+        shimmed = repro.optimize_term(
+            term, "blas", shapes, step_limit=3, node_limit=1500
+        )
+        assert shimmed.best_term == direct.best_term
+
+    def test_make_target_serves_registered_names(self, clone_target):
+        import repro
+
+        assert repro.make_target(clone_target).name == clone_target
