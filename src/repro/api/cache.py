@@ -13,7 +13,13 @@ so results are cached aggressively:
 
 Keys are content hashes of (term text × symbol shapes × target name ×
 limits) — see :func:`repro.api.types.report_cache_key` — so a cache
-never confuses runs with different budgets or targets.
+never confuses runs with different budgets or targets.  Distinct
+kernels may share one content key (table I's jacobi1d and blur1d have
+identical terms); the session relabels such entries with the caller's
+kernel name on retrieval, so sharing never leaks another kernel's name.
+Re-registered target definitions (registry generation > 0) are cached
+in memory only — their generation counter is process-local, so their
+keys would be ambiguous in a disk directory shared across processes.
 """
 
 from __future__ import annotations
@@ -72,21 +78,30 @@ class ResultCache:
     def put_result(self, key: str, result) -> None:
         self._results[key] = result
 
+    def drop_result(self, key: str) -> None:
+        self._results.pop(key, None)
+
     # -- reports (tier 1 dict, tier 2 JSON files) -----------------------
     def _path(self, key: str) -> Optional[Path]:
         if self.cache_dir is None:
             return None
         return self.cache_dir / f"{key}.json"
 
-    def get_report(self, key: str) -> Optional[OptimizationReport]:
+    def get_report(self, key: str, *, disk: bool = True) -> Optional[OptimizationReport]:
         report = self._reports.get(key)
         if report is not None:
             self.stats.hits += 1
             return report
-        path = self._path(key)
-        if path is not None and path.exists():
+        path = self._path(key) if disk else None
+        if path is not None:
             try:
-                report = OptimizationReport.from_json(path.read_text())
+                text = path.read_text()
+            except OSError:
+                # Missing, or deleted/unreadable under a concurrent
+                # session sharing the directory: treat as a miss.
+                return None
+            try:
+                report = OptimizationReport.from_json(text)
             except (ValueError, TypeError, KeyError):
                 return None  # corrupt entry: treat as a miss
             self._reports[key] = report
@@ -95,10 +110,10 @@ class ResultCache:
             return report
         return None
 
-    def put_report(self, key: str, report: OptimizationReport) -> None:
+    def put_report(self, key: str, report: OptimizationReport, *, disk: bool = True) -> None:
         self._reports[key] = report
         self.stats.stores += 1
-        path = self._path(key)
+        path = self._path(key) if disk else None
         if path is None:
             return
         # Atomic write: concurrent sessions may share the directory.

@@ -41,6 +41,9 @@ class TargetRegistry:
 
     def __init__(self) -> None:
         self._factories: Dict[str, TargetFactory] = {}
+        # Bumped every time a name is (re)bound, so sessions can tell a
+        # re-registered definition from the one they cached under.
+        self._generations: Dict[str, int] = {}
 
     def register(
         self,
@@ -58,10 +61,17 @@ class TargetRegistry:
                 f"duplicate target {name!r}; pass overwrite=True to replace it"
             )
         self._factories[name] = factory
+        self._generations[name] = self._generations.get(name, -1) + 1
         return factory
 
     def unregister(self, name: str) -> None:
+        # The generation survives so a later re-registration under the
+        # same name still reads as a new definition.
         self._factories.pop(name, None)
+
+    def generation(self, name: str) -> int:
+        """How many times ``name`` has been re-bound (0 = first)."""
+        return self._generations.get(name, 0)
 
     def get(self, name: str, config: Optional[CoreRuleConfig] = None) -> Target:
         """Build a fresh :class:`Target` by registered name."""

@@ -25,7 +25,10 @@ Typical use::
 from __future__ import annotations
 
 import os
+import weakref
+from time import perf_counter
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace as dc_replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -64,8 +67,6 @@ def _execute_payload(payload: dict, registry: TargetRegistry,
     so a custom target registered via ``@register_target`` optimizes
     through exactly the same code path as the built-ins.
     """
-    from time import perf_counter
-
     try:
         from ..ir.parser import parse
         from ..pipeline import optimize_term as _pipeline_optimize_term
@@ -97,6 +98,14 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _evict_adhoc(session_ref, ident: int, token: str) -> None:
+    """Finalizer for ad-hoc targets; weak session ref avoids pinning
+    the session for as long as a caller's target lives."""
+    session = session_ref()
+    if session is not None:
+        session._evict_adhoc(ident, token)
+
+
 def _pool_worker(payload: dict) -> dict:
     """Process-pool entry point: resolves through the global registry.
 
@@ -124,10 +133,13 @@ class Session:
         self.cache = ResultCache(
             Path(cache_dir).expanduser() if cache_dir is not None else None
         )
-        self._targets: Dict[str, Target] = {}
-        # Ad-hoc Target objects are cache-keyed by id(); pin them so a
-        # recycled id can never alias a stale entry to a new target.
-        self._adhoc_targets: Dict[int, Target] = {}
+        self._targets: Dict[str, Tuple[int, Target]] = {}
+        # Ad-hoc Target objects are cache-keyed by id().  A weakref
+        # finalizer evicts their cache entries when the target is
+        # collected, so a recycled id can never alias a stale entry to
+        # a new target and per-request targets don't accumulate.
+        self._adhoc_tokens: Dict[int, str] = {}
+        self._adhoc_keys: Dict[str, set] = {}
         #: Saturation runs actually executed (cache misses); the
         #: acceptance counter for "no re-saturation on repeat calls".
         self.runs = 0
@@ -136,10 +148,29 @@ class Session:
     # target / limits resolution
     # ------------------------------------------------------------------
     def target(self, name: str) -> Target:
-        """Build (once) and return the named target."""
-        if name not in self._targets:
-            self._targets[name] = self.registry.get(name)
-        return self._targets[name]
+        """Build (once per registry generation) the named target.
+
+        Re-registering a name (``overwrite=True``) invalidates the
+        memoized object, and an unregistered name fails here exactly
+        like it does in ``optimize_many`` — sessions never serve a
+        stale or removed definition.
+        """
+        if name not in self.registry:
+            self._targets.pop(name, None)
+            return self.registry.get(name)  # raises the standard ValueError
+        generation = self.registry.generation(name)
+        cached = self._targets.get(name)
+        if cached is None or cached[0] != generation:
+            self._targets[name] = (generation, self.registry.get(name))
+        return self._targets[name][1]
+
+    def _target_token(self, name: str) -> str:
+        """Cache token for a named target.  Generation 0 (built-ins and
+        first registrations) keeps the bare name so keys stay stable
+        across processes; re-registered definitions get distinct keys
+        instead of inheriting the old definition's cached results."""
+        generation = self.registry.generation(name)
+        return name if generation == 0 else f"{name}@{generation}"
 
     def target_names(self) -> List[str]:
         return self.registry.names()
@@ -207,11 +238,28 @@ class Session:
         named = isinstance(target, str)
         target_obj = self.target(target) if named else target
         key = self._term_key(term, symbol_shapes, target, limits)
-        if key is not None:
-            cached = self.cache.get_result(key)
+        name_key = None if key is None else f"{key}|name={kernel_name}"
+        if name_key is not None and not named:
+            # Remember which entries belong to this ad-hoc target so
+            # its finalizer can evict them.
+            token = self._adhoc_tokens[id(target_obj)]
+            self._adhoc_keys.setdefault(token, set()).update((key, name_key))
+        if name_key is not None:
+            cached = self.cache.get_result(name_key)
             if cached is not None:
                 return cached
+            # Content-identical run done under another kernel name (the
+            # table-I jacobi1d / blur1d pair share one term): reuse the
+            # saturation but relabel for this caller, and pin the copy
+            # so repeated calls return the identical object.
+            base = self.cache.get_result(key)
+            if base is not None:
+                if base.kernel_name != kernel_name:
+                    base = dc_replace(base, kernel_name=kernel_name)
+                self.cache.put_result(name_key, base)
+                return base
             self.cache.miss()
+        started = perf_counter()
         result = _pipeline_optimize_term(
             term,
             target_obj,
@@ -219,12 +267,20 @@ class Session:
             kernel_name=kernel_name,
             **limits.as_kwargs(),
         )
+        seconds = perf_counter() - started
         self.runs += 1
-        if key is not None:
+        if name_key is not None:
             self.cache.put_result(key, result)
+            self.cache.put_result(name_key, result)
             if named:  # only name-resolved targets are reproducible on disk
                 self.cache.put_report(
-                    key, OptimizationReport.from_result(result, limits)
+                    key,
+                    OptimizationReport.from_result(result, limits, seconds),
+                    # Registered names denote process-local definitions:
+                    # two processes can bind different targets to the
+                    # same name, so only the built-ins — whose meaning
+                    # is fixed — reach the shared disk tier.
+                    disk=target in BUILTIN_TARGETS,
                 )
         return result
 
@@ -243,11 +299,34 @@ class Session:
         except TypeError:
             return None
         if isinstance(target, str):
-            token = target
+            token = self._target_token(target)
         else:
-            self._adhoc_targets[id(target)] = target
-            token = f"{target.name}#{id(target)}"
+            token = self._adhoc_token(target)
+            if token is None:
+                return None
         return report_cache_key(pretty(term), spec, token, limits.key())
+
+    def _adhoc_token(self, target: Target) -> Optional[str]:
+        """id()-based cache token for an unregistered Target object."""
+        ident = id(target)
+        token = self._adhoc_tokens.get(ident)
+        if token is None:
+            token = f"{target.name}#{ident}"
+            try:
+                weakref.finalize(
+                    target, _evict_adhoc, weakref.ref(self), ident, token
+                )
+            except TypeError:
+                return None  # not weak-referenceable: don't cache
+            self._adhoc_tokens[ident] = token
+        return token
+
+    def _evict_adhoc(self, ident: int, token: str) -> None:
+        """Drop a collected ad-hoc target's cache entries."""
+        if self._adhoc_tokens.get(ident) == token:
+            del self._adhoc_tokens[ident]
+        for key in self._adhoc_keys.pop(token, ()):
+            self.cache.drop_result(key)
 
     # ------------------------------------------------------------------
     # batch API (OptimizationReports, process pool)
@@ -274,27 +353,61 @@ class Session:
         normalized = [self._normalize_request(r) for r in requests]
         payloads = [self._payload(r) for r in normalized]
         keys = [p.pop("cache_key") for p in payloads]
+        durable = [p.pop("durable") for p in payloads]
 
         reports: List[Optional[OptimizationReport]] = [None] * len(payloads)
         pending: List[int] = []
         for index, key in enumerate(keys):
-            cached = self.cache.get_report(key) if key is not None else None
+            cached = (
+                self.cache.get_report(key, disk=durable[index])
+                if key is not None else None
+            )
             if cached is not None:
-                reports[index] = dc_replace(cached, cache_hit=True)
+                # Content-keyed entries may have been stored by a
+                # different-named kernel with an identical term; the
+                # reply must carry *this* request's name.
+                reports[index] = dc_replace(
+                    cached,
+                    kernel=normalized[index].display_name,
+                    cache_hit=True,
+                )
             else:
                 if key is not None:
                     self.cache.miss()
                 pending.append(index)
 
         if pending:
-            fresh = self._execute_batch(
-                [payloads[i] for i in pending], parallel, max_workers
-            )
-            self.runs += len(pending)
-            for index, report in zip(pending, fresh):
+            # Content-identical requests in one cold batch (jacobi1d /
+            # blur1d share a term) execute once; the duplicates reuse
+            # the primary's report under their own kernel name.
+            primary: Dict[str, int] = {}
+            unique: List[int] = []
+            for index in pending:
+                key = keys[index]
+                if key is not None:
+                    if key in primary:
+                        continue
+                    primary[key] = index
+                unique.append(index)
+            fresh = dict(zip(unique, self._execute_batch(
+                [payloads[i] for i in unique], parallel, max_workers
+            )))
+            self.runs += len(unique)
+            for index in pending:
+                report = fresh.get(index)
+                executed = report is not None
+                if report is None:
+                    report = dc_replace(
+                        fresh[primary[keys[index]]],
+                        kernel=normalized[index].display_name,
+                    )
                 reports[index] = report
-                if report.ok and keys[index] is not None:
-                    self.cache.put_report(keys[index], report)
+                # Duplicates share the primary's entry; re-storing it
+                # would just rewrite the same key (and disk file).
+                if executed and report.ok and keys[index] is not None:
+                    self.cache.put_report(
+                        keys[index], report, disk=durable[index]
+                    )
         return [r for r in reports if r is not None]
 
     def _normalize_request(self, request: RequestLike) -> OptimizationRequest:
@@ -338,8 +451,12 @@ class Session:
             term_text = request.term
             spec = request.symbol_shapes
         payload["cache_key"] = report_cache_key(
-            term_text, spec, request.target, limits.key()
+            term_text, spec, self._target_token(request.target), limits.key()
         )
+        # Only built-in targets are disk-durable: a registered name is a
+        # process-local binding, and another process may have bound a
+        # different definition to it under the same cache directory.
+        payload["durable"] = request.target in BUILTIN_TARGETS
         return payload
 
     def _execute_batch(
@@ -367,8 +484,12 @@ class Session:
         if use_pool:
             try:
                 return self._execute_pool(payloads, max_workers)
-            except OSError:
-                pass  # pool unavailable (sandbox, fd limits): run serially
+            except (OSError, BrokenProcessPool):
+                # Pool could not be constructed at all (sandbox, fd
+                # limits): run serially.  Breaks during submission or
+                # execution are handled inside _execute_pool without
+                # discarding completed results.
+                pass
         return [
             OptimizationReport.from_dict(
                 _execute_payload(p, self.registry, self.kernels)
@@ -388,10 +509,33 @@ class Session:
             # Fork inherits runtime-registered targets and the kernel
             # registry; spawn would only see import-time registrations.
             context = multiprocessing.get_context("fork")
+        dicts: List[Optional[dict]] = [None] * len(payloads)
+        futures: List = []
         with ProcessPoolExecutor(
             max_workers=max_workers, mp_context=context
         ) as pool:
-            dicts = list(pool.map(_pool_worker, payloads))
+            try:
+                for p in payloads:
+                    futures.append(pool.submit(_pool_worker, p))
+            except (OSError, BrokenProcessPool):
+                # Pool broke mid-submission: the futures already in
+                # flight are still harvested below; the never-submitted
+                # tail runs in-process after the pool shuts down.
+                pass
+            for index, future in enumerate(futures):
+                try:
+                    dicts[index] = future.result()
+                except (OSError, BrokenProcessPool):
+                    # A worker died mid-batch (OOM kill).  Completed
+                    # results are kept; only the casualties rerun
+                    # in-process (availability over memory caution).
+                    dicts[index] = _execute_payload(
+                        payloads[index], self.registry, self.kernels
+                    )
+        for index in range(len(futures), len(payloads)):
+            dicts[index] = _execute_payload(
+                payloads[index], self.registry, self.kernels
+            )
         return [OptimizationReport.from_dict(d) for d in dicts]
 
 

@@ -121,6 +121,30 @@ def _time_and_check(kernel, target, solution, budget, speedups) -> bool:
     return True
 
 
+def _report_row(report, target_name, seconds, quiet) -> Optional[SolutionRow]:
+    """Print one report's status line and convert it to a table row.
+
+    Returns ``None`` (after printing to stderr) for failed reports.
+    """
+    if not report.ok:
+        print(f"error: [{target_name}] {report.kernel}: {report.error}",
+              file=sys.stderr)
+        return None
+    if not quiet:
+        hit = " (cached)" if report.cache_hit else ""
+        print(
+            f"[{target_name}] {report.kernel:10s} {seconds:6.1f}s "
+            f"steps={report.steps} nodes={report.enodes:6d} "
+            f"[{report.solution_summary}]{hit}"
+        )
+    return SolutionRow(
+        kernel=report.kernel,
+        externs=format_externs(report.library_calls),
+        steps=report.steps,
+        enodes=report.enodes,
+    )
+
+
 def _parallel_rows(session, kernels, target_name, args, quiet) -> tuple:
     """Batch one target's kernels through the process pool."""
     reports = session.optimize_many(
@@ -129,24 +153,11 @@ def _parallel_rows(session, kernels, target_name, args, quiet) -> tuple:
     )
     rows, failures = [], 0
     for report in reports:
-        if not report.ok:
-            print(f"error: [{target_name}] {report.kernel}: {report.error}",
-                  file=sys.stderr)
+        row = _report_row(report, target_name, report.seconds, quiet)
+        if row is None:
             failures += 1
             continue
-        if not quiet:
-            hit = " (cached)" if report.cache_hit else ""
-            print(
-                f"[{target_name}] {report.kernel:10s} {report.seconds:6.1f}s "
-                f"steps={report.steps} nodes={report.enodes:6d} "
-                f"[{report.solution_summary}]{hit}"
-            )
-        rows.append(SolutionRow(
-            kernel=report.kernel,
-            externs=format_externs(report.library_calls),
-            steps=report.steps,
-            enodes=report.enodes,
-        ))
+        rows.append(row)
     return rows, failures
 
 
@@ -190,25 +201,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 started = time.perf_counter()
                 report = session.report((kernel.name, target_name))
                 elapsed = time.perf_counter() - started
-                if not report.ok:
-                    print(f"error: [{target_name}] {kernel.name}: "
-                          f"{report.error}", file=sys.stderr)
+                row = _report_row(report, target_name, elapsed, args.quiet)
+                if row is None:
                     exit_code = 1
                     continue
-                rows.append(SolutionRow(
-                    kernel=report.kernel,
-                    externs=format_externs(report.library_calls),
-                    steps=report.steps,
-                    enodes=report.enodes,
-                ))
-                if not args.quiet:
-                    hit = " (cached)" if report.cache_hit else ""
-                    print(
-                        f"[{target_name}] {kernel.name:10s} {elapsed:6.1f}s "
-                        f"steps={report.steps} "
-                        f"nodes={report.enodes:6d} "
-                        f"[{report.solution_summary}]{hit}"
-                    )
+                rows.append(row)
                 if args.run and report.solution is not None:
                     if not _time_and_check(
                         kernel, target, report.best_term, args.budget, speedups

@@ -37,6 +37,16 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown target"):
             TargetRegistry().get("cuda")
 
+    def test_generation_bumps_on_rebinding(self):
+        registry = TargetRegistry()
+        registry.register("toy-test", toy_factory)
+        assert registry.generation("toy-test") == 0
+        registry.register("toy-test", toy_factory, overwrite=True)
+        assert registry.generation("toy-test") == 1
+        registry.unregister("toy-test")
+        registry.register("toy-test", toy_factory)
+        assert registry.generation("toy-test") == 2
+
     def test_bad_registrations_rejected(self):
         registry = TargetRegistry()
         with pytest.raises(ValueError):

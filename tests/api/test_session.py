@@ -74,6 +74,20 @@ class TestOptimize:
         with pytest.raises(ValueError, match="unknown target"):
             session.optimize("memset", "cuda")
 
+    def test_identical_terms_share_saturation_but_keep_their_names(self):
+        # jacobi1d and blur1d are distinct table-I kernels whose IR
+        # terms are byte-identical (both uniform 3-point stencils), so
+        # the content-addressed cache reuses one saturation run — but
+        # each caller must get a result labeled with its own kernel.
+        session = Session(FAST)
+        first = session.optimize("jacobi1d", "blas")
+        second = session.optimize("blur1d", "blas")
+        assert session.runs == 1  # one saturation served both
+        assert first.kernel_name == "jacobi1d"
+        assert second.kernel_name == "blur1d"
+        assert second.best_term == first.best_term
+        assert session.optimize("blur1d", "blas") is second
+
 
 class TestOptimizeMany:
     def test_batch_uses_the_process_pool(self, monkeypatch):
@@ -119,6 +133,18 @@ class TestOptimizeMany:
         report = session.optimize_many([("vsum", "blas")])[0]
         assert report.cache_hit  # optimize() already populated the cache
         assert report.best_term == result.best_term
+        assert report.seconds > 0  # real saturation time, not 0.0
+
+    def test_identical_term_reports_keep_their_names(self):
+        session = Session(FAST)
+        reports = session.optimize_many(
+            [("jacobi1d", "blas"), ("blur1d", "blas")], parallel=False
+        )
+        assert [r.kernel for r in reports] == ["jacobi1d", "blur1d"]
+        assert session.runs == 1  # cold batch deduped by content key
+        again = session.optimize_many([("jacobi1d", "blas")], parallel=False)[0]
+        assert again.cache_hit
+        assert again.kernel == "jacobi1d"
 
     def test_term_requests(self):
         request = OptimizationRequest(
@@ -141,6 +167,19 @@ class TestOptimizeMany:
             session.optimize_many([("nope", "blas")])
         with pytest.raises(TypeError):
             session.optimize_many(["memset"])
+
+    def test_broken_pool_falls_back_to_serial(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        session = Session(FAST)
+
+        def broken(payloads, max_workers):
+            raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(session, "_execute_pool", broken)
+        reports = session.optimize_many(PAIRS)
+        assert all(r.ok for r in reports)
+        assert [r.kernel for r in reports] == [k for k, _ in PAIRS]
 
     def test_worker_errors_become_error_reports(self):
         payload = {
@@ -170,6 +209,61 @@ class TestCustomTargets:
         result = session.optimize("memset", clone_target)
         assert result.target_name == clone_target
         assert result.library_calls == {"memset": 1}
+
+    def test_unregistered_name_fails_in_both_entry_points(self):
+        name = "test-unreg"
+        target_registry.register(name, blas_target)
+        try:
+            session = Session(FAST)
+            session.optimize("memset", name)
+        finally:
+            target_registry.unregister(name)
+        with pytest.raises(ValueError, match="unknown target"):
+            session.optimize("memset", name)
+        with pytest.raises(ValueError, match="unknown target"):
+            session.optimize_many([("memset", name)])
+
+    def test_reregistration_invalidates_session_cache(self):
+        from repro.targets.base import pure_c_target
+
+        name = "test-rereg"
+
+        def make_blas():
+            target = blas_target()
+            target.name = name
+            return target
+
+        def make_pure():
+            target = pure_c_target()
+            target.name = name
+            return target
+
+        target_registry.register(name, make_blas)
+        try:
+            session = Session(FAST)
+            first = session.optimize("memset", name)
+            assert first.library_calls == {"memset": 1}
+            target_registry.register(name, make_pure, overwrite=True)
+            second = session.optimize("memset", name)
+            assert session.runs == 2  # stale cached result not served
+            assert second.library_calls == {}
+        finally:
+            target_registry.unregister(name)
+
+    def test_adhoc_target_entries_evicted_on_collection(self):
+        import gc
+
+        session = Session(FAST)
+        target = blas_target()
+        session.optimize("memset", target)
+        session.optimize("memset", target)
+        assert session.runs == 1  # second call answered from cache
+        assert len(session.cache) > 0
+        del target
+        gc.collect()
+        assert len(session.cache) == 0
+        assert session._adhoc_tokens == {}
+        assert session._adhoc_keys == {}
 
     def test_private_registry_sessions_stay_in_process(self):
         registry = TargetRegistry()
@@ -211,6 +305,50 @@ class TestDiskCache:
         assert all(r.cache_hit for r in reports)
         assert second.runs == 0  # answered entirely from disk
         assert second.cache.stats.disk_hits == len(PAIRS)
+
+    def test_unreadable_entries_degrade_to_miss(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        session = Session(FAST, cache_dir=tmp_path)
+        session.optimize_many([("memset", "blas")], parallel=False)
+
+        def racy_read(self, *args, **kwargs):
+            # A concurrent session deleted the entry between the lookup
+            # and the read.
+            raise FileNotFoundError(str(self))
+
+        monkeypatch.setattr(Path, "read_text", racy_read)
+        fresh = Session(FAST, cache_dir=tmp_path)
+        reports = fresh.optimize_many([("memset", "blas")], parallel=False)
+        assert reports[0].ok
+        assert not reports[0].cache_hit
+
+    def test_custom_targets_stay_off_disk(self, tmp_path):
+        name = "test-gen-disk"
+
+        def make():
+            target = blas_target()
+            target.name = name
+            return target
+
+        target_registry.register(name, make)
+        try:
+            # A registered name is a process-local binding: another
+            # process may bind a different definition to the same name
+            # over the same cache directory, so no custom target — not
+            # even a first registration — reaches the disk tier...
+            session = Session(FAST, cache_dir=tmp_path)
+            session.optimize_many([("memset", name)], parallel=False)
+            assert list(tmp_path.glob("*.json")) == []
+            # ...and re-registering keeps it off disk too...
+            target_registry.register(name, make, overwrite=True)
+            session.optimize_many([("memset", name)], parallel=False)
+            assert list(tmp_path.glob("*.json")) == []
+            # ...but the in-memory tier still serves repeats.
+            again = session.optimize_many([("memset", name)], parallel=False)[0]
+            assert again.cache_hit
+        finally:
+            target_registry.unregister(name)
 
     def test_corrupt_entries_degrade_to_miss(self, tmp_path):
         session = Session(FAST, cache_dir=tmp_path)
