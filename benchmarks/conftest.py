@@ -35,6 +35,8 @@ PARTIAL_RUN_KNOBS = (
     "REPRO_STEP_LIMIT",
     "REPRO_NODE_LIMIT",
     "REPRO_TIME_LIMIT",
+    "REPRO_SCHEDULER",
+    "REPRO_INCREMENTAL",
 )
 
 

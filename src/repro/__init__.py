@@ -97,6 +97,7 @@ def optimize(
     step_limit: Optional[int] = None,
     node_limit: Optional[int] = None,
     time_limit: Optional[float] = None,
+    scheduler: Optional[str] = None,
 ) -> OptimizationResult:
     """Optimize ``kernel`` for ``target`` through the default session.
 
@@ -111,6 +112,7 @@ def optimize(
         step_limit=step_limit,
         node_limit=node_limit,
         time_limit=time_limit,
+        scheduler=scheduler,
     )
 
 
@@ -122,6 +124,7 @@ def optimize_term(
     step_limit: Optional[int] = None,
     node_limit: Optional[int] = None,
     time_limit: Optional[float] = None,
+    scheduler: Optional[str] = None,
     kernel_name: str = "<term>",
 ) -> OptimizationResult:
     """Optimize a bare IR term through the default session
@@ -134,4 +137,5 @@ def optimize_term(
         step_limit=step_limit,
         node_limit=node_limit,
         time_limit=time_limit,
+        scheduler=scheduler,
     )

@@ -12,6 +12,7 @@ all resolve through it, and the environment knobs
 * ``REPRO_STEP_LIMIT`` — saturation steps per kernel,
 * ``REPRO_NODE_LIMIT`` — e-node budget,
 * ``REPRO_TIME_LIMIT`` — wall-clock cap in seconds,
+* ``REPRO_SCHEDULER`` — rule scheduler (``simple`` or ``backoff``),
 
 override the defaults everywhere at once.
 """
@@ -22,16 +23,20 @@ import os
 from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
+from ..saturation.schedulers import SCHEDULER_NAMES
+
 __all__ = ["Limits"]
 
 
 @dataclass(frozen=True)
 class Limits:
-    """Resource budget for one equality-saturation run."""
+    """Resource budget (and scheduling policy) for one
+    equality-saturation run."""
 
     step_limit: int = 8
     node_limit: int = 12_000
     time_limit: float = 120.0
+    scheduler: str = "simple"
 
     def __post_init__(self) -> None:
         if self.step_limit < 0:
@@ -40,6 +45,11 @@ class Limits:
             raise ValueError(f"node_limit must be > 0, got {self.node_limit}")
         if self.time_limit <= 0:
             raise ValueError(f"time_limit must be > 0, got {self.time_limit}")
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULER_NAMES}, "
+                f"got {self.scheduler!r}"
+            )
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "Limits":
@@ -50,6 +60,7 @@ class Limits:
             step_limit=int(env.get("REPRO_STEP_LIMIT", base.step_limit)),
             node_limit=int(env.get("REPRO_NODE_LIMIT", base.node_limit)),
             time_limit=float(env.get("REPRO_TIME_LIMIT", base.time_limit)),
+            scheduler=env.get("REPRO_SCHEDULER", base.scheduler),
         )
 
     def override(
@@ -57,6 +68,7 @@ class Limits:
         step_limit: Optional[int] = None,
         node_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
+        scheduler: Optional[str] = None,
     ) -> "Limits":
         """A copy with any non-``None`` field replaced."""
         updates = {
@@ -65,6 +77,7 @@ class Limits:
                 ("step_limit", step_limit),
                 ("node_limit", node_limit),
                 ("time_limit", time_limit),
+                ("scheduler", scheduler),
             )
             if value is not None
         }
@@ -76,6 +89,7 @@ class Limits:
             "step_limit": self.step_limit,
             "node_limit": self.node_limit,
             "time_limit": self.time_limit,
+            "scheduler": self.scheduler,
         }
 
     def to_dict(self) -> dict:
@@ -87,8 +101,12 @@ class Limits:
             step_limit=int(data["step_limit"]),
             node_limit=int(data["node_limit"]),
             time_limit=float(data["time_limit"]),
+            # Reports and cache entries written before the scheduler
+            # existed carry no scheduler key; they ran the simple one.
+            scheduler=str(data.get("scheduler", "simple")),
         )
 
     def key(self) -> tuple:
         """Hashable cache-key fragment."""
-        return (self.step_limit, self.node_limit, self.time_limit)
+        return (self.step_limit, self.node_limit, self.time_limit,
+                self.scheduler)

@@ -180,8 +180,10 @@ class Session:
         step_limit: Optional[int] = None,
         node_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
+        scheduler: Optional[str] = None,
     ) -> Limits:
-        return self.limits.override(step_limit, node_limit, time_limit)
+        return self.limits.override(step_limit, node_limit, time_limit,
+                                    scheduler)
 
     @property
     def stats(self) -> dict:
@@ -201,6 +203,7 @@ class Session:
         step_limit: Optional[int] = None,
         node_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
+        scheduler: Optional[str] = None,
     ) -> "OptimizationResult":
         """Optimize one kernel for one target, with result caching.
 
@@ -218,6 +221,7 @@ class Session:
             step_limit=step_limit,
             node_limit=node_limit,
             time_limit=time_limit,
+            scheduler=scheduler,
         )
 
     def optimize_term(
@@ -230,11 +234,13 @@ class Session:
         step_limit: Optional[int] = None,
         node_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
+        scheduler: Optional[str] = None,
     ) -> "OptimizationResult":
         """Optimize a bare IR term (see :func:`repro.pipeline.optimize_term`)."""
         from ..pipeline import optimize_term as _pipeline_optimize_term
 
-        limits = self.resolve_limits(step_limit, node_limit, time_limit)
+        limits = self.resolve_limits(step_limit, node_limit, time_limit,
+                                     scheduler)
         named = isinstance(target, str)
         target_obj = self.target(target) if named else target
         key = self._term_key(term, symbol_shapes, target, limits)
@@ -436,7 +442,8 @@ class Session:
                 f"expected one of {tuple(self.registry.names())}"
             )
         limits = self.resolve_limits(
-            request.step_limit, request.node_limit, request.time_limit
+            request.step_limit, request.node_limit, request.time_limit,
+            request.scheduler,
         )
         payload: dict = {"target": request.target, "limits": limits.to_dict()}
         if request.kernel is not None:

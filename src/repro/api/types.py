@@ -78,6 +78,7 @@ class OptimizationRequest:
     step_limit: Optional[int] = None
     node_limit: Optional[int] = None
     time_limit: Optional[float] = None
+    scheduler: Optional[str] = None  # "simple" | "backoff"
 
     def __post_init__(self) -> None:
         if (self.kernel is None) == (self.term is None):
@@ -130,14 +131,23 @@ class OptimizationReport:
     seconds: float = 0.0
     cache_hit: bool = False
     error: Optional[str] = None
+    #: Scheduler that drove the run ("simple" | "backoff").
+    scheduler: str = "simple"
+    #: Per-rule saturation telemetry (serialized RuleStats), or None
+    #: for reports produced before telemetry existed.
+    rule_stats: Optional[Dict[str, Any]] = None
+    #: Run-total wall-clock split: search/apply/rebuild/extract.
+    phase_seconds: Optional[Dict[str, float]] = None
 
     @classmethod
     def from_result(cls, result, limits, seconds: float = 0.0) -> "OptimizationReport":
         """Digest a :class:`~repro.pipeline.OptimizationResult`."""
         from ..ir.printer import pretty
+        from ..saturation.telemetry import rule_stats_to_dict
 
         final = result.final
         best = result.best_term
+        run = result.run
         return cls(
             kernel=result.kernel_name,
             target=result.target_name,
@@ -146,10 +156,15 @@ class OptimizationReport:
             solution_summary=result.solution_summary,
             library_calls=dict(result.library_calls),
             best_cost=final.best_cost,
-            steps=result.run.num_steps,
+            steps=run.num_steps,
             enodes=final.enodes,
-            stop_reason=result.run.stop_reason,
+            stop_reason=run.stop_reason,
             seconds=seconds,
+            scheduler=getattr(run, "scheduler", "simple"),
+            rule_stats=rule_stats_to_dict(run.rule_stats)
+            if getattr(run, "rule_stats", None) else None,
+            phase_seconds=run.total_phases().to_dict()
+            if hasattr(run, "total_phases") else None,
         )
 
     @classmethod

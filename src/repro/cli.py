@@ -9,10 +9,13 @@ Examples::
     python -m repro gemv --run               # also execute + time solutions
     python -m repro -j 4                     # fan the batch across 4 processes
     python -m repro --cache-dir ~/.cache/repro   # persist results on disk
+    python -m repro --scheduler backoff      # egg-style rule backoff
+    python -m repro --rule-profile prof.json # dump per-rule telemetry
 
 Limits default to the unified :class:`repro.api.Limits` profile and
 honour ``REPRO_STEP_LIMIT`` / ``REPRO_NODE_LIMIT`` /
-``REPRO_TIME_LIMIT``; explicit flags win over the environment.
+``REPRO_TIME_LIMIT`` / ``REPRO_SCHEDULER``; explicit flags win over
+the environment.
 
 Outputs per target: an ``<target>-overview.csv`` (the artifact's
 column layout: name, externs, steps, nodes), a rendered text table,
@@ -22,6 +25,7 @@ and — with ``--run`` — a ``speedups.csv``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -79,6 +83,17 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--time-limit", type=float, default=None,
                         help="wall-clock limit per kernel in seconds "
                              f"(default {defaults.time_limit:g})")
+    from .saturation.schedulers import SCHEDULER_NAMES
+    parser.add_argument("--scheduler", choices=SCHEDULER_NAMES, default=None,
+                        help="rule scheduler: 'simple' searches every rule "
+                             "every step, 'backoff' bans explosive rules "
+                             "egg-style (default: REPRO_SCHEDULER or "
+                             f"'{defaults.scheduler}')")
+    parser.add_argument("--rule-profile", type=Path, default=None,
+                        metavar="PATH",
+                        help="write per-rule saturation telemetry (search "
+                             "time, matches, unions, bans) for every run "
+                             "to this JSON file")
     parser.add_argument("-j", "--jobs", type=_positive_int, default=1,
                         help="optimize (kernel, target) pairs on a process "
                              "pool of this size (default 1: in-process)")
@@ -145,7 +160,7 @@ def _report_row(report, target_name, seconds, quiet) -> Optional[SolutionRow]:
     )
 
 
-def _parallel_rows(session, kernels, target_name, args, quiet) -> tuple:
+def _parallel_rows(session, kernels, target_name, args, quiet, collected) -> tuple:
     """Batch one target's kernels through the process pool."""
     reports = session.optimize_many(
         [(kernel.name, target_name) for kernel in kernels],
@@ -153,12 +168,52 @@ def _parallel_rows(session, kernels, target_name, args, quiet) -> tuple:
     )
     rows, failures = [], 0
     for report in reports:
+        collected.append(report)
         row = _report_row(report, target_name, report.seconds, quiet)
         if row is None:
             failures += 1
             continue
         rows.append(row)
     return rows, failures
+
+
+def _write_rule_profile(path: Path, limits, reports) -> None:
+    """Dump per-rule saturation telemetry as JSON.
+
+    Schema (``repro-rule-profile/1``): ``limits`` echoes the resolved
+    budget; ``runs`` has one entry per (kernel, target) run with its
+    ``rule_stats`` (name → search_seconds / searches / matches_found /
+    matches_applied / unions / bans / banned_steps) and
+    ``phase_seconds`` (search / apply / rebuild / extract totals);
+    ``aggregate`` sums ``rule_stats`` across all runs.  Runs answered
+    from a pre-telemetry cache carry ``rule_stats: null``.
+    """
+    from .saturation.telemetry import aggregate_rule_stats
+
+    profile = {
+        "schema": "repro-rule-profile/1",
+        "limits": limits.to_dict(),
+        "runs": [
+            {
+                "kernel": report.kernel,
+                "target": report.target,
+                "scheduler": report.scheduler,
+                "stop_reason": report.stop_reason,
+                "steps": report.steps,
+                "enodes": report.enodes,
+                "seconds": report.seconds,
+                "cache_hit": report.cache_hit,
+                "phase_seconds": report.phase_seconds,
+                "rule_stats": report.rule_stats,
+            }
+            for report in reports
+        ],
+        "aggregate": aggregate_rule_stats(
+            [report.rule_stats or {} for report in reports]
+        ),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(profile, indent=2, sort_keys=True))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -170,8 +225,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    limits = Limits.from_env().override(args.steps, args.nodes, args.time_limit)
+    limits = Limits.from_env().override(
+        args.steps, args.nodes, args.time_limit, args.scheduler
+    )
     session = Session(limits, cache_dir=args.cache_dir)
+    all_reports: List = []
     if args.run and args.jobs != 1:
         print("note: --run executes solutions in-process; ignoring -j",
               file=sys.stderr)
@@ -191,7 +249,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         speedups: List[SpeedupRow] = []
         if args.jobs != 1 and not args.run:
             rows, failures = _parallel_rows(
-                session, kernels, target_name, args, args.quiet
+                session, kernels, target_name, args, args.quiet, all_reports
             )
             if failures:
                 exit_code = 1
@@ -201,6 +259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 started = time.perf_counter()
                 report = session.report((kernel.name, target_name))
                 elapsed = time.perf_counter() - started
+                all_reports.append(report)
                 row = _report_row(report, target_name, elapsed, args.quiet)
                 if row is None:
                     exit_code = 1
@@ -226,6 +285,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{target_name}-speedups.txt",
                 render_speedup_table(speedups, f"Speedups vs reference ({target_name})"),
             )
+    if args.rule_profile is not None:
+        _write_rule_profile(args.rule_profile, limits, all_reports)
+        if not args.quiet:
+            print(f"rule profile written to {args.rule_profile}")
     return exit_code
 
 

@@ -4,7 +4,9 @@
 * :mod:`repro.egraph.pattern` — patterns, e-matching, instantiation;
 * :mod:`repro.egraph.rewrite` — rules, including the De Bruijn-aware
   dynamic rules and the enumerating "intro" rules;
-* :mod:`repro.egraph.runner` — batched saturation with limits;
+* :mod:`repro.egraph.runner` — compatibility shim over the
+  :mod:`repro.saturation` engine (scheduling, incremental e-matching,
+  telemetry);
 * :mod:`repro.egraph.extract` — cost-model extraction;
 * :mod:`repro.egraph.analysis` — per-e-class shape analysis.
 """
@@ -42,8 +44,23 @@ from .rewrite import (
     rewrite,
     var_classes,
 )
-from .runner import RunResult, Runner, StepRecord, StopReason, library_calls_of
 from .unionfind import UnionFind
+
+# The runner names live in repro.saturation now; resolve them lazily
+# (PEP 562) so that importing repro.saturation first — which imports
+# this package for the e-graph machinery — does not create an import
+# cycle through the repro.egraph.runner compatibility shim.
+_RUNNER_NAMES = frozenset(
+    {"Runner", "RunResult", "StepRecord", "StopReason", "library_calls_of"}
+)
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_NAMES:
+        from . import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "EGraph", "EClass", "ENode", "ClassRef", "Analysis", "UnionFind",

@@ -93,6 +93,10 @@ class EGraph:
         self._analysis = analysis
         self._analysis_pending: List[int] = []
         self.known_sizes: Set[int] = set()
+        # Classes created or merged since the last pop_dirty(); the
+        # saturation engine's incremental e-matching restricts rule
+        # search to these classes and their parent closure.
+        self._dirty: Set[int] = set()
         # Bumped on every mutation; used for fixpoint detection.
         self.version = 0
         # Bumped only by rebuild(); the smallest-term table caches off
@@ -144,6 +148,14 @@ class EGraph:
         """True when classes ``a`` and ``b`` have been merged."""
         return self._uf.same(a, b)
 
+    def pop_dirty(self) -> Set[int]:
+        """Canonical ids of every class created or merged since the
+        previous call, clearing the log.  Consumed once per saturation
+        step by the incremental e-matcher."""
+        dirty = {self._uf.find(class_id) for class_id in self._dirty}
+        self._dirty.clear()
+        return dirty
+
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
@@ -167,6 +179,7 @@ class EGraph:
             self.known_sizes.add(enode.payload)  # type: ignore[arg-type]
         if self._analysis is not None:
             eclass.data = self._analysis.make(self, enode)
+        self._dirty.add(class_id)
         self.version += 1
         return class_id
 
@@ -203,6 +216,7 @@ class EGraph:
             winner.data = self._analysis.join(winner.data, loser.data)
             self._analysis_pending.append(new_root)
         self._pending.append(new_root)
+        self._dirty.add(new_root)
         return new_root
 
     def rebuild(self) -> int:

@@ -36,7 +36,6 @@ from .pattern import (
     PVar,
     TermBinding,
     instantiate,
-    match_class,
 )
 
 __all__ = [
@@ -86,21 +85,15 @@ class Rule:
     context_key: Optional[Callable[[EGraph], object]] = None
 
     def search(self, egraph: EGraph) -> List[Match]:
-        """All matches of the searcher in the current e-graph."""
-        matches: List[Match] = []
-        root_op = self.searcher.op if isinstance(self.searcher, PNode) else None
-        if root_op is None:
-            candidates = egraph.class_ids()
-        else:
-            candidates = egraph.classes_by_op().get(root_op, [])
-        for class_id in candidates:
-            if class_id not in egraph._classes:
-                continue  # merged away since the index was built
-            for bindings in match_class(egraph, self.searcher, class_id):
-                matches.append(Match(egraph.find(class_id), bindings))
-                if len(matches) >= self.match_limit:
-                    return matches
-        return matches
+        """All matches of the searcher in the current e-graph.
+
+        Delegates to :func:`repro.saturation.ematch.search_rule`, which
+        also supports the engine's restricted (incremental) and
+        deadline-bounded search modes.
+        """
+        from ..saturation.ematch import search_rule
+
+        return search_rule(egraph, self)
 
     def apply(self, egraph: EGraph, match: Match) -> int:
         """Apply the rule to one match; returns number of unions made."""
@@ -125,9 +118,20 @@ def rewrite(name: str, lhs: Pattern, rhs: Pattern, match_limit: int = 100_000) -
     return Rule(name, lhs, _pattern_applier(rhs), match_limit)
 
 
-def birewrite(name: str, lhs: Pattern, rhs: Pattern) -> List[Rule]:
-    """Bidirectional rule: ``lhs → rhs`` and ``rhs → lhs``."""
-    return [rewrite(f"{name}", lhs, rhs), rewrite(f"{name}-rev", rhs, lhs)]
+def birewrite(
+    name: str, lhs: Pattern, rhs: Pattern, match_limit: int = 100_000
+) -> List[Rule]:
+    """Bidirectional rule: ``lhs → rhs`` and ``rhs → lhs``.
+
+    ``match_limit`` caps each direction's matches per step (birewrites
+    are the classic explosive searchers; a per-rule budget here bounds
+    one step's worth of work even under the simple scheduler, while the
+    backoff scheduler handles repeat offenders adaptively).
+    """
+    return [
+        rewrite(f"{name}", lhs, rhs, match_limit),
+        rewrite(f"{name}-rev", rhs, lhs, match_limit),
+    ]
 
 
 def dynamic_rule(name: str, lhs: Pattern, fn: ApplierFn, match_limit: int = 100_000) -> Rule:

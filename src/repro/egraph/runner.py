@@ -1,208 +1,24 @@
-"""The saturation runner: batched rule application with limits.
+"""Compatibility shim: the saturation engine moved to
+:mod:`repro.saturation`.
 
-One *saturation step* (the paper's unit of progress, §II-b) consists of
-searching every rule against the current e-graph, applying the whole
-batch of matches, and rebuilding the congruence closure.  After each
-step the runner can extract the current best expression with a target
-cost model, which is how the paper's "solutions over time" data
-(fig. 4) and per-step tables are produced.
-
-Stop conditions: fixpoint (the step changed nothing), step limit,
-e-node limit, or wall-clock time limit — mirroring the artifact's
-``--limit-steps`` / ``-t`` modes.
+This module re-exports the runner surface (``Runner``, ``RunResult``,
+``StepRecord``, ``StopReason``, ``library_calls_of``, ``SCALAR_OPS``)
+so existing ``repro.egraph.runner`` imports keep working.  New code
+should import from :mod:`repro.saturation` directly, which also
+exposes the scheduler, incremental-matching, and telemetry layers.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from ..saturation.runner import (  # noqa: F401
+    SCALAR_OPS,
+    Runner,
+    RunResult,
+    StepRecord,
+    StopReason,
+    _binding_signature,
+    library_calls_of,
+)
 
-from ..ir.terms import Term, collect_calls
-from .egraph import EGraph
-from .extract import CostModel, Extractor
-from .pattern import ClassBinding, TermBinding
-from .rewrite import Match, Rule
-
-
-def _binding_signature(egraph: EGraph, match: Match) -> tuple:
-    """Hashable, canonicalized signature of a match, used to avoid
-    re-applying the same rule to the same match every step."""
-    parts = []
-    for name in sorted(match.bindings):
-        value = match.bindings[name]
-        if isinstance(value, ClassBinding):
-            parts.append((name, "c", egraph.find(value.class_id)))
-        elif isinstance(value, TermBinding):
-            parts.append((name, "t", value.term))
-        else:
-            parts.append((name, "v", value))
-    return (egraph.find(match.class_id), tuple(parts))
-
-__all__ = ["StepRecord", "RunResult", "Runner", "StopReason"]
-
-
-class StopReason:
-    SATURATED = "saturated"
-    STEP_LIMIT = "step_limit"
-    NODE_LIMIT = "node_limit"
-    TIME_LIMIT = "time_limit"
-
-
-@dataclass
-class StepRecord:
-    """Statistics and the best solution after one saturation step.
-
-    ``step`` 0 records the initial e-graph before any rewriting (the
-    paper's step-0 data points in fig. 4).
-    """
-
-    step: int
-    enodes: int
-    eclasses: int
-    seconds: float
-    matches: int
-    unions: int
-    best_term: Optional[Term] = None
-    best_cost: float = float("inf")
-    library_calls: Dict[str, int] = field(default_factory=dict)
-
-    @property
-    def solution_summary(self) -> str:
-        """Human-readable call summary, e.g. ``"2 × axpy, 1 × dot"``."""
-        if not self.library_calls:
-            return "(no library calls)"
-        parts = [
-            f"{count} × {name}"
-            for name, count in sorted(self.library_calls.items())
-        ]
-        return ", ".join(parts)
-
-
-@dataclass
-class RunResult:
-    """Everything a saturation run produced."""
-
-    steps: List[StepRecord]
-    stop_reason: str
-    root_class: int
-
-    @property
-    def final(self) -> StepRecord:
-        return self.steps[-1]
-
-    @property
-    def num_steps(self) -> int:
-        """Number of rewriting steps performed (excludes the step-0 record)."""
-        return len(self.steps) - 1
-
-
-# Named functions that are *not* library calls: scalar arithmetic and
-# comparisons live in every target.
-SCALAR_OPS = frozenset({"+", "-", "*", "/", ">", "<", ">=", "<=", "==", "max", "min", "neg"})
-
-
-def library_calls_of(term: Optional[Term]) -> Dict[str, int]:
-    """Count library calls (non-scalar named functions) in a term."""
-    if term is None:
-        return {}
-    return {
-        name: count
-        for name, count in collect_calls(term).items()
-        if name not in SCALAR_OPS
-    }
-
-
-class Runner:
-    """Drives equality saturation over an :class:`EGraph`."""
-
-    def __init__(
-        self,
-        egraph: EGraph,
-        rules: Sequence[Rule],
-        *,
-        step_limit: int = 12,
-        node_limit: int = 50_000,
-        time_limit: float = 300.0,
-    ) -> None:
-        self.egraph = egraph
-        self.rules = list(rules)
-        self.step_limit = step_limit
-        self.node_limit = node_limit
-        self.time_limit = time_limit
-
-    def run(
-        self,
-        root_class: int,
-        cost_model: Optional[CostModel] = None,
-        extract_each_step: bool = True,
-    ) -> RunResult:
-        """Saturate, recording statistics (and, when a cost model is
-        given, the best expression) after every step."""
-        egraph = self.egraph
-        records: List[StepRecord] = []
-        start = time.perf_counter()
-        records.append(self._record(0, 0.0, 0, 0, root_class, cost_model, extract_each_step))
-        stop_reason = StopReason.STEP_LIMIT
-        applied: set = set()
-        for step in range(1, self.step_limit + 1):
-            step_start = time.perf_counter()
-            version_before = egraph.version
-            matches: List[tuple] = []
-            for rule_index, rule in enumerate(self.rules):
-                context = rule.context_key(egraph) if rule.context_key else None
-                for match in rule.search(egraph):
-                    signature = (rule_index, context, _binding_signature(egraph, match))
-                    if signature in applied:
-                        continue
-                    applied.add(signature)
-                    matches.append((rule, match))
-            unions = 0
-            for rule, match in matches:
-                unions += rule.apply(egraph, match)
-                if egraph.num_nodes > self.node_limit:
-                    break
-            egraph.rebuild()
-            elapsed = time.perf_counter() - step_start
-            records.append(
-                self._record(
-                    step, elapsed, len(matches), unions, root_class, cost_model,
-                    extract_each_step,
-                )
-            )
-            if egraph.version == version_before:
-                stop_reason = StopReason.SATURATED
-                break
-            if egraph.num_nodes > self.node_limit:
-                stop_reason = StopReason.NODE_LIMIT
-                break
-            if time.perf_counter() - start > self.time_limit:
-                stop_reason = StopReason.TIME_LIMIT
-                break
-        return RunResult(records, stop_reason, self.egraph.find(root_class))
-
-    def _record(
-        self,
-        step: int,
-        seconds: float,
-        matches: int,
-        unions: int,
-        root_class: int,
-        cost_model: Optional[CostModel],
-        extract_each_step: bool,
-    ) -> StepRecord:
-        record = StepRecord(
-            step=step,
-            enodes=self.egraph.num_nodes,
-            eclasses=self.egraph.num_classes,
-            seconds=seconds,
-            matches=matches,
-            unions=unions,
-        )
-        if cost_model is not None and extract_each_step:
-            extractor = Extractor(self.egraph, cost_model)
-            result = extractor.extract(root_class)
-            record.best_term = result.term
-            record.best_cost = result.cost
-            record.library_calls = library_calls_of(result.term)
-        return record
+__all__ = ["StepRecord", "RunResult", "Runner", "StopReason",
+           "library_calls_of", "SCALAR_OPS"]

@@ -9,9 +9,11 @@ callers all share one cache.  Limits default to the unified
 :class:`repro.api.Limits` profile and can be raised through
 environment variables:
 
-* ``REPRO_STEP_LIMIT``  (default 8)     — saturation steps per kernel;
-* ``REPRO_NODE_LIMIT``  (default 12000) — e-node budget;
-* ``REPRO_KERNELS``     (default all)   — comma-separated kernel subset.
+* ``REPRO_STEP_LIMIT``  (default 8)      — saturation steps per kernel;
+* ``REPRO_NODE_LIMIT``  (default 12000)  — e-node budget;
+* ``REPRO_SCHEDULER``   (default simple) — rule scheduler
+  (``simple`` | ``backoff``, see :mod:`repro.saturation.schedulers`);
+* ``REPRO_KERNELS``     (default all)    — comma-separated kernel subset.
 
 The artifact's step-limited mode (appendix E-2) is the model here:
 CPU-independent solutions at CPU-dependent wall time.
@@ -30,6 +32,7 @@ from .pipeline import OptimizationResult
 __all__ = [
     "step_limit",
     "node_limit",
+    "scheduler",
     "selected_kernels",
     "optimized",
     "optimize_pair",
@@ -58,6 +61,10 @@ def node_limit() -> int:
     return Limits.from_env().node_limit
 
 
+def scheduler() -> str:
+    return Limits.from_env().scheduler
+
+
 # Kernels whose marquee solutions need a little more budget than the
 # defaults (e.g. the gemm-with-zero-matrix completion for doitgen needs
 # one extra step and a larger graph, exactly as the paper's doitgen row
@@ -82,6 +89,7 @@ def optimize_pair(
     target_name: str,
     steps: Optional[int] = None,
     nodes: Optional[int] = None,
+    rule_scheduler: Optional[str] = None,
 ) -> OptimizationResult:
     """Optimized (kernel, target) with explicit or environment limits.
 
@@ -93,8 +101,11 @@ def optimize_pair(
         steps = override.get("steps", step_limit())
     if nodes is None:
         nodes = override.get("nodes", node_limit())
+    if rule_scheduler is None:
+        rule_scheduler = scheduler()
     return session().optimize(
-        kernel_name, target_name, step_limit=steps, node_limit=nodes
+        kernel_name, target_name, step_limit=steps, node_limit=nodes,
+        scheduler=rule_scheduler,
     )
 
 

@@ -75,6 +75,7 @@ def optimize_term(
     step_limit: int = DEFAULT_LIMITS["step_limit"],
     node_limit: int = DEFAULT_LIMITS["node_limit"],
     time_limit: float = DEFAULT_LIMITS["time_limit"],
+    scheduler: str = DEFAULT_LIMITS["scheduler"],
     kernel_name: str = "<term>",
 ) -> OptimizationResult:
     """Optimize a bare IR term for ``target``."""
@@ -86,6 +87,7 @@ def optimize_term(
         step_limit=step_limit,
         node_limit=node_limit,
         time_limit=time_limit,
+        scheduler=scheduler,
     )
     run = runner.run(root, cost_model=target.cost_model)
     return OptimizationResult(
@@ -104,6 +106,7 @@ def optimize(
     step_limit: int = DEFAULT_LIMITS["step_limit"],
     node_limit: int = DEFAULT_LIMITS["node_limit"],
     time_limit: float = DEFAULT_LIMITS["time_limit"],
+    scheduler: str = DEFAULT_LIMITS["scheduler"],
 ) -> OptimizationResult:
     """Optimize ``kernel`` for ``target`` (the §VI methodology, in the
     artifact's CPU-invariant step-limited mode)."""
@@ -114,5 +117,6 @@ def optimize(
         step_limit=step_limit,
         node_limit=node_limit,
         time_limit=time_limit,
+        scheduler=scheduler,
         kernel_name=kernel.name,
     )

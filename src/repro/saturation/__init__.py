@@ -1,0 +1,53 @@
+"""The saturation engine subsystem.
+
+Everything that drives an equality-saturation run lives here:
+
+* :mod:`repro.saturation.runner` — the engine loop (``Runner``,
+  ``RunResult``, ``StepRecord``, ``StopReason``);
+* :mod:`repro.saturation.schedulers` — rule scheduling
+  (``SimpleScheduler``, egg-style ``BackoffScheduler``), selected via
+  ``Limits(scheduler=...)`` / ``REPRO_SCHEDULER`` / ``--scheduler``;
+* :mod:`repro.saturation.ematch` — incremental e-matching over the
+  e-graph's dirty-class log (``EGraph.pop_dirty``), with full-scan
+  fallbacks (disable wholesale with ``REPRO_INCREMENTAL=0``);
+* :mod:`repro.saturation.telemetry` — per-rule ``RuleStats`` and
+  per-step ``PhaseTimings``, surfaced in Session JSON reports and the
+  CLI's ``--rule-profile`` dump.
+
+:mod:`repro.egraph.runner` remains as a thin compatibility shim over
+this package.
+"""
+
+from .ematch import IncrementalMatcher, parent_closure, search_rule
+from .runner import (
+    SCALAR_OPS,
+    Runner,
+    RunResult,
+    StepRecord,
+    StopReason,
+    library_calls_of,
+)
+from .schedulers import (
+    SCHEDULER_NAMES,
+    BackoffScheduler,
+    RuleScheduler,
+    SimpleScheduler,
+    make_scheduler,
+)
+from .telemetry import (
+    PhaseTimings,
+    RuleStats,
+    aggregate_rule_stats,
+    rule_stats_from_dict,
+    rule_stats_to_dict,
+)
+
+__all__ = [
+    "Runner", "RunResult", "StepRecord", "StopReason",
+    "library_calls_of", "SCALAR_OPS",
+    "RuleScheduler", "SimpleScheduler", "BackoffScheduler",
+    "SCHEDULER_NAMES", "make_scheduler",
+    "IncrementalMatcher", "parent_closure", "search_rule",
+    "RuleStats", "PhaseTimings",
+    "rule_stats_to_dict", "rule_stats_from_dict", "aggregate_rule_stats",
+]

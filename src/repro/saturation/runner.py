@@ -1,0 +1,451 @@
+"""The saturation engine: scheduled, incremental, instrumented.
+
+One *saturation step* (the paper's unit of progress, §II-b) consists of
+searching rules against the e-graph, applying the admitted batch of
+matches, and rebuilding the congruence closure.  After each step the
+runner can extract the current best expression with a target cost
+model, which is how the paper's "solutions over time" data (fig. 4)
+and per-step tables are produced.
+
+On top of the naive search-everything loop this engine adds the three
+pillars of the saturation subsystem:
+
+* **rule scheduling** (:mod:`repro.saturation.schedulers`) — an
+  egg-style backoff scheduler can ban explosive rules, selected via
+  ``Limits(scheduler=...)`` / ``REPRO_SCHEDULER`` / ``--scheduler``;
+* **incremental e-matching** (:mod:`repro.saturation.ematch`) — from
+  step 2 on, rule search is restricted to the classes dirtied since
+  the rule's previous search plus their parent closure, with full-scan
+  fallbacks whenever correctness or selectivity demands it;
+* **telemetry** (:mod:`repro.saturation.telemetry`) — per-rule search
+  time / match / union / ban counters and per-step phase timings ride
+  on :class:`StepRecord` / :class:`RunResult` and surface in the
+  Session API's JSON reports.
+
+Stop conditions: fixpoint (a full step changed nothing and no rule is
+banned), step limit, e-node limit, or wall-clock time limit — the time
+limit is enforced *inside* the search and apply loops, so one huge
+step cannot overshoot the budget.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..ir.terms import Term, collect_calls
+from ..egraph.egraph import EGraph
+from ..egraph.extract import CostModel, Extractor
+from ..egraph.pattern import ClassBinding, TermBinding
+from ..egraph.rewrite import Match, Rule
+from .ematch import IncrementalMatcher, search_rule
+from .schedulers import RuleScheduler, make_scheduler
+from .telemetry import PhaseTimings, RuleStats
+
+__all__ = [
+    "StepRecord",
+    "RunResult",
+    "Runner",
+    "StopReason",
+    "library_calls_of",
+    "SCALAR_OPS",
+]
+
+#: How many applications between deadline polls in the apply loop.
+_APPLY_DEADLINE_STRIDE = 16
+
+
+def _binding_signature(egraph: EGraph, match: Match) -> tuple:
+    """Hashable, canonicalized signature of a match, used to avoid
+    re-applying the same rule to the same match every step."""
+    parts = []
+    for name in sorted(match.bindings):
+        value = match.bindings[name]
+        if isinstance(value, ClassBinding):
+            parts.append((name, "c", egraph.find(value.class_id)))
+        elif isinstance(value, TermBinding):
+            parts.append((name, "t", value.term))
+        else:
+            parts.append((name, "v", value))
+    return (egraph.find(match.class_id), tuple(parts))
+
+
+def _canonicalize_signature(egraph: EGraph, signature: tuple) -> tuple:
+    """Re-canonicalize the class ids embedded in an applied-match
+    signature.  Signatures are captured at match time; after later
+    merges their ids go stale and the same logical match would look
+    unseen forever, getting re-applied every subsequent step."""
+    rule_index, context, (root, parts) = signature
+    new_root = egraph.find(root)
+    new_parts = tuple(
+        (name, kind, egraph.find(value)) if kind == "c" else (name, kind, value)
+        for name, kind, value in parts
+    )
+    return (rule_index, context, (new_root, new_parts))
+
+
+class StopReason:
+    SATURATED = "saturated"
+    STEP_LIMIT = "step_limit"
+    NODE_LIMIT = "node_limit"
+    TIME_LIMIT = "time_limit"
+
+
+@dataclass
+class StepRecord:
+    """Statistics and the best solution after one saturation step.
+
+    ``step`` 0 records the initial e-graph before any rewriting (the
+    paper's step-0 data points in fig. 4).
+    """
+
+    step: int
+    enodes: int
+    eclasses: int
+    seconds: float
+    matches: int
+    unions: int
+    best_term: Optional[Term] = None
+    best_cost: float = float("inf")
+    library_calls: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock split of the step (search/apply/rebuild/extract);
+    #: ``None`` on the step-0 record.
+    phases: Optional[PhaseTimings] = None
+
+    @property
+    def solution_summary(self) -> str:
+        """Human-readable call summary, e.g. ``"2 × axpy, 1 × dot"``."""
+        if not self.library_calls:
+            return "(no library calls)"
+        parts = [
+            f"{count} × {name}"
+            for name, count in sorted(self.library_calls.items())
+        ]
+        return ", ".join(parts)
+
+
+@dataclass
+class RunResult:
+    """Everything a saturation run produced."""
+
+    steps: List[StepRecord]
+    stop_reason: str
+    root_class: int
+    #: Per-rule telemetry, keyed by rule name.
+    rule_stats: Dict[str, RuleStats] = field(default_factory=dict)
+    #: Name of the scheduler that drove the run.
+    scheduler: str = "simple"
+
+    @property
+    def final(self) -> StepRecord:
+        return self.steps[-1]
+
+    @property
+    def num_steps(self) -> int:
+        """Number of rewriting steps performed (excludes the step-0 record)."""
+        return len(self.steps) - 1
+
+    def total_phases(self) -> PhaseTimings:
+        """Phase timings summed over every step."""
+        total = PhaseTimings()
+        for record in self.steps:
+            if record.phases is not None:
+                total.add(record.phases)
+        return total
+
+
+# Named functions that are *not* library calls: scalar arithmetic and
+# comparisons live in every target.
+SCALAR_OPS = frozenset({"+", "-", "*", "/", ">", "<", ">=", "<=", "==", "max", "min", "neg"})
+
+
+def library_calls_of(term: Optional[Term]) -> Dict[str, int]:
+    """Count library calls (non-scalar named functions) in a term."""
+    if term is None:
+        return {}
+    return {
+        name: count
+        for name, count in collect_calls(term).items()
+        if name not in SCALAR_OPS
+    }
+
+
+def _incremental_default() -> bool:
+    """Incremental e-matching is on unless ``REPRO_INCREMENTAL=0``."""
+    return os.environ.get("REPRO_INCREMENTAL", "1").strip() != "0"
+
+
+class Runner:
+    """Drives equality saturation over an :class:`EGraph`."""
+
+    def __init__(
+        self,
+        egraph: EGraph,
+        rules: Sequence[Rule],
+        *,
+        step_limit: int = 12,
+        node_limit: int = 50_000,
+        time_limit: float = 300.0,
+        scheduler: Union[str, RuleScheduler, None] = None,
+        incremental: Optional[bool] = None,
+        applied_cap: int = 500_000,
+    ) -> None:
+        self.egraph = egraph
+        self.rules = list(rules)
+        self.step_limit = step_limit
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.scheduler = scheduler
+        self.incremental = (
+            _incremental_default() if incremental is None else incremental
+        )
+        # The applied-match cache is cleared when it outgrows this;
+        # re-application is semantically idempotent, so the bound trades
+        # a little rework for bounded memory on enormous runs.
+        self.applied_cap = applied_cap
+
+    def run(
+        self,
+        root_class: int,
+        cost_model: Optional[CostModel] = None,
+        extract_each_step: bool = True,
+    ) -> RunResult:
+        """Saturate, recording statistics (and, when a cost model is
+        given, the best expression) after every step."""
+        egraph = self.egraph
+        scheduler = make_scheduler(self.scheduler)
+        stats = self._fresh_stats()
+        matcher = (
+            IncrementalMatcher(egraph, len(self.rules))
+            if self.incremental else None
+        )
+        contexts: List[object] = [None] * len(self.rules)
+        records: List[StepRecord] = []
+        start = time.perf_counter()
+        deadline = start + self.time_limit
+        records.append(self._record(0, 0.0, 0, 0, root_class, cost_model, extract_each_step))
+        stop_reason = StopReason.STEP_LIMIT
+        applied: Set[tuple] = set()
+        for step in range(1, self.step_limit + 1):
+            phases = PhaseTimings()
+            step_start = time.perf_counter()
+            version_before = egraph.version
+
+            # --- search -------------------------------------------------
+            if matcher is not None:
+                matcher.begin_step()
+            matches, restricted, timed_out = self._search_step(
+                step, scheduler, matcher, contexts, applied, stats, deadline
+            )
+            if (
+                matcher is not None and restricted and not matches
+                and not timed_out
+            ):
+                # A restricted step that finds nothing could be a false
+                # fixpoint; verify with a full scan inside the same step
+                # so step counts match the naive engine's.
+                matcher.force_full_all()
+                matches, _, timed_out = self._search_step(
+                    step, scheduler, matcher, contexts, applied, stats, deadline,
+                    verify_pass=True,
+                )
+                restricted = False
+            phases.search = time.perf_counter() - step_start
+
+            # --- apply --------------------------------------------------
+            apply_start = time.perf_counter()
+            unions = 0
+            for index, (rule_stats, rule, match) in enumerate(matches):
+                if (
+                    index % _APPLY_DEADLINE_STRIDE == 0
+                    and time.perf_counter() > deadline
+                ):
+                    timed_out = True
+                    break
+                made = rule.apply(egraph, match)
+                rule_stats.matches_applied += 1
+                rule_stats.unions += made
+                unions += made
+                if egraph.num_nodes > self.node_limit:
+                    break
+            phases.apply = time.perf_counter() - apply_start
+
+            # --- rebuild ------------------------------------------------
+            rebuild_start = time.perf_counter()
+            congruence_unions = egraph.rebuild()
+            if unions or congruence_unions:
+                # Some class ids went stale: re-canonicalize the stored
+                # signatures so later merges cannot resurrect matches.
+                # A step with zero unions left the union-find untouched.
+                applied = {_canonicalize_signature(egraph, s) for s in applied}
+            if len(applied) > self.applied_cap:
+                applied.clear()
+            phases.rebuild = time.perf_counter() - rebuild_start
+
+            # --- record (+ extract) ------------------------------------
+            extract_start = time.perf_counter()
+            record = self._record(
+                step, 0.0, len(matches), unions, root_class, cost_model,
+                extract_each_step,
+            )
+            phases.extract = time.perf_counter() - extract_start
+            record.seconds = time.perf_counter() - step_start
+            record.phases = phases
+            records.append(record)
+
+            # --- stop conditions ---------------------------------------
+            if egraph.version == version_before and not timed_out:
+                if scheduler.has_bans():
+                    # Not a true fixpoint: banned rules may still have
+                    # work.  Lift every ban and run another step.
+                    scheduler.unban_all()
+                    if matcher is not None:
+                        matcher.force_full_all()
+                    continue
+                if restricted:
+                    # Applied matches were all no-ops but the search was
+                    # restricted; re-verify with a full step before
+                    # declaring saturation.
+                    matcher.force_full_all()
+                    continue
+                stop_reason = StopReason.SATURATED
+                break
+            if egraph.num_nodes > self.node_limit:
+                stop_reason = StopReason.NODE_LIMIT
+                break
+            if timed_out or time.perf_counter() > deadline:
+                stop_reason = StopReason.TIME_LIMIT
+                break
+        return RunResult(
+            records,
+            stop_reason,
+            self.egraph.find(root_class),
+            rule_stats={s.name: s for s in stats},
+            scheduler=scheduler.name,
+        )
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+
+    def _fresh_stats(self) -> List[RuleStats]:
+        """One RuleStats per rule, with duplicate names disambiguated so
+        the name-keyed telemetry dict never silently merges two rules."""
+        seen: Dict[str, int] = {}
+        stats: List[RuleStats] = []
+        for rule in self.rules:
+            count = seen.get(rule.name, 0)
+            seen[rule.name] = count + 1
+            name = rule.name if count == 0 else f"{rule.name}#{count + 1}"
+            stats.append(RuleStats(name))
+        return stats
+
+    def _search_step(
+        self,
+        step: int,
+        scheduler: RuleScheduler,
+        matcher: Optional[IncrementalMatcher],
+        contexts: List[object],
+        applied: Set[tuple],
+        stats: List[RuleStats],
+        deadline: float,
+        verify_pass: bool = False,
+    ) -> Tuple[List[Tuple[RuleStats, Rule, Match]], bool, bool]:
+        """Search every schedulable rule once.
+
+        Returns ``(matches, any_restricted, timed_out)`` where
+        ``matches`` carries ``(rule_stats, rule, match)`` triples whose
+        signatures have been committed to ``applied``.  The fixpoint
+        verification re-search (``verify_pass``) performs real work —
+        its search time and match counts accumulate — but must not
+        count the same step as banned twice.
+        """
+        egraph = self.egraph
+        matches: List[Tuple[RuleStats, Rule, Match]] = []
+        any_restricted = False
+        timed_out = False
+        for rule_index, rule in enumerate(self.rules):
+            if time.perf_counter() > deadline:
+                timed_out = True
+                break
+            rule_stats = stats[rule_index]
+            if not scheduler.should_search(step, rule_index, rule):
+                if not verify_pass:
+                    rule_stats.banned_steps += 1
+                if matcher is not None:
+                    # The rule missed this step's matches; its next
+                    # search must be a full scan.
+                    matcher.force_full(rule_index)
+                continue
+            context = rule.context_key(egraph) if rule.context_key else None
+            if matcher is not None and context != contexts[rule_index]:
+                # Applier output depends on e-graph context beyond the
+                # match (the enumerating intro rules); a changed context
+                # can create matches anywhere.
+                matcher.force_full(rule_index)
+            contexts[rule_index] = context
+            restrict = None
+            if matcher is not None and step >= 2:
+                restrict = matcher.restrict_for(rule_index)
+            searched_restricted = restrict is not None
+            any_restricted |= searched_restricted
+            search_start = time.perf_counter()
+            found = search_rule(egraph, rule, restrict, deadline)
+            rule_stats.search_seconds += time.perf_counter() - search_start
+            rule_stats.searches += 1
+            rule_stats.matches_found += len(found)
+            if matcher is not None:
+                matcher.note_searched(rule_index, searched_restricted)
+            # Dedup against everything already applied *before* the
+            # scheduler counts: the match budget meters new work, not
+            # the rediscovery of old matches.
+            fresh: List[Tuple[tuple, Match]] = []
+            seen: Set[tuple] = set()
+            for match in found:
+                signature = (
+                    rule_index, context, _binding_signature(egraph, match)
+                )
+                if signature in applied or signature in seen:
+                    continue
+                seen.add(signature)
+                fresh.append((signature, match))
+            admitted = scheduler.admit_matches(step, rule_index, rule, fresh)
+            if not admitted and fresh:
+                # Banned: the discarded matches must be re-found once
+                # the ban lifts.
+                rule_stats.bans += 1
+                if matcher is not None:
+                    matcher.force_full(rule_index)
+                continue
+            for signature, match in admitted:
+                applied.add(signature)
+                matches.append((rule_stats, rule, match))
+        return matches, any_restricted, timed_out
+
+    def _record(
+        self,
+        step: int,
+        seconds: float,
+        matches: int,
+        unions: int,
+        root_class: int,
+        cost_model: Optional[CostModel],
+        extract_each_step: bool,
+    ) -> StepRecord:
+        record = StepRecord(
+            step=step,
+            enodes=self.egraph.num_nodes,
+            eclasses=self.egraph.num_classes,
+            seconds=seconds,
+            matches=matches,
+            unions=unions,
+        )
+        if cost_model is not None and extract_each_step:
+            extractor = Extractor(self.egraph, cost_model)
+            result = extractor.extract(root_class)
+            record.best_term = result.term
+            record.best_cost = result.cost
+            record.library_calls = library_calls_of(result.term)
+        return record

@@ -1,0 +1,171 @@
+"""Rule schedulers: which rules search on which saturation steps.
+
+The naive engine searches every rule on every step, so one explosive
+rule (the associativity/commutativity birewrites are the usual
+culprits) dominates search time and floods the e-node budget before
+the idiom recognizers get a chance to fire.  egg's answer is
+*match-budgeted backoff*: a rule that produces more matches than its
+budget in one step is banned for a number of steps, and both the
+budget and the ban length double on every repeat offense.  The graph
+keeps growing through the cheap rules while the explosive one sits
+out, and a fixpoint is only declared once every ban has been lifted
+and a full step still finds nothing new.
+
+:class:`SimpleScheduler` preserves the original search-everything
+behavior; :class:`BackoffScheduler` implements the egg discipline.
+Select per run via ``Limits(scheduler=...)``, the ``REPRO_SCHEDULER``
+environment variable, or the CLI's ``--scheduler`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "RuleScheduler",
+    "SimpleScheduler",
+    "BackoffScheduler",
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+]
+
+
+class RuleScheduler:
+    """Protocol-with-defaults for rule scheduling.
+
+    A scheduler instance is created per run (it carries per-rule state)
+    and consulted twice per (step, rule):
+
+    * :meth:`should_search` — may the rule search at all this step?
+    * :meth:`admit_matches` — given the raw match list, which matches
+      may be applied?  (This is where backoff counts and bans.)
+
+    ``has_bans``/``unban_all`` let the runner distinguish a true
+    fixpoint from "every productive rule is banned".
+    """
+
+    name = "abstract"
+
+    def should_search(self, step: int, rule_index: int, rule) -> bool:
+        return True
+
+    def admit_matches(self, step: int, rule_index: int, rule, matches: list) -> list:
+        return matches
+
+    def has_bans(self) -> bool:
+        return False
+
+    def unban_all(self) -> None:  # pragma: no cover - state-free default
+        pass
+
+    def bans_of(self, rule_index: int) -> int:
+        return 0
+
+
+class SimpleScheduler(RuleScheduler):
+    """Search every rule every step — the original engine behavior."""
+
+    name = "simple"
+
+
+@dataclass
+class _BackoffState:
+    times_banned: int = 0
+    banned_until: int = 0
+    total_bans: int = 0
+
+
+class BackoffScheduler(RuleScheduler):
+    """egg-style exponential backoff (egg's ``BackoffScheduler``).
+
+    A rule whose searcher yields more than ``match_limit * 2^b`` new
+    matches in one step (``b`` = times banned so far) has those matches
+    discarded and is banned for ``ban_length * 2^b`` steps.  Bans decay
+    nothing — the dedup cache and incremental matching make the catch-up
+    search cheap once the ban lifts.
+
+    The defaults differ from egg's (1000 matches, 5 iterations): egg
+    amortizes bans over hundreds of small iterations, whereas this
+    engine's benchmark profile runs 8 large batched steps, so bans must
+    be short and budgets generous or a banned idiom recognizer never
+    returns before the step limit.  With ``match_limit=8000``,
+    ``ban_length=1`` the tier-1 kernels (gemv, vsum, axpy) extract the
+    same best-cost solutions as :class:`SimpleScheduler` at a fraction
+    of the search time (see ``benchmarks/test_scheduler_ablation.py``).
+    """
+
+    name = "backoff"
+
+    def __init__(self, match_limit: int = 8_000, ban_length: int = 1) -> None:
+        if match_limit <= 0:
+            raise ValueError(f"match_limit must be > 0, got {match_limit}")
+        if ban_length <= 0:
+            raise ValueError(f"ban_length must be > 0, got {ban_length}")
+        self.match_limit = match_limit
+        self.ban_length = ban_length
+        self._states: Dict[int, _BackoffState] = {}
+
+    def _state(self, rule_index: int) -> _BackoffState:
+        state = self._states.get(rule_index)
+        if state is None:
+            state = self._states[rule_index] = _BackoffState()
+        return state
+
+    def should_search(self, step: int, rule_index: int, rule) -> bool:
+        state = self._state(rule_index)
+        if step >= state.banned_until:
+            # Clear lapsed bans so has_bans() reflects *active* bans
+            # only; otherwise every past ban would cost an extra
+            # verification step at fixpoint.
+            state.banned_until = 0
+            return True
+        return False
+
+    def admit_matches(self, step: int, rule_index: int, rule, matches: list) -> list:
+        state = self._state(rule_index)
+        threshold = self.match_limit << state.times_banned
+        if len(matches) > threshold:
+            state.banned_until = step + 1 + (self.ban_length << state.times_banned)
+            state.times_banned += 1
+            state.total_bans += 1
+            return []
+        return matches
+
+    def has_bans(self) -> bool:
+        return any(state.banned_until > 0 for state in self._states.values())
+
+    def unban_all(self) -> None:
+        for state in self._states.values():
+            state.banned_until = 0
+
+    def bans_of(self, rule_index: int) -> int:
+        state = self._states.get(rule_index)
+        return state.total_bans if state is not None else 0
+
+
+#: Names accepted by :func:`make_scheduler`, ``Limits.scheduler``,
+#: ``REPRO_SCHEDULER``, and the CLI ``--scheduler`` flag.
+SCHEDULER_NAMES = ("simple", "backoff")
+
+_FACTORIES = {
+    "simple": SimpleScheduler,
+    "backoff": BackoffScheduler,
+}
+
+
+def make_scheduler(
+    spec: Union[str, RuleScheduler, None] = None,
+) -> RuleScheduler:
+    """Resolve a scheduler: an instance passes through, a name builds a
+    fresh instance, ``None`` means ``simple``."""
+    if spec is None:
+        return SimpleScheduler()
+    if isinstance(spec, RuleScheduler):
+        return spec
+    try:
+        return _FACTORIES[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {spec!r}; expected one of {SCHEDULER_NAMES}"
+        ) from None

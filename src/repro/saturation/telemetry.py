@@ -1,0 +1,129 @@
+"""Per-rule and per-phase telemetry for saturation runs.
+
+The paper's evaluation reasons about saturation cost only in aggregate
+(e-nodes and seconds per step).  Tuning rule sets needs finer grain:
+which rule burns the search time, which one floods the graph with
+matches, which one actually produces the unions that lead to the
+extracted idiom.  :class:`RuleStats` records exactly that per rule,
+:class:`PhaseTimings` splits each step into the engine's four phases
+(search / apply / rebuild / extract), and both serialize to plain
+dicts so they can travel on :class:`~repro.api.types.OptimizationReport`
+JSON and the CLI's ``--rule-profile`` dump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = [
+    "RuleStats",
+    "PhaseTimings",
+    "rule_stats_to_dict",
+    "rule_stats_from_dict",
+    "aggregate_rule_stats",
+]
+
+
+@dataclass
+class RuleStats:
+    """Lifetime counters for one rule across a whole saturation run."""
+
+    name: str
+    #: Seconds spent e-matching this rule's searcher.
+    search_seconds: float = 0.0
+    #: Number of steps in which the rule was searched.
+    searches: int = 0
+    #: Raw matches the searcher produced (before dedup/scheduling).
+    matches_found: int = 0
+    #: Matches that survived dedup + scheduling and were applied.
+    matches_applied: int = 0
+    #: Unions those applications performed.
+    unions: int = 0
+    #: Times the scheduler banned the rule (backoff only).
+    bans: int = 0
+    #: Steps skipped while banned.
+    banned_steps: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "search_seconds": self.search_seconds,
+            "searches": self.searches,
+            "matches_found": self.matches_found,
+            "matches_applied": self.matches_applied,
+            "unions": self.unions,
+            "bans": self.bans,
+            "banned_steps": self.banned_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RuleStats":
+        return cls(**dict(data))
+
+    def add(self, other: "RuleStats") -> None:
+        """Accumulate another run's counters for the same rule."""
+        self.search_seconds += other.search_seconds
+        self.searches += other.searches
+        self.matches_found += other.matches_found
+        self.matches_applied += other.matches_applied
+        self.unions += other.unions
+        self.bans += other.bans
+        self.banned_steps += other.banned_steps
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock split of one saturation step (or a whole run)."""
+
+    search: float = 0.0
+    apply: float = 0.0
+    rebuild: float = 0.0
+    extract: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.search + self.apply + self.rebuild + self.extract
+
+    def to_dict(self) -> dict:
+        return {
+            "search": self.search,
+            "apply": self.apply,
+            "rebuild": self.rebuild,
+            "extract": self.extract,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PhaseTimings":
+        return cls(**{k: float(v) for k, v in dict(data).items()})
+
+    def add(self, other: "PhaseTimings") -> None:
+        self.search += other.search
+        self.apply += other.apply
+        self.rebuild += other.rebuild
+        self.extract += other.extract
+
+
+def rule_stats_to_dict(stats: Mapping[str, RuleStats]) -> Dict[str, dict]:
+    """Serialize a ``rule name → RuleStats`` mapping (sorted for stable
+    JSON output)."""
+    return {name: stats[name].to_dict() for name in sorted(stats)}
+
+
+def rule_stats_from_dict(data: Optional[Mapping[str, Mapping]]) -> Dict[str, RuleStats]:
+    if not data:
+        return {}
+    return {name: RuleStats.from_dict(entry) for name, entry in data.items()}
+
+
+def aggregate_rule_stats(
+    runs: "list[Mapping[str, Mapping]]",
+) -> Dict[str, dict]:
+    """Sum serialized per-rule stats across runs (the ``--rule-profile``
+    aggregate section)."""
+    totals: Dict[str, RuleStats] = {}
+    for run_stats in runs:
+        for name, entry in (run_stats or {}).items():
+            merged = totals.setdefault(name, RuleStats(name))
+            merged.add(RuleStats.from_dict(entry))
+    return rule_stats_to_dict(totals)

@@ -1,0 +1,154 @@
+"""Runner stop-condition coverage: node limit mid-apply, in-step time
+limit, saturation under birewrite churn, applied-signature
+canonicalization, and the simple/backoff equivalence property."""
+
+import time
+
+import pytest
+
+from repro.egraph import EGraph
+from repro.egraph.rewrite import birewrite, rewrite
+from repro.ir import parse
+from repro.kernels import registry
+from repro.pipeline import optimize
+from repro.rules.dsl import padd, pmul, psym, pv
+from repro.saturation import Runner, StopReason
+from repro.targets import blas_target
+
+
+class TestNodeLimitMidApply:
+    def test_apply_loop_stops_at_node_budget(self):
+        """A single step with more admitted matches than the node budget
+        can absorb must stop mid-apply, not after the whole batch."""
+        eg = EGraph()
+        root = eg.add_term(parse("a * (b * (c * (d * e)))"))
+        commute = rewrite("commute", pmul(pv("x"), pv("y")),
+                          pmul(pv("y"), pv("x")))
+        baseline = eg.num_nodes
+        result = Runner(eg, [commute], step_limit=10,
+                        node_limit=baseline + 1).run(root)
+        assert result.stop_reason == StopReason.NODE_LIMIT
+        stats = result.rule_stats["commute"]
+        # All four matches were found and admitted, but the budget cut
+        # the batch short.
+        assert result.steps[1].matches == 4
+        assert 0 < stats.matches_applied < 4
+
+
+class TestTimeLimitInStep:
+    def test_one_huge_step_cannot_overshoot(self):
+        """The wall clock is polled inside the search and apply loops:
+        a run whose *single step* would take minutes stops within the
+        budget (plus bookkeeping), with stop reason TIME_LIMIT."""
+        kernel = registry.get("gemv")
+        started = time.perf_counter()
+        result = optimize(kernel, blas_target(), step_limit=50,
+                          node_limit=10**9, time_limit=0.5)
+        elapsed = time.perf_counter() - started
+        assert result.run.stop_reason == StopReason.TIME_LIMIT
+        # Without in-step checks this configuration runs for minutes
+        # (the node budget never bites); 20 s leaves room for one
+        # rebuild + extraction after the deadline fires.
+        assert elapsed < 20.0
+
+    def test_tiny_budget_stops_immediately(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a * b"))
+        commute = rewrite("commute", pmul(pv("x"), pv("y")),
+                          pmul(pv("y"), pv("x")))
+        result = Runner(eg, [commute], step_limit=10,
+                        time_limit=1e-9).run(root)
+        assert result.stop_reason == StopReason.TIME_LIMIT
+        assert result.num_steps == 1  # one (empty) step records the stop
+
+
+class TestSaturationUnderChurn:
+    def test_birewrite_fixpoint(self):
+        """Bidirectional commutativity churns (every application makes
+        the mirror match) yet must reach a true fixpoint."""
+        eg = EGraph()
+        root = eg.add_term(parse("(a + b) * (c + d)"))
+        rules = (
+            birewrite("mul-comm", pmul(pv("x"), pv("y")), pmul(pv("y"), pv("x")))
+            + birewrite("add-comm", padd(pv("x"), pv("y")), padd(pv("y"), pv("x")))
+        )
+        result = Runner(eg, rules, step_limit=20, node_limit=10_000).run(root)
+        assert result.stop_reason == StopReason.SATURATED
+        assert eg.equivalent(parse("(a + b) * (c + d)"),
+                             parse("(d + c) * (b + a)"))
+        # Once every orientation exists, later steps find nothing new.
+        assert result.final.matches == 0
+
+
+class TestAppliedSignatureCanonicalization:
+    def test_merged_classes_do_not_resurrect_matches(self):
+        """Match signatures embed class ids captured at match time.
+        When the id stored in a signature *loses* a later union (the
+        union-by-rank winner is the other class), the same logical
+        match used to re-canonicalize to an unseen signature and get
+        re-applied on every subsequent step.  With canonicalized
+        signatures the rule's total applications stay bounded by its
+        distinct logical matches."""
+        eg = EGraph()
+        # Give c's class rank 1 so that merging a into it makes a's id
+        # the union-find loser (the staleness case).
+        eg.merge(eg.add_term(parse("c")), eg.add_term(parse("c_alias")))
+        eg.rebuild()
+        eg.pop_dirty()
+        root = eg.add_term(parse("(a * b) + f(x)"))
+        from repro.rules.dsl import pcall
+        rules = [
+            rewrite("commute", pmul(pv("x"), pv("y")), pmul(pv("y"), pv("x"))),
+            rewrite("a-is-c", psym("a"), psym("c")),
+            # Keeps the run alive for the full step budget so a stale
+            # commute signature would have steps in which to resurrect.
+            rewrite("grow", pcall("f", pv("v")), pcall("f", pcall("g", pv("v")))),
+        ]
+        result = Runner(eg, rules, step_limit=8, node_limit=10_000).run(root)
+        assert result.stop_reason == StopReason.STEP_LIMIT
+        assert eg.equivalent(parse("a"), parse("c"))
+        assert eg.equivalent(parse("a * b"), parse("b * c"))
+        commute = result.rule_stats["commute"]
+        # Distinct logical matches: (a·b), its mirror (b·a), and the
+        # post-merge node orientations — bounded, not once per step.
+        assert commute.matches_applied <= 4
+
+    def test_applied_cap_bounds_growth(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a * (b * (c * d))"))
+        commute = rewrite("commute", pmul(pv("x"), pv("y")),
+                          pmul(pv("y"), pv("x")))
+        result = Runner(eg, [commute], step_limit=10, node_limit=10_000,
+                        applied_cap=2).run(root)
+        # Clearing the cache only costs rework (idempotent re-unions);
+        # the run still terminates at the step limit or a fixpoint and
+        # the graph is correct.
+        assert result.stop_reason in (StopReason.SATURATED,
+                                      StopReason.STEP_LIMIT)
+        assert eg.equivalent(parse("a * (b * (c * d))"),
+                             parse("(b * (c * d)) * a"))
+
+
+class TestSchedulerEquivalence:
+    """BackoffScheduler must reach the same final best cost as
+    SimpleScheduler on the tier-1 kernels (gemv, vsum, axpy), at the
+    default benchmark limits.
+
+    These go through the session shim (``repro.optimize``) so a full
+    suite run reuses the saturations the benchmark modules already
+    performed; standalone runs pay the full saturation cost once.
+    The gemv peak-e-node bound is asserted by
+    ``benchmarks/test_scheduler_ablation.py`` alongside the timing
+    comparison.
+    """
+
+    @pytest.mark.parametrize("kernel_name", ["vsum", "axpy", "gemv"])
+    def test_same_best_cost(self, kernel_name):
+        import repro
+
+        simple = repro.optimize(kernel_name, "blas", scheduler="simple")
+        backoff = repro.optimize(kernel_name, "blas", scheduler="backoff")
+        assert simple.run.scheduler == "simple"
+        assert backoff.run.scheduler == "backoff"
+        assert backoff.final.best_cost == pytest.approx(simple.final.best_cost)
+        assert backoff.final.library_calls == simple.final.library_calls

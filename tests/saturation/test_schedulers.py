@@ -1,0 +1,141 @@
+"""Tests for rule scheduling (repro.saturation.schedulers)."""
+
+import pytest
+
+from repro.api import Limits
+from repro.egraph import EGraph
+from repro.ir import parse
+from repro.rules.dsl import pmul, pv
+from repro.saturation import (
+    BackoffScheduler,
+    Runner,
+    SimpleScheduler,
+    StopReason,
+    make_scheduler,
+)
+from repro.egraph.rewrite import birewrite, rewrite
+
+
+class TestMakeScheduler:
+    def test_none_is_simple(self):
+        assert isinstance(make_scheduler(None), SimpleScheduler)
+
+    def test_names(self):
+        assert isinstance(make_scheduler("simple"), SimpleScheduler)
+        assert isinstance(make_scheduler("backoff"), BackoffScheduler)
+
+    def test_instance_passes_through(self):
+        scheduler = BackoffScheduler(match_limit=7)
+        assert make_scheduler(scheduler) is scheduler
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("aggressive")
+
+
+class TestBackoffScheduler:
+    def test_under_budget_admits_everything(self):
+        scheduler = BackoffScheduler(match_limit=10)
+        matches = list(range(5))
+        assert scheduler.admit_matches(1, 0, None, matches) == matches
+        assert not scheduler.has_bans()
+
+    def test_over_budget_bans_and_discards(self):
+        scheduler = BackoffScheduler(match_limit=3, ban_length=2)
+        assert scheduler.admit_matches(1, 0, None, list(range(9))) == []
+        assert scheduler.has_bans()
+        assert scheduler.bans_of(0) == 1
+        # Banned for ban_length steps starting next step.
+        assert not scheduler.should_search(2, 0, None)
+        assert not scheduler.should_search(3, 0, None)
+        assert scheduler.should_search(4, 0, None)
+
+    def test_budget_and_ban_double_on_repeat(self):
+        scheduler = BackoffScheduler(match_limit=3, ban_length=2)
+        scheduler.admit_matches(1, 0, None, list(range(9)))  # first ban
+        # After the first ban the budget doubles: 6 matches now fit.
+        assert scheduler.should_search(4, 0, None)
+        admitted = scheduler.admit_matches(4, 0, None, list(range(6)))
+        assert len(admitted) == 6
+        # 7 matches exceed the doubled budget; the ban length doubles too.
+        assert scheduler.admit_matches(5, 0, None, list(range(7))) == []
+        assert not scheduler.should_search(9, 0, None)
+        assert scheduler.should_search(10, 0, None)
+
+    def test_unban_all(self):
+        scheduler = BackoffScheduler(match_limit=1, ban_length=50)
+        scheduler.admit_matches(1, 0, None, [1, 2])
+        assert not scheduler.should_search(2, 0, None)
+        scheduler.unban_all()
+        assert scheduler.should_search(2, 0, None)
+        assert not scheduler.has_bans()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffScheduler(match_limit=0)
+        with pytest.raises(ValueError):
+            BackoffScheduler(ban_length=0)
+
+    def test_rules_tracked_independently(self):
+        scheduler = BackoffScheduler(match_limit=2, ban_length=3)
+        scheduler.admit_matches(1, 0, None, [1, 2, 3])  # rule 0 banned
+        assert not scheduler.should_search(2, 0, None)
+        assert scheduler.should_search(2, 1, None)
+        assert scheduler.bans_of(1) == 0
+
+
+class TestLimitsPlumbing:
+    def test_default_is_simple(self):
+        assert Limits().scheduler == "simple"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "backoff")
+        assert Limits.from_env().scheduler == "backoff"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            Limits(scheduler="nope")
+
+    def test_override_and_key(self):
+        backoff = Limits().override(scheduler="backoff")
+        assert backoff.scheduler == "backoff"
+        assert backoff.key() != Limits().key()
+
+    def test_round_trip_and_legacy_dicts(self):
+        limits = Limits(scheduler="backoff")
+        assert Limits.from_dict(limits.to_dict()) == limits
+        # Pre-scheduler cache entries have no scheduler key: they ran
+        # the simple scheduler.
+        legacy = {"step_limit": 8, "node_limit": 12_000, "time_limit": 120.0}
+        assert Limits.from_dict(legacy).scheduler == "simple"
+
+
+class TestRunnerSchedulerIntegration:
+    def test_backoff_bans_explosive_rule_and_still_saturates(self):
+        """A fixpoint under active bans is not saturation: the runner
+        lifts every ban and only stops once a full step finds nothing."""
+        eg = EGraph()
+        root = eg.add_term(parse("(a * b) * (c * d)"))
+        rules = birewrite("mul-comm", pmul(pv("x"), pv("y")),
+                          pmul(pv("y"), pv("x")))
+        scheduler = BackoffScheduler(match_limit=1, ban_length=2)
+        result = Runner(eg, rules, step_limit=30, node_limit=10_000,
+                        scheduler=scheduler).run(root)
+        assert result.stop_reason == StopReason.SATURATED
+        assert result.scheduler == "backoff"
+        # The tiny budget forced at least one ban along the way…
+        assert any(s.bans > 0 for s in result.rule_stats.values())
+        # …yet commutativity is fully saturated at the end.
+        assert eg.equivalent(parse("(a * b) * (c * d)"),
+                             parse("(c * d) * (a * b)"))
+        assert eg.equivalent(parse("a * b"), parse("b * a"))
+
+    def test_simple_scheduler_matches_original_behavior(self):
+        eg = EGraph()
+        root = eg.add_term(parse("x + 0"))
+        from repro.rules.dsl import padd, pconst
+        rule = rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))
+        result = Runner(eg, [rule], step_limit=10, scheduler="simple").run(root)
+        assert result.stop_reason == StopReason.SATURATED
+        assert result.scheduler == "simple"
+        assert result.rule_stats["add-zero"].bans == 0
