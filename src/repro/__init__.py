@@ -98,6 +98,8 @@ def optimize(
     node_limit: Optional[int] = None,
     time_limit: Optional[float] = None,
     scheduler: Optional[str] = None,
+    search_workers: Optional[int] = None,
+    rule_profile: Optional[str] = None,
 ) -> OptimizationResult:
     """Optimize ``kernel`` for ``target`` through the default session.
 
@@ -113,6 +115,8 @@ def optimize(
         node_limit=node_limit,
         time_limit=time_limit,
         scheduler=scheduler,
+        search_workers=search_workers,
+        rule_profile=rule_profile,
     )
 
 
@@ -125,6 +129,8 @@ def optimize_term(
     node_limit: Optional[int] = None,
     time_limit: Optional[float] = None,
     scheduler: Optional[str] = None,
+    search_workers: Optional[int] = None,
+    rule_profile: Optional[str] = None,
     kernel_name: str = "<term>",
 ) -> OptimizationResult:
     """Optimize a bare IR term through the default session
@@ -138,4 +144,6 @@ def optimize_term(
         node_limit=node_limit,
         time_limit=time_limit,
         scheduler=scheduler,
+        search_workers=search_workers,
+        rule_profile=rule_profile,
     )

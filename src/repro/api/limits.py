@@ -13,12 +13,19 @@ all resolve through it, and the environment knobs
 * ``REPRO_NODE_LIMIT`` — e-node budget,
 * ``REPRO_TIME_LIMIT`` — wall-clock cap in seconds,
 * ``REPRO_SCHEDULER`` — rule scheduler (``simple`` or ``backoff``),
+* ``REPRO_SEARCH_WORKERS`` — process-pool fan-out of rule searches
+  within each saturation step (1 = serial; results are byte-identical
+  either way, see :mod:`repro.saturation.parallel`),
+* ``REPRO_RULE_PROFILE`` — path to a recorded ``--rule-profile`` JSON
+  used to prune historically wasteful rules before the run
+  (:mod:`repro.saturation.pruning`),
 
 override the defaults everywhere at once.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, replace
 from typing import Mapping, Optional
@@ -26,6 +33,24 @@ from typing import Mapping, Optional
 from ..saturation.schedulers import SCHEDULER_NAMES
 
 __all__ = ["Limits"]
+
+
+def _profile_digest(path: str) -> str:
+    """Content digest of a rule-profile file for cache keying.
+
+    An unreadable path digests to a sentinel tagged with the path
+    itself; the run will fail loudly in the pruning loader anyway, and
+    the sentinel keeps ``key()`` exception-free for callers that only
+    build keys (cache lookups, report serialization).
+    """
+    try:
+        digest = hashlib.sha256()
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(65536), b""):
+                digest.update(chunk)
+        return f"profile:{digest.hexdigest()}"
+    except OSError:
+        return f"profile-unreadable:{path}"
 
 
 @dataclass(frozen=True)
@@ -37,6 +62,8 @@ class Limits:
     node_limit: int = 12_000
     time_limit: float = 120.0
     scheduler: str = "simple"
+    search_workers: int = 1
+    rule_profile: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.step_limit < 0:
@@ -50,6 +77,10 @@ class Limits:
                 f"scheduler must be one of {SCHEDULER_NAMES}, "
                 f"got {self.scheduler!r}"
             )
+        if self.search_workers < 1:
+            raise ValueError(
+                f"search_workers must be >= 1, got {self.search_workers}"
+            )
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "Limits":
@@ -61,6 +92,10 @@ class Limits:
             node_limit=int(env.get("REPRO_NODE_LIMIT", base.node_limit)),
             time_limit=float(env.get("REPRO_TIME_LIMIT", base.time_limit)),
             scheduler=env.get("REPRO_SCHEDULER", base.scheduler),
+            search_workers=int(
+                env.get("REPRO_SEARCH_WORKERS", base.search_workers)
+            ),
+            rule_profile=env.get("REPRO_RULE_PROFILE") or None,
         )
 
     def override(
@@ -69,6 +104,8 @@ class Limits:
         node_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
         scheduler: Optional[str] = None,
+        search_workers: Optional[int] = None,
+        rule_profile: Optional[str] = None,
     ) -> "Limits":
         """A copy with any non-``None`` field replaced."""
         updates = {
@@ -78,6 +115,8 @@ class Limits:
                 ("node_limit", node_limit),
                 ("time_limit", time_limit),
                 ("scheduler", scheduler),
+                ("search_workers", search_workers),
+                ("rule_profile", rule_profile),
             )
             if value is not None
         }
@@ -90,6 +129,8 @@ class Limits:
             "node_limit": self.node_limit,
             "time_limit": self.time_limit,
             "scheduler": self.scheduler,
+            "search_workers": self.search_workers,
+            "rule_profile": self.rule_profile,
         }
 
     def to_dict(self) -> dict:
@@ -101,12 +142,30 @@ class Limits:
             step_limit=int(data["step_limit"]),
             node_limit=int(data["node_limit"]),
             time_limit=float(data["time_limit"]),
-            # Reports and cache entries written before the scheduler
-            # existed carry no scheduler key; they ran the simple one.
+            # Reports and cache entries written before a knob existed
+            # carry no key for it; they ran with the knob's default
+            # (simple scheduler, serial search, no pruning).
             scheduler=str(data.get("scheduler", "simple")),
+            search_workers=int(data.get("search_workers", 1)),
+            rule_profile=data.get("rule_profile") or None,
         )
 
     def key(self) -> tuple:
-        """Hashable cache-key fragment."""
-        return (self.step_limit, self.node_limit, self.time_limit,
+        """Hashable cache-key fragment.
+
+        ``search_workers`` is deliberately *excluded*: parallel search
+        is guaranteed byte-identical to serial (matches are merged in
+        canonical rule order), so a cached serial result answers a
+        parallel request and vice versa.  ``rule_profile`` changes the
+        rule set, hence the results — but only joins the key when set,
+        so every pre-pruning cache entry stays valid.  It joins as a
+        *content* digest, not the path: the persistent disk cache must
+        not serve stale results after the profile file at the same
+        path is re-recorded (and two directories' unrelated
+        ``p.json`` files must not collide in a shared cache).
+        """
+        base = (self.step_limit, self.node_limit, self.time_limit,
                 self.scheduler)
+        if self.rule_profile is None:
+            return base
+        return base + (_profile_digest(self.rule_profile),)

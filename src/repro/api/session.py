@@ -92,10 +92,10 @@ def _execute_payload(payload: dict, registry: TargetRegistry,
         ).to_dict()
 
 
-def _fork_available() -> bool:
-    import multiprocessing
-
-    return "fork" in multiprocessing.get_all_start_methods()
+# One fork-safety policy for the whole codebase: the run-level process
+# pool here and the search-level pool inside the saturation engine must
+# agree on when forking the parent is safe.
+from ..saturation.parallel import fork_available as _fork_available
 
 
 def _evict_adhoc(session_ref, ident: int, token: str) -> None:
@@ -181,9 +181,11 @@ class Session:
         node_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
         scheduler: Optional[str] = None,
+        search_workers: Optional[int] = None,
+        rule_profile: Optional[str] = None,
     ) -> Limits:
         return self.limits.override(step_limit, node_limit, time_limit,
-                                    scheduler)
+                                    scheduler, search_workers, rule_profile)
 
     @property
     def stats(self) -> dict:
@@ -204,6 +206,8 @@ class Session:
         node_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
         scheduler: Optional[str] = None,
+        search_workers: Optional[int] = None,
+        rule_profile: Optional[str] = None,
     ) -> "OptimizationResult":
         """Optimize one kernel for one target, with result caching.
 
@@ -222,6 +226,8 @@ class Session:
             node_limit=node_limit,
             time_limit=time_limit,
             scheduler=scheduler,
+            search_workers=search_workers,
+            rule_profile=rule_profile,
         )
 
     def optimize_term(
@@ -235,15 +241,17 @@ class Session:
         node_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
         scheduler: Optional[str] = None,
+        search_workers: Optional[int] = None,
+        rule_profile: Optional[str] = None,
     ) -> "OptimizationResult":
         """Optimize a bare IR term (see :func:`repro.pipeline.optimize_term`)."""
         from ..pipeline import optimize_term as _pipeline_optimize_term
 
         limits = self.resolve_limits(step_limit, node_limit, time_limit,
-                                     scheduler)
+                                     scheduler, search_workers, rule_profile)
         named = isinstance(target, str)
         target_obj = self.target(target) if named else target
-        key = self._term_key(term, symbol_shapes, target, limits)
+        key = self._term_key(term, symbol_shapes, target, limits, kernel_name)
         name_key = None if key is None else f"{key}|name={kernel_name}"
         if name_key is not None and not named:
             # Remember which entries belong to this ad-hoc target so
@@ -296,10 +304,15 @@ class Session:
         symbol_shapes: Optional[dict],
         target: Union[str, Target],
         limits: Limits,
+        kernel_name: str,
     ) -> Optional[str]:
         """Cache key for a run, or ``None`` when the run is uncacheable
         (ad-hoc Target objects are distinguished by identity; exotic
-        symbol shapes fall outside the serializable spec)."""
+        symbol shapes fall outside the serializable spec).
+
+        With ``rule_profile`` set the key is additionally scoped to the
+        kernel name, because pruning decisions depend on it (see
+        :func:`report_cache_key`)."""
         try:
             spec = shapes_to_spec(symbol_shapes)
         except TypeError:
@@ -310,7 +323,10 @@ class Session:
             token = self._adhoc_token(target)
             if token is None:
                 return None
-        return report_cache_key(pretty(term), spec, token, limits.key())
+        return report_cache_key(
+            pretty(term), spec, token, limits.key(),
+            pruned_for=kernel_name if limits.rule_profile else None,
+        )
 
     def _adhoc_token(self, target: Target) -> Optional[str]:
         """id()-based cache token for an unregistered Target object."""
@@ -443,7 +459,7 @@ class Session:
             )
         limits = self.resolve_limits(
             request.step_limit, request.node_limit, request.time_limit,
-            request.scheduler,
+            request.scheduler, request.search_workers, request.rule_profile,
         )
         payload: dict = {"target": request.target, "limits": limits.to_dict()}
         if request.kernel is not None:
@@ -457,8 +473,15 @@ class Session:
             payload["name"] = request.display_name
             term_text = request.term
             spec = request.symbol_shapes
+        # The name the pipeline will prune for: the registered kernel's
+        # name, or the request's display name for raw-term requests.
+        pruned_for = (
+            (payload.get("kernel") or request.display_name)
+            if limits.rule_profile else None
+        )
         payload["cache_key"] = report_cache_key(
-            term_text, spec, self._target_token(request.target), limits.key()
+            term_text, spec, self._target_token(request.target), limits.key(),
+            pruned_for=pruned_for,
         )
         # Only built-in targets are disk-durable: a registered name is a
         # process-local binding, and another process may have bound a

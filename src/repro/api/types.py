@@ -79,6 +79,8 @@ class OptimizationRequest:
     node_limit: Optional[int] = None
     time_limit: Optional[float] = None
     scheduler: Optional[str] = None  # "simple" | "backoff"
+    search_workers: Optional[int] = None  # parallel e-matching fan-out
+    rule_profile: Optional[str] = None  # telemetry profile for pruning
 
     def __post_init__(self) -> None:
         if (self.kernel is None) == (self.term is None):
@@ -136,8 +138,12 @@ class OptimizationReport:
     #: Per-rule saturation telemetry (serialized RuleStats), or None
     #: for reports produced before telemetry existed.
     rule_stats: Optional[Dict[str, Any]] = None
-    #: Run-total wall-clock split: search/apply/rebuild/extract.
+    #: Run-total wall-clock split: search/apply/rebuild/extract (plus
+    #: search_cpu, the summed per-rule search seconds across workers).
     phase_seconds: Optional[Dict[str, float]] = None
+    #: Rules dropped by profile-driven pruning before the run, or None
+    #: when no profile was applied (and for pre-pruning reports).
+    pruned_rules: Optional[list] = None
 
     @classmethod
     def from_result(cls, result, limits, seconds: float = 0.0) -> "OptimizationReport":
@@ -165,6 +171,8 @@ class OptimizationReport:
             if getattr(run, "rule_stats", None) else None,
             phase_seconds=run.total_phases().to_dict()
             if hasattr(run, "total_phases") else None,
+            pruned_rules=list(result.pruned_rules)
+            if getattr(result, "pruned_rules", None) else None,
         )
 
     @classmethod
@@ -215,15 +223,24 @@ def report_cache_key(
     shapes_spec: Optional[Mapping[str, Any]],
     target_name: str,
     limits_key: tuple,
+    pruned_for: Optional[str] = None,
 ) -> str:
-    """Stable content hash: term × shapes × target × limits."""
-    payload = json.dumps(
-        {
-            "term": term_text,
-            "shapes": shapes_spec,
-            "target": target_name,
-            "limits": list(limits_key),
-        },
-        sort_keys=True,
-    )
+    """Stable content hash: term × shapes × target × limits.
+
+    ``pruned_for`` joins the hash only when profile-driven pruning is
+    active: pruning selects rules by *kernel name* (exact-run vs
+    kernel-class fallback), so two kernels sharing one term (jacobi1d
+    / blur1d) may legitimately run different rule sets and must not
+    share a cache entry.  Left ``None`` (no pruning), keys are purely
+    content-addressed and unchanged from earlier releases.
+    """
+    body = {
+        "term": term_text,
+        "shapes": shapes_spec,
+        "target": target_name,
+        "limits": list(limits_key),
+    }
+    if pruned_for is not None:
+        body["pruned_for"] = pruned_for
+    payload = json.dumps(body, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

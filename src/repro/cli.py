@@ -94,6 +94,18 @@ def _parser() -> argparse.ArgumentParser:
                         help="write per-rule saturation telemetry (search "
                              "time, matches, unions, bans) for every run "
                              "to this JSON file")
+    parser.add_argument("-w", "--search-workers", type=_positive_int,
+                        default=None, metavar="N",
+                        help="fan each step's rule searches across N "
+                             "fork-shared worker processes (default: "
+                             "REPRO_SEARCH_WORKERS or 1 = serial; solutions "
+                             "are byte-identical either way)")
+    parser.add_argument("--prune-from-profile", type=Path, default=None,
+                        metavar="PATH",
+                        help="before each run, drop rules a previously "
+                             "recorded --rule-profile JSON shows to be "
+                             "wasteful for the kernel's class (huge match "
+                             "counts, near-zero unions)")
     parser.add_argument("-j", "--jobs", type=_positive_int, default=1,
                         help="optimize (kernel, target) pairs on a process "
                              "pool of this size (default 1: in-process)")
@@ -205,6 +217,7 @@ def _write_rule_profile(path: Path, limits, reports) -> None:
                 "cache_hit": report.cache_hit,
                 "phase_seconds": report.phase_seconds,
                 "rule_stats": report.rule_stats,
+                "pruned_rules": report.pruned_rules,
             }
             for report in reports
         ],
@@ -226,7 +239,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     limits = Limits.from_env().override(
-        args.steps, args.nodes, args.time_limit, args.scheduler
+        args.steps, args.nodes, args.time_limit, args.scheduler,
+        args.search_workers,
+        str(args.prune_from_profile) if args.prune_from_profile else None,
     )
     session = Session(limits, cache_dir=args.cache_dir)
     all_reports: List = []

@@ -324,6 +324,36 @@ class EGraph:
             worklist = next_work
 
     # ------------------------------------------------------------------
+    # Snapshotting (parallel search, pickling)
+    # ------------------------------------------------------------------
+
+    def prepare_search(self) -> None:
+        """Warm the derived search indexes (op index, smallest-term
+        table) in this process.
+
+        The parallel search phase calls this immediately before forking
+        its worker pool so every worker inherits the indexes through
+        copy-on-write instead of each rebuilding its own; it is also a
+        cheap no-op when the indexes are already current."""
+        self.classes_by_op()
+        self._size_table()
+
+    def __getstate__(self) -> dict:
+        """Pickle without the derived per-generation caches.
+
+        The op index and smallest-term table are pure functions of the
+        graph and can be large; dropping them keeps snapshots small and
+        guarantees an unpickled graph never serves another process's
+        stale derived state."""
+        state = self.__dict__.copy()
+        state.pop("_size_cache", None)
+        state.pop("_op_index_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
     # Extraction of small representative terms (used by rule appliers)
     # ------------------------------------------------------------------
 

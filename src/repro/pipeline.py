@@ -36,6 +36,9 @@ class OptimizationResult:
     run: RunResult
     egraph: EGraph
     root_class: int
+    #: Telemetry-names of rules dropped by profile-driven pruning
+    #: before the run (empty when no ``rule_profile`` was given).
+    pruned_rules: tuple = ()
 
     @property
     def steps(self) -> list:
@@ -76,18 +79,38 @@ def optimize_term(
     node_limit: int = DEFAULT_LIMITS["node_limit"],
     time_limit: float = DEFAULT_LIMITS["time_limit"],
     scheduler: str = DEFAULT_LIMITS["scheduler"],
+    search_workers: int = DEFAULT_LIMITS["search_workers"],
+    rule_profile: Optional[str] = DEFAULT_LIMITS["rule_profile"],
     kernel_name: str = "<term>",
 ) -> OptimizationResult:
-    """Optimize a bare IR term for ``target``."""
+    """Optimize a bare IR term for ``target``.
+
+    ``search_workers > 1`` fans each step's rule searches across a
+    fork-shared process pool (byte-identical solutions, see
+    :mod:`repro.saturation.parallel`); ``rule_profile`` prunes rules a
+    recorded telemetry profile says are wasteful for this kernel
+    (:mod:`repro.saturation.pruning`).
+    """
+    rules = list(target.rules)
+    pruned_rules: tuple = ()
+    if rule_profile:
+        from .saturation.pruning import RuleProfile, prune_rules
+
+        profile = RuleProfile.load(rule_profile)
+        rules, dropped = prune_rules(
+            rules, profile, kernel=kernel_name, target=target.name
+        )
+        pruned_rules = tuple(dropped)
     egraph = EGraph(ShapeAnalysis(symbol_shapes or {}))
     root = egraph.add_term(term)
     runner = Runner(
         egraph,
-        target.rules,
+        rules,
         step_limit=step_limit,
         node_limit=node_limit,
         time_limit=time_limit,
         scheduler=scheduler,
+        search_workers=search_workers,
     )
     run = runner.run(root, cost_model=target.cost_model)
     return OptimizationResult(
@@ -96,6 +119,7 @@ def optimize_term(
         run=run,
         egraph=egraph,
         root_class=egraph.find(root),
+        pruned_rules=pruned_rules,
     )
 
 
@@ -107,6 +131,8 @@ def optimize(
     node_limit: int = DEFAULT_LIMITS["node_limit"],
     time_limit: float = DEFAULT_LIMITS["time_limit"],
     scheduler: str = DEFAULT_LIMITS["scheduler"],
+    search_workers: int = DEFAULT_LIMITS["search_workers"],
+    rule_profile: Optional[str] = DEFAULT_LIMITS["rule_profile"],
 ) -> OptimizationResult:
     """Optimize ``kernel`` for ``target`` (the §VI methodology, in the
     artifact's CPU-invariant step-limited mode)."""
@@ -118,5 +144,7 @@ def optimize(
         node_limit=node_limit,
         time_limit=time_limit,
         scheduler=scheduler,
+        search_workers=search_workers,
+        rule_profile=rule_profile,
         kernel_name=kernel.name,
     )

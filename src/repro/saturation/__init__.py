@@ -12,13 +12,28 @@ Everything that drives an equality-saturation run lives here:
   fallbacks (disable wholesale with ``REPRO_INCREMENTAL=0``);
 * :mod:`repro.saturation.telemetry` — per-rule ``RuleStats`` and
   per-step ``PhaseTimings``, surfaced in Session JSON reports and the
-  CLI's ``--rule-profile`` dump.
+  CLI's ``--rule-profile`` dump;
+* :mod:`repro.saturation.parallel` — fork-pool fan-out of each step's
+  rule searches (``Limits(search_workers=N)`` / ``REPRO_SEARCH_WORKERS``
+  / ``-w``), byte-identical to serial by construction;
+* :mod:`repro.saturation.pruning` — telemetry-driven rule pruning from
+  a recorded ``--rule-profile`` JSON (``Limits(rule_profile=...)`` /
+  ``REPRO_RULE_PROFILE`` / ``--prune-from-profile``).
 
 :mod:`repro.egraph.runner` remains as a thin compatibility shim over
 this package.
 """
 
 from .ematch import IncrementalMatcher, parent_closure, search_rule
+from .parallel import ParallelSearch, fork_available, resolve_workers
+from .pruning import (
+    PruningPolicy,
+    ProfileError,
+    RuleProfile,
+    UnknownRuleWarning,
+    kernel_class,
+    prune_rules,
+)
 from .runner import (
     SCALAR_OPS,
     Runner,
@@ -48,6 +63,9 @@ __all__ = [
     "RuleScheduler", "SimpleScheduler", "BackoffScheduler",
     "SCHEDULER_NAMES", "make_scheduler",
     "IncrementalMatcher", "parent_closure", "search_rule",
+    "ParallelSearch", "fork_available", "resolve_workers",
+    "RuleProfile", "PruningPolicy", "ProfileError", "UnknownRuleWarning",
+    "kernel_class", "prune_rules",
     "RuleStats", "PhaseTimings",
     "rule_stats_to_dict", "rule_stats_from_dict", "aggregate_rule_stats",
 ]

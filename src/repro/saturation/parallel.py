@@ -1,0 +1,235 @@
+"""Parallel e-matching: fan rule searches across a process pool.
+
+Within one saturation step, every rule's search is an independent,
+read-only query of the e-graph — no rule's matches depend on another
+rule having searched first.  That makes the search phase (the dominant
+cost of saturation on every tier-1 kernel; see
+``benchmarks/out/scheduler_ablation.csv``) embarrassingly parallel,
+the same way :meth:`repro.api.Session.optimize_many` already
+parallelizes across *runs*.
+
+The mechanism mirrors ``optimize_many``'s: on platforms with the
+``fork`` start method, worker processes inherit the parent's e-graph
+and rule list by copy-on-write at the moment the pool is created — no
+pickling of the (closure-carrying) rule objects is ever needed.  The
+pool is rebuilt each step because the e-graph changes between steps;
+fork is cheap relative to a multi-second search phase.  Workers send
+back plain :class:`~repro.egraph.rewrite.Match` lists (frozen
+dataclasses over terms and class ids, cheaply picklable).
+
+Determinism guarantee: workers only *find* matches.  Scheduling
+decisions, dedup against already-applied matches, match admission, and
+application all happen in the parent, in canonical rule order, exactly
+as the serial engine does — and a rule's search output is a pure
+function of (e-graph, rule, restriction).  Solutions extracted from a
+parallel run are therefore byte-identical to a serial run's (the
+nightly CI workflow diffs them against the canonical artifacts).
+
+Serial fallback: ``search_workers <= 1``, platforms without ``fork``
+(Windows, macOS spawn-default sandboxes), pools that cannot be
+constructed (fd limits), or a pool that breaks mid-step
+(``BrokenProcessPool``, e.g. an OOM-killed worker) all degrade to the
+in-process search path; a broken pool additionally pins the run serial
+so a flaky environment does not re-fork every step.
+
+Select via ``Limits(search_workers=N)``, ``REPRO_SEARCH_WORKERS``, or
+the CLI's ``-w/--search-workers``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..egraph.egraph import EGraph
+from ..egraph.rewrite import Match, Rule
+from .ematch import search_rule
+
+__all__ = [
+    "SearchTask",
+    "SearchOutcome",
+    "ParallelSearch",
+    "fork_available",
+    "resolve_workers",
+]
+
+#: One planned rule search: (rule index, root restriction or None).
+SearchTask = Tuple[int, Optional[FrozenSet[int]]]
+
+#: One executed rule search: (per-rule search seconds, matches found).
+SearchOutcome = Tuple[float, List[Match]]
+
+# Worker-side state, inherited through fork.  Set in the parent
+# immediately before the pool is created; only ever read in workers.
+_WORKER_STATE: Optional[Tuple[EGraph, Sequence[Rule]]] = None
+
+
+def fork_available() -> bool:
+    """Whether fork-based worker pools are safe to use here.
+
+    macOS *offers* the fork start method but forking a threaded /
+    Objective-C-runtime parent there is notoriously crash-prone (which
+    is why spawn became its default); treat it as fork-less and take
+    the serial fallback, as documented.
+    """
+    import multiprocessing
+
+    if sys.platform == "darwin":
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _search_chunk(
+    chunk: List[SearchTask], deadline: Optional[float]
+) -> List[Tuple[int, float, List[Match]]]:
+    """Worker entry point: run a batch of rule searches against the
+    forked e-graph snapshot and return (rule_index, seconds, matches)
+    triples.  ``deadline`` is a ``perf_counter`` value — comparable
+    across fork because ``CLOCK_MONOTONIC`` is system-wide."""
+    assert _WORKER_STATE is not None, "search worker forked without state"
+    egraph, rules = _WORKER_STATE
+    results = []
+    for rule_index, restrict in chunk:
+        started = time.perf_counter()
+        found = search_rule(egraph, rules[rule_index], restrict, deadline)
+        results.append((rule_index, time.perf_counter() - started, found))
+    return results
+
+
+def _partition(
+    tasks: Sequence[SearchTask], weights: Sequence[float], buckets: int
+) -> List[List[SearchTask]]:
+    """Longest-processing-time assignment of tasks to ``buckets``.
+
+    ``weights[i]`` estimates the cost of searching rule ``i`` (the
+    rule's cumulative ``search_seconds`` telemetry from earlier steps),
+    so one historically expensive rule does not serialize a whole
+    worker behind a pile of cheap ones.  Never-searched rules weigh a
+    small constant, which spreads them round-robin."""
+    loads = [0.0] * buckets
+    chunks: List[List[SearchTask]] = [[] for _ in range(buckets)]
+    order = sorted(
+        range(len(tasks)), key=lambda i: weights[i], reverse=True
+    )
+    for index in order:
+        bucket = loads.index(min(loads))
+        chunks[bucket].append(tasks[index])
+        loads[bucket] += weights[index]
+    return [chunk for chunk in chunks if chunk]
+
+
+class ParallelSearch:
+    """Per-run manager for the parallel search phase.
+
+    One instance lives for the duration of a :meth:`Runner.run`; each
+    step calls :meth:`run_tasks` with that step's planned searches.
+    """
+
+    def __init__(
+        self,
+        egraph: EGraph,
+        rules: Sequence[Rule],
+        workers: int,
+    ) -> None:
+        self.egraph = egraph
+        self.rules = rules
+        self.workers = max(1, workers)
+        #: Set once a pool breaks; pins the rest of the run serial.
+        self.broken = False
+        #: Steps whose search phase actually ran on the pool.
+        self.parallel_steps = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether the next search phase will try the process pool."""
+        return self.workers > 1 and not self.broken and fork_available()
+
+    def run_tasks(
+        self,
+        tasks: Sequence[SearchTask],
+        weights: Sequence[float],
+        deadline: Optional[float],
+    ) -> Dict[int, SearchOutcome]:
+        """Execute the step's planned searches, parallel when possible.
+
+        Returns ``rule_index → (seconds, matches)`` for every task.
+        Tasks a broken pool failed to deliver are re-searched serially
+        in the parent, so the result is always complete.
+        """
+        if not self.active or len(tasks) < 2:
+            return self._run_serial(tasks, deadline)
+        outcomes = self._run_pool(tasks, weights, deadline)
+        missing = [task for task in tasks if task[0] not in outcomes]
+        if missing:
+            outcomes.update(self._run_serial(missing, deadline))
+        return outcomes
+
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self, tasks: Sequence[SearchTask], deadline: Optional[float]
+    ) -> Dict[int, SearchOutcome]:
+        outcomes: Dict[int, SearchOutcome] = {}
+        for rule_index, restrict in tasks:
+            started = time.perf_counter()
+            found = search_rule(
+                self.egraph, self.rules[rule_index], restrict, deadline
+            )
+            outcomes[rule_index] = (time.perf_counter() - started, found)
+        return outcomes
+
+    def _run_pool(
+        self,
+        tasks: Sequence[SearchTask],
+        weights: Sequence[float],
+        deadline: Optional[float],
+    ) -> Dict[int, SearchOutcome]:
+        global _WORKER_STATE
+        import multiprocessing
+
+        chunks = _partition(tasks, weights, min(self.workers, len(tasks)))
+        # Warm the derived search indexes (op index, smallest-term
+        # table) *before* forking so every worker inherits them via
+        # copy-on-write instead of rebuilding its own.
+        self.egraph.prepare_search()
+        outcomes: Dict[int, SearchOutcome] = {}
+        _WORKER_STATE = (self.egraph, self.rules)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(chunks),
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                futures = [
+                    pool.submit(_search_chunk, chunk, deadline)
+                    for chunk in chunks
+                ]
+                for future in futures:
+                    try:
+                        for rule_index, seconds, found in future.result():
+                            outcomes[rule_index] = (seconds, found)
+                    except (OSError, BrokenProcessPool):
+                        # A worker died; its chunk reruns serially in
+                        # run_tasks.  Pin the rest of the run serial.
+                        self.broken = True
+        except (OSError, BrokenProcessPool):
+            # The pool could not be constructed at all.
+            self.broken = True
+        finally:
+            _WORKER_STATE = None
+        if not self.broken:
+            self.parallel_steps += 1
+        return outcomes
+
+
+def resolve_workers(requested: int) -> int:
+    """Effective worker count for a requested ``search_workers``.
+
+    ``1`` means serial.  Requests above the machine's CPU count are
+    honored as given (useful for determinism testing), but platforms
+    without fork always resolve to serial."""
+    if requested <= 1 or not fork_available():
+        return 1
+    return requested

@@ -1,0 +1,271 @@
+"""Telemetry-driven rule pruning: drop rules a recorded profile says
+never pay for themselves.
+
+The CLI's ``--rule-profile`` dump (schema ``repro-rule-profile/1``)
+records, per (kernel, target) run, every rule's search seconds, match
+count, and union count.  Those numbers expose a stable pathology: some
+idiom recognizers burn a huge share of search/apply time on kernels
+that can never contain their idiom — ``I-Gemm``/``I-GemmT`` match tens
+of thousands of times on non-matmul kernels and union essentially
+nothing.  The backoff scheduler only suppresses such rules *after*
+paying for their first explosive step; pruning removes them *before*
+the run starts, using history instead of reaction.
+
+A rule is pruned for a kernel when, aggregated over the profile's
+matching runs, it was searched but its match-per-union ratio exceeds
+``PruningPolicy.max_match_union_ratio`` with at least
+``PruningPolicy.min_matches`` matches (rules with few matches are
+harmless; rules with unions are productive).  "Matching runs" are
+selected conservatively: runs of the *same kernel* on the same target
+when the profile has them, otherwise runs of kernels in the same
+:func:`kernel_class` (matmul / matvec / stencil / vector families of
+the table I suite) — and when neither exists, nothing is pruned.
+Profiles recorded under a different rule set degrade gracefully: rule
+names unknown to the current target are reported via
+:class:`UnknownRuleWarning`, never an error.
+
+Wire-up: ``Limits(rule_profile=path)``, the ``REPRO_RULE_PROFILE``
+environment variable, or the CLI's ``--prune-from-profile``; the
+pruned rule names travel on ``OptimizationResult.pruned_rules`` and
+the session report's ``pruned_rules`` field.
+``benchmarks/test_pruning_ablation.py`` records the search-time and
+best-cost deltas per tier-1 kernel, and the suite's property tests pin
+that pruning never changes the extracted best cost on gemv/vsum/axpy.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..egraph.rewrite import Rule
+from .telemetry import RuleStats
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "ProfileError",
+    "UnknownRuleWarning",
+    "PruningPolicy",
+    "RuleProfile",
+    "kernel_class",
+    "prune_rules",
+]
+
+#: The rule-profile JSON schema this module understands (written by
+#: ``python -m repro --rule-profile``).
+PROFILE_SCHEMA = "repro-rule-profile/1"
+
+
+class ProfileError(ValueError):
+    """A rule-profile file is missing, unparsable, or the wrong schema."""
+
+
+class UnknownRuleWarning(UserWarning):
+    """The profile names rules the current rule set does not contain
+    (it was recorded under a different/older rule set)."""
+
+
+#: Table I kernel families: profiles recorded on one member are
+#: considered representative for the others.  Kernels outside the
+#: table (custom registrations) form singleton classes — only their
+#: own recorded runs can prune their rule set.
+KERNEL_CLASSES: Dict[str, frozenset] = {
+    "matmul": frozenset({"1mm", "2mm", "slim-2mm", "gemm", "doitgen"}),
+    "matvec": frozenset({"atax", "gemv", "gemver", "gesummv", "mvt"}),
+    "stencil": frozenset({"blur1d", "jacobi1d", "stencil2d"}),
+    "vector": frozenset({"axpy", "memset", "vsum"}),
+}
+
+
+def kernel_class(kernel_name: str) -> Optional[str]:
+    """The table I family of ``kernel_name``, or ``None`` for kernels
+    outside the suite (which then only ever match their own runs)."""
+    for name, members in KERNEL_CLASSES.items():
+        if kernel_name in members:
+            return name
+    return None
+
+
+@dataclass(frozen=True)
+class PruningPolicy:
+    """Thresholds deciding which profiled rules get dropped.
+
+    The defaults are deliberately conservative: a rule must have been
+    a *heavy* searcher (``min_matches``) that was essentially never
+    productive (``max_match_union_ratio`` matches per union — a rule
+    with zero unions has an infinite ratio) before it is pruned.
+    """
+
+    #: Ignore rules with fewer aggregate matches than this — they cost
+    #: little even when useless.
+    min_matches: int = 1_000
+    #: Prune when aggregate ``matches_found / unions`` exceeds this
+    #: (zero-union rules count as infinitely wasteful).
+    max_match_union_ratio: float = 10_000.0
+
+    def is_wasteful(self, stats: RuleStats) -> bool:
+        if stats.matches_found < self.min_matches:
+            return False
+        if stats.unions == 0:
+            return True
+        return stats.matches_found / stats.unions > self.max_match_union_ratio
+
+
+@dataclass
+class ProfileRun:
+    """One recorded (kernel, target) run inside a profile."""
+
+    kernel: str
+    target: str
+    rule_stats: Dict[str, RuleStats] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ProfileRun":
+        raw = data.get("rule_stats") or {}
+        return cls(
+            kernel=str(data.get("kernel", "<term>")),
+            target=str(data.get("target", "?")),
+            rule_stats={
+                name: RuleStats.from_dict(entry)
+                for name, entry in raw.items()
+            },
+        )
+
+
+@dataclass
+class RuleProfile:
+    """A parsed ``repro-rule-profile/1`` telemetry dump."""
+
+    runs: List[ProfileRun]
+    limits: Dict[str, object] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RuleProfile":
+        """Parse a profile file, validating eagerly.
+
+        Raises :class:`ProfileError` (a ``ValueError``) for a missing
+        file, empty/corrupt JSON, or an unrecognized schema — a typo'd
+        profile path must fail fast, not silently prune nothing.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ProfileError(f"cannot read rule profile {path}: {exc}") from exc
+        if not text.strip():
+            raise ProfileError(f"rule profile {path} is empty")
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProfileError(
+                f"rule profile {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data, path=str(path))
+
+    @classmethod
+    def from_dict(
+        cls, data: object, path: Optional[str] = None
+    ) -> "RuleProfile":
+        if not isinstance(data, Mapping):
+            raise ProfileError(
+                f"rule profile {path or '<dict>'} must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        schema = data.get("schema")
+        if schema != PROFILE_SCHEMA:
+            raise ProfileError(
+                f"rule profile {path or '<dict>'} has schema {schema!r}; "
+                f"expected {PROFILE_SCHEMA!r}"
+            )
+        try:
+            runs = [ProfileRun.from_dict(run) for run in data.get("runs", [])]
+        except (TypeError, AttributeError) as exc:
+            raise ProfileError(
+                f"rule profile {path or '<dict>'} has malformed runs: {exc}"
+            ) from exc
+        return cls(
+            runs=runs, limits=dict(data.get("limits", {})), path=path
+        )
+
+    def runs_for(self, kernel: str, target: str) -> List[ProfileRun]:
+        """The recorded runs whose telemetry may prune ``kernel`` on
+        ``target``: exact-kernel runs when present, else same-class
+        runs, else nothing.  Runs without telemetry (answered from a
+        pre-telemetry cache) never qualify."""
+        candidates = [
+            run for run in self.runs
+            if run.target == target and run.rule_stats
+        ]
+        exact = [run for run in candidates if run.kernel == kernel]
+        if exact:
+            return exact
+        family = kernel_class(kernel)
+        if family is None:
+            return []
+        members = KERNEL_CLASSES[family]
+        return [run for run in candidates if run.kernel in members]
+
+    def aggregate_for(
+        self, kernel: str, target: str
+    ) -> Dict[str, RuleStats]:
+        """Per-rule stats summed over :meth:`runs_for`."""
+        totals: Dict[str, RuleStats] = {}
+        for run in self.runs_for(kernel, target):
+            for name, stats in run.rule_stats.items():
+                merged = totals.setdefault(name, RuleStats(name))
+                merged.add(stats)
+        return totals
+
+
+def prune_rules(
+    rules: Sequence[Rule],
+    profile: RuleProfile,
+    *,
+    kernel: str,
+    target: str,
+    policy: Optional[PruningPolicy] = None,
+) -> Tuple[List[Rule], List[str]]:
+    """Split ``rules`` into (kept, pruned-names) using ``profile``.
+
+    Duplicate rule names are disambiguated ``name``, ``name#2``, … —
+    the same convention the runner's telemetry uses, so profile entries
+    line up one-to-one with rule positions.  Profile entries naming
+    rules absent from ``rules`` trigger one :class:`UnknownRuleWarning`
+    (profiles survive rule-set evolution); rules absent from the
+    profile are always kept (no data, no pruning).
+    """
+    policy = policy if policy is not None else PruningPolicy()
+    aggregate = profile.aggregate_for(kernel, target)
+
+    seen: Dict[str, int] = {}
+    telemetry_names: List[str] = []
+    for rule in rules:
+        count = seen.get(rule.name, 0)
+        seen[rule.name] = count + 1
+        telemetry_names.append(
+            rule.name if count == 0 else f"{rule.name}#{count + 1}"
+        )
+
+    unknown = sorted(set(aggregate) - set(telemetry_names))
+    if unknown:
+        warnings.warn(
+            f"rule profile{f' {profile.path}' if profile.path else ''} names "
+            f"{len(unknown)} rule(s) not in the current rule set "
+            f"(recorded under a different rule set?): {', '.join(unknown)}",
+            UnknownRuleWarning,
+            stacklevel=2,
+        )
+
+    kept: List[Rule] = []
+    pruned: List[str] = []
+    for rule, name in zip(rules, telemetry_names):
+        stats = aggregate.get(name)
+        if stats is not None and policy.is_wasteful(stats):
+            pruned.append(name)
+        else:
+            kept.append(rule)
+    return kept, pruned

@@ -40,7 +40,8 @@ from ..egraph.egraph import EGraph
 from ..egraph.extract import CostModel, Extractor
 from ..egraph.pattern import ClassBinding, TermBinding
 from ..egraph.rewrite import Match, Rule
-from .ematch import IncrementalMatcher, search_rule
+from .ematch import IncrementalMatcher
+from .parallel import ParallelSearch, SearchTask, resolve_workers
 from .schedulers import RuleScheduler, make_scheduler
 from .telemetry import PhaseTimings, RuleStats
 
@@ -137,6 +138,11 @@ class RunResult:
     rule_stats: Dict[str, RuleStats] = field(default_factory=dict)
     #: Name of the scheduler that drove the run.
     scheduler: str = "simple"
+    #: Search-worker processes the run was configured with (1 = serial).
+    search_workers: int = 1
+    #: Steps whose search phase actually executed on the process pool
+    #: (0 under serial search or after a broken-pool fallback).
+    parallel_steps: int = 0
 
     @property
     def final(self) -> StepRecord:
@@ -190,6 +196,7 @@ class Runner:
         time_limit: float = 300.0,
         scheduler: Union[str, RuleScheduler, None] = None,
         incremental: Optional[bool] = None,
+        search_workers: int = 1,
         applied_cap: int = 500_000,
     ) -> None:
         self.egraph = egraph
@@ -201,6 +208,10 @@ class Runner:
         self.incremental = (
             _incremental_default() if incremental is None else incremental
         )
+        # Rule searches within one step fan out across a fork-shared
+        # process pool (see repro.saturation.parallel); resolves to 1
+        # (serial) on platforms without fork.
+        self.search_workers = resolve_workers(search_workers)
         # The applied-match cache is cleared when it outgrows this;
         # re-application is semantically idempotent, so the bound trades
         # a little rework for bounded memory on enormous runs.
@@ -221,6 +232,7 @@ class Runner:
             IncrementalMatcher(egraph, len(self.rules))
             if self.incremental else None
         )
+        searcher = ParallelSearch(egraph, self.rules, self.search_workers)
         contexts: List[object] = [None] * len(self.rules)
         records: List[StepRecord] = []
         start = time.perf_counter()
@@ -237,7 +249,8 @@ class Runner:
             if matcher is not None:
                 matcher.begin_step()
             matches, restricted, timed_out = self._search_step(
-                step, scheduler, matcher, contexts, applied, stats, deadline
+                step, scheduler, matcher, searcher, contexts, applied,
+                stats, deadline, phases,
             )
             if (
                 matcher is not None and restricted and not matches
@@ -248,8 +261,8 @@ class Runner:
                 # so step counts match the naive engine's.
                 matcher.force_full_all()
                 matches, _, timed_out = self._search_step(
-                    step, scheduler, matcher, contexts, applied, stats, deadline,
-                    verify_pass=True,
+                    step, scheduler, matcher, searcher, contexts, applied,
+                    stats, deadline, phases, verify_pass=True,
                 )
                 restricted = False
             phases.search = time.perf_counter() - step_start
@@ -324,6 +337,8 @@ class Runner:
             self.egraph.find(root_class),
             rule_stats={s.name: s for s in stats},
             scheduler=scheduler.name,
+            search_workers=self.search_workers,
+            parallel_steps=searcher.parallel_steps,
         )
 
     # ------------------------------------------------------------------
@@ -347,13 +362,24 @@ class Runner:
         step: int,
         scheduler: RuleScheduler,
         matcher: Optional[IncrementalMatcher],
+        searcher: ParallelSearch,
         contexts: List[object],
         applied: Set[tuple],
         stats: List[RuleStats],
         deadline: float,
+        phases: PhaseTimings,
         verify_pass: bool = False,
     ) -> Tuple[List[Tuple[RuleStats, Rule, Match]], bool, bool]:
         """Search every schedulable rule once.
+
+        The step is structured as *plan → execute → commit* so the
+        execute stage can fan out across worker processes: planning
+        makes every scheduling/restriction decision in canonical rule
+        order, execution runs the (independent, read-only) searches
+        serially or on the pool, and the commit stage folds results
+        back in canonical rule order — dedup, match admission, and
+        telemetry are therefore identical whichever executor ran, which
+        is what makes parallel solutions byte-identical to serial ones.
 
         Returns ``(matches, any_restricted, timed_out)`` where
         ``matches`` carries ``(rule_stats, rule, match)`` triples whose
@@ -366,6 +392,9 @@ class Runner:
         matches: List[Tuple[RuleStats, Rule, Match]] = []
         any_restricted = False
         timed_out = False
+
+        # --- plan: scheduling + restriction decisions, in rule order --
+        tasks: List[SearchTask] = []
         for rule_index, rule in enumerate(self.rules):
             if time.perf_counter() > deadline:
                 timed_out = True
@@ -389,15 +418,36 @@ class Runner:
             restrict = None
             if matcher is not None and step >= 2:
                 restrict = matcher.restrict_for(rule_index)
-            searched_restricted = restrict is not None
-            any_restricted |= searched_restricted
-            search_start = time.perf_counter()
-            found = search_rule(egraph, rule, restrict, deadline)
-            rule_stats.search_seconds += time.perf_counter() - search_start
+            any_restricted |= restrict is not None
+            tasks.append((rule_index, restrict))
+
+        # --- execute: independent read-only searches ------------------
+        outcomes = searcher.run_tasks(
+            tasks,
+            # Cost estimate for load balancing: the rule's cumulative
+            # search time so far (small floor spreads new rules evenly).
+            [max(stats[index].search_seconds, 1e-4) for index, _ in tasks],
+            deadline,
+        )
+        if tasks and time.perf_counter() > deadline:
+            # Searches past the deadline abort early and return partial
+            # (possibly empty) match lists; without this flag an
+            # empty-handed truncated step could masquerade as a
+            # fixpoint and stop the run as SATURATED.
+            timed_out = True
+
+        # --- commit: telemetry, dedup, admission — in rule order ------
+        for rule_index, restrict in tasks:
+            rule = self.rules[rule_index]
+            rule_stats = stats[rule_index]
+            seconds, found = outcomes[rule_index]
+            rule_stats.search_seconds += seconds
+            phases.search_cpu += seconds
             rule_stats.searches += 1
             rule_stats.matches_found += len(found)
             if matcher is not None:
-                matcher.note_searched(rule_index, searched_restricted)
+                matcher.note_searched(rule_index, restrict is not None)
+            context = contexts[rule_index]
             # Dedup against everything already applied *before* the
             # scheduler counts: the match budget meters new work, not
             # the rediscovery of old matches.

@@ -1,0 +1,328 @@
+"""Tests for telemetry-driven rule pruning (repro.saturation.pruning).
+
+Covers the profile loader's edge cases (empty/corrupt JSON, foreign
+rule sets), the kernel-class selection logic, the pruning policy, and
+the safety property the whole feature hangs on: pruning never changes
+the extracted best cost on the tier-1 kernels.
+"""
+
+import json
+
+import pytest
+
+from repro.egraph.rewrite import rewrite
+from repro.rules.dsl import padd, pconst, pv
+from repro.saturation import (
+    ProfileError,
+    PruningPolicy,
+    RuleProfile,
+    RuleStats,
+    UnknownRuleWarning,
+    kernel_class,
+    prune_rules,
+)
+
+
+def _rule(name):
+    return rewrite(name, padd(pv("x"), pconst(0)), pv("x"))
+
+
+def _stats(name, matches, unions, seconds=1.0):
+    return RuleStats(
+        name, search_seconds=seconds, searches=8,
+        matches_found=matches, matches_applied=matches, unions=unions,
+    ).to_dict()
+
+
+def _profile_dict(runs):
+    return {
+        "schema": "repro-rule-profile/1",
+        "limits": {"step_limit": 8},
+        "runs": runs,
+        "aggregate": {},
+    }
+
+
+def _write_profile(tmp_path, runs, name="profile.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(_profile_dict(runs)))
+    return path
+
+
+GEMV_RUN = {
+    "kernel": "gemv",
+    "target": "blas",
+    "rule_stats": {
+        "I-Gemm": _stats("I-Gemm", matches=50_000, unions=0),
+        "I-Gemv": _stats("I-Gemv", matches=40_000, unions=80),
+        "E-AddZero": _stats("E-AddZero", matches=500, unions=0),
+    },
+}
+
+
+class TestProfileLoading:
+    def test_round_trip(self, tmp_path):
+        path = _write_profile(tmp_path, [GEMV_RUN])
+        profile = RuleProfile.load(path)
+        assert profile.path == str(path)
+        assert len(profile.runs) == 1
+        assert profile.runs[0].kernel == "gemv"
+        assert profile.runs[0].rule_stats["I-Gemm"].matches_found == 50_000
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ProfileError, match="cannot read"):
+            RuleProfile.load(tmp_path / "nope.json")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        with pytest.raises(ProfileError, match="empty"):
+            RuleProfile.load(path)
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text('{"schema": "repro-rule-profile/1", "runs": [')
+        with pytest.raises(ProfileError, match="not valid JSON"):
+            RuleProfile.load(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"schema": "something-else/9", "runs": []}))
+        with pytest.raises(ProfileError, match="schema"):
+            RuleProfile.load(path)
+
+    def test_non_object_json(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ProfileError, match="JSON object"):
+            RuleProfile.load(path)
+
+    def test_runs_without_telemetry_are_tolerated(self, tmp_path):
+        # Cache-answered runs carry rule_stats: null in the dump.
+        run = {"kernel": "gemv", "target": "blas", "rule_stats": None}
+        profile = RuleProfile.load(_write_profile(tmp_path, [run]))
+        assert profile.runs_for("gemv", "blas") == []
+
+
+class TestKernelClasses:
+    def test_table1_families(self):
+        assert kernel_class("gemm") == "matmul"
+        assert kernel_class("gemv") == "matvec"
+        assert kernel_class("jacobi1d") == "stencil"
+        assert kernel_class("vsum") == "vector"
+
+    def test_unknown_kernel_has_no_class(self):
+        assert kernel_class("my-custom-kernel") is None
+
+    def test_exact_kernel_runs_preferred(self, tmp_path):
+        other = {
+            "kernel": "mvt", "target": "blas",
+            "rule_stats": {"I-Gemm": _stats("I-Gemm", 99, 99)},
+        }
+        profile = RuleProfile.load(_write_profile(tmp_path, [GEMV_RUN, other]))
+        runs = profile.runs_for("gemv", "blas")
+        assert [r.kernel for r in runs] == ["gemv"]
+
+    def test_class_fallback(self, tmp_path):
+        profile = RuleProfile.load(_write_profile(tmp_path, [GEMV_RUN]))
+        # mvt has no recorded runs, but gemv is in the same matvec class.
+        assert [r.kernel for r in profile.runs_for("mvt", "blas")] == ["gemv"]
+        # A matmul kernel must NOT inherit gemv's verdicts.
+        assert profile.runs_for("gemm", "blas") == []
+        # Nor an unknown custom kernel.
+        assert profile.runs_for("my-kernel", "blas") == []
+
+    def test_target_mismatch_excluded(self, tmp_path):
+        profile = RuleProfile.load(_write_profile(tmp_path, [GEMV_RUN]))
+        assert profile.runs_for("gemv", "pytorch") == []
+
+
+class TestPruningPolicy:
+    def test_wasteful_rule_pruned(self, tmp_path):
+        profile = RuleProfile.load(_write_profile(tmp_path, [GEMV_RUN]))
+        rules = [_rule("I-Gemm"), _rule("I-Gemv"), _rule("E-AddZero")]
+        kept, pruned = prune_rules(
+            rules, profile, kernel="gemv", target="blas"
+        )
+        assert pruned == ["I-Gemm"]  # many matches, zero unions
+        assert [r.name for r in kept] == ["I-Gemv", "E-AddZero"]
+
+    def test_low_match_zero_union_rule_kept(self, tmp_path):
+        # E-AddZero: zero unions but below min_matches — harmless.
+        profile = RuleProfile.load(_write_profile(tmp_path, [GEMV_RUN]))
+        with pytest.warns(UnknownRuleWarning):  # I-Gemm/I-Gemv absent
+            kept, pruned = prune_rules(
+                [_rule("E-AddZero")], profile, kernel="gemv", target="blas"
+            )
+        assert pruned == []
+
+    def test_ratio_threshold(self):
+        policy = PruningPolicy(min_matches=100, max_match_union_ratio=1000.0)
+        assert policy.is_wasteful(RuleStats("r", matches_found=5000, unions=0))
+        assert policy.is_wasteful(RuleStats("r", matches_found=5000, unions=4))
+        assert not policy.is_wasteful(RuleStats("r", matches_found=5000, unions=10))
+        assert not policy.is_wasteful(RuleStats("r", matches_found=50, unions=0))
+
+    def test_no_matching_runs_prunes_nothing(self, tmp_path):
+        profile = RuleProfile.load(_write_profile(tmp_path, [GEMV_RUN]))
+        rules = [_rule("I-Gemm")]
+        kept, pruned = prune_rules(
+            rules, profile, kernel="gemm", target="blas"
+        )
+        assert pruned == [] and len(kept) == 1
+
+    def test_unknown_profile_rules_warn_not_crash(self, tmp_path):
+        profile = RuleProfile.load(_write_profile(tmp_path, [GEMV_RUN]))
+        with pytest.warns(UnknownRuleWarning, match="I-Gemm"):
+            kept, pruned = prune_rules(
+                [_rule("SomeNewRule")], profile, kernel="gemv", target="blas"
+            )
+        assert pruned == []
+        assert [r.name for r in kept] == ["SomeNewRule"]
+
+    def test_duplicate_rule_names_align_with_telemetry(self, tmp_path):
+        run = {
+            "kernel": "gemv", "target": "blas",
+            "rule_stats": {
+                "dup": _stats("dup", 10, 5),
+                "dup#2": _stats("dup#2", 90_000, 0),
+            },
+        }
+        profile = RuleProfile.load(_write_profile(tmp_path, [run]))
+        kept, pruned = prune_rules(
+            [_rule("dup"), _rule("dup")], profile, kernel="gemv", target="blas"
+        )
+        assert pruned == ["dup#2"]
+        assert len(kept) == 1
+
+
+class TestPipelineIntegration:
+    def test_corrupt_profile_fails_fast(self, tmp_path):
+        from repro.api import Session
+
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ProfileError):
+            Session().optimize(
+                "memset", "blas", step_limit=2, node_limit=2000,
+                rule_profile=str(path),
+            )
+
+    def test_report_carries_pruned_rules(self, tmp_path):
+        from repro.api import Limits, OptimizationReport
+        from repro.kernels import registry
+        from repro.pipeline import optimize
+        from repro.targets import blas_target
+
+        target = blas_target()
+        run = {
+            "kernel": "memset", "target": "blas",
+            "rule_stats": {
+                target.rules[0].name: _stats(
+                    target.rules[0].name, 1_000_000, 0
+                ),
+            },
+        }
+        path = _write_profile(tmp_path, [run])
+        result = optimize(
+            registry.get("memset"), target,
+            step_limit=2, node_limit=2000, rule_profile=str(path),
+        )
+        assert result.pruned_rules == (target.rules[0].name,)
+        report = OptimizationReport.from_result(
+            result, Limits(2, 2000, rule_profile=str(path))
+        )
+        assert report.pruned_rules == [target.rules[0].name]
+        restored = OptimizationReport.from_json(report.to_json())
+        assert restored.pruned_rules == report.pruned_rules
+
+    def test_rule_profile_changes_cache_key(self):
+        from repro.api import Limits
+
+        assert Limits(rule_profile="p.json").key() != Limits().key()
+        assert Limits().key() == (8, 12_000, 120.0, "simple")  # stable
+
+    def test_cache_key_tracks_profile_content_not_path(self, tmp_path):
+        """Re-recording the profile at the same path must invalidate
+        cached results computed under the old profile content."""
+        from repro.api import Limits
+
+        path = tmp_path / "p.json"
+        path.write_text('{"schema": "repro-rule-profile/1", "runs": []}')
+        first = Limits(rule_profile=str(path)).key()
+        assert first == Limits(rule_profile=str(path)).key()  # stable
+        path.write_text('{"schema": "repro-rule-profile/1", "runs": [1]}')
+        assert Limits(rule_profile=str(path)).key() != first
+
+    def test_cache_key_scoped_by_kernel_only_under_pruning(self):
+        """Pruning decisions depend on the kernel name (exact-run vs
+        class fallback), so same-term kernels (jacobi1d/blur1d) must
+        not share cache entries when a profile is active — but keys
+        stay purely content-addressed without one."""
+        from repro.api import Limits, report_cache_key
+
+        pruned = Limits(rule_profile="p.json").key()
+        a = report_cache_key("t", None, "blas", pruned, pruned_for="jacobi1d")
+        b = report_cache_key("t", None, "blas", pruned, pruned_for="blur1d")
+        assert a != b
+        plain = Limits().key()
+        assert report_cache_key("t", None, "blas", plain) == report_cache_key(
+            "t", None, "blas", plain, pruned_for=None
+        )
+
+
+class TestPruningSafetyProperty:
+    """Pruning from a profile recorded on the tier-1 kernels must not
+    change their extracted best cost or solution (the feature trades
+    search time only)."""
+
+    KERNELS = ("vsum", "axpy", "gemv")
+
+    @pytest.fixture(scope="class")
+    def recorded_profile(self, tmp_path_factory):
+        from repro.experiments import optimize_pair
+        from repro.saturation import rule_stats_to_dict
+
+        runs = []
+        results = {}
+        for kernel in self.KERNELS:
+            result = optimize_pair(kernel, "blas")
+            results[kernel] = result
+            runs.append({
+                "kernel": kernel,
+                "target": "blas",
+                "rule_stats": rule_stats_to_dict(result.run.rule_stats),
+            })
+        path = tmp_path_factory.mktemp("profiles") / "tier1.json"
+        path.write_text(json.dumps(_profile_dict(runs)))
+        return path, results
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_best_cost_unchanged_under_pruning(self, recorded_profile, kernel):
+        from repro.experiments import session
+
+        path, baselines = recorded_profile
+        baseline = baselines[kernel]
+        pruned = session().optimize(
+            kernel, "blas", rule_profile=str(path),
+        )
+        assert pruned.pruned_rules, f"profile should prune something for {kernel}"
+        assert pruned.final.best_cost == pytest.approx(
+            baseline.final.best_cost
+        )
+        assert pruned.final.library_calls == baseline.final.library_calls
+
+    def test_pruning_reduces_search_volume(self, recorded_profile):
+        """The pruned gemv run must search strictly fewer matches —
+        the whole point of dropping I-Gemm-class rules."""
+        path, baselines = recorded_profile
+        from repro.experiments import session
+
+        pruned = session().optimize("gemv", "blas", rule_profile=str(path))
+        base_matches = sum(
+            s.matches_found for s in baselines["gemv"].run.rule_stats.values()
+        )
+        pruned_matches = sum(
+            s.matches_found for s in pruned.run.rule_stats.values()
+        )
+        assert pruned_matches < base_matches

@@ -39,3 +39,25 @@ class TestCli:
         main(["memset", "-t", "blas", "--steps", "2", "--nodes", "1000"])
         out = capsys.readouterr().out
         assert "[blas] memset" in out
+
+    def test_record_then_prune_round_trip(self, tmp_path, capsys):
+        """The telemetry feedback loop: --rule-profile records a run,
+        --prune-from-profile consumes the recording."""
+        profile = tmp_path / "profile.json"
+        assert main([
+            "memset", "-t", "blas", "--steps", "3", "--nodes", "2000",
+            "--rule-profile", str(profile), "-q",
+        ]) == 0
+        assert profile.exists()
+        assert main([
+            "memset", "-t", "blas", "--steps", "3", "--nodes", "2000",
+            "--prune-from-profile", str(profile), "-q",
+        ]) == 0
+
+    def test_prune_from_missing_profile_is_an_error(self, tmp_path, capsys):
+        code = main([
+            "memset", "-t", "blas", "--steps", "2", "--nodes", "1000",
+            "--prune-from-profile", str(tmp_path / "nope.json"), "-q",
+        ])
+        assert code == 1
+        assert "ProfileError" in capsys.readouterr().err
