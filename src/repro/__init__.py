@@ -35,6 +35,10 @@ The layers underneath:
 
 * :mod:`repro.ir` — the minimalist functional array IR (§IV);
 * :mod:`repro.egraph` — an egg-style equality-saturation engine (§II);
+* :mod:`repro.saturation` — the saturation engine (schedulers,
+  incremental/parallel e-matching, telemetry, pruning);
+* :mod:`repro.extraction` — the extraction engine (greedy/DAG
+  extractors, top-k enumeration, rule provenance);
 * :mod:`repro.rules` — core / scalar / BLAS / PyTorch rewrite rules
   (listings 2–5);
 * :mod:`repro.targets` — cost models (listings 6–8) and targets;
@@ -100,6 +104,8 @@ def optimize(
     scheduler: Optional[str] = None,
     search_workers: Optional[int] = None,
     rule_profile: Optional[str] = None,
+    extractor: Optional[str] = None,
+    top_k: Optional[int] = None,
 ) -> OptimizationResult:
     """Optimize ``kernel`` for ``target`` through the default session.
 
@@ -117,6 +123,8 @@ def optimize(
         scheduler=scheduler,
         search_workers=search_workers,
         rule_profile=rule_profile,
+        extractor=extractor,
+        top_k=top_k,
     )
 
 
@@ -131,6 +139,8 @@ def optimize_term(
     scheduler: Optional[str] = None,
     search_workers: Optional[int] = None,
     rule_profile: Optional[str] = None,
+    extractor: Optional[str] = None,
+    top_k: Optional[int] = None,
     kernel_name: str = "<term>",
 ) -> OptimizationResult:
     """Optimize a bare IR term through the default session
@@ -146,4 +156,6 @@ def optimize_term(
         scheduler=scheduler,
         search_workers=search_workers,
         rule_profile=rule_profile,
+        extractor=extractor,
+        top_k=top_k,
     )

@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 from ..ir.interp import evaluate
 from ..ir.terms import Term
 
-__all__ = ["CoverageReport", "measure_coverage"]
+__all__ = ["CoverageReport", "measure_coverage", "pick_fastest"]
 
 
 @dataclass
@@ -47,6 +47,45 @@ class CoverageReport:
             for name in self.per_function_seconds
         }
         return dict(sorted(items.items(), key=lambda kv: -kv[1]))
+
+
+def pick_fastest(
+    terms: "list[Term]",
+    inputs: Mapping[str, Any],
+    runtime: Optional[Mapping[str, Callable]] = None,
+    repeats: int = 3,
+) -> "tuple[int, float]":
+    """Index and per-run seconds of the empirically fastest term.
+
+    The ``--top-k`` companion: the static cost model ranks candidate
+    solutions, but close alternatives (a ``dot``-based vs an
+    ``axpy``-based form of the same kernel) can be mis-ordered by a
+    few percent; executing each candidate settles it.  Every term gets
+    a warm-up evaluation, then ``repeats`` timed runs with GC disabled
+    (the same noise discipline :func:`measure_coverage` uses), scored
+    by its fastest run.  Ties keep the earlier — i.e. statically
+    cheaper — candidate, so the model remains the tie-breaker.
+    """
+    if not terms:
+        raise ValueError("pick_fastest needs at least one candidate term")
+    registry = dict(runtime or {})
+    best_index, best_seconds = 0, float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for index, term in enumerate(terms):
+            evaluate(term, inputs, registry)  # warm-up: caches, allocator
+            fastest = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                evaluate(term, inputs, registry)
+                fastest = min(fastest, time.perf_counter() - t0)
+            if fastest < best_seconds:
+                best_index, best_seconds = index, fastest
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best_index, best_seconds
 
 
 class _TimedRegistry:

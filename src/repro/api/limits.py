@@ -19,6 +19,12 @@ all resolve through it, and the environment knobs
 * ``REPRO_RULE_PROFILE`` — path to a recorded ``--rule-profile`` JSON
   used to prune historically wasteful rules before the run
   (:mod:`repro.saturation.pruning`),
+* ``REPRO_EXTRACTOR`` — per-step extraction strategy (``greedy``, the
+  paper's tree-cost default, or ``dag``, which prices shared subterms
+  once; :mod:`repro.extraction`),
+* ``REPRO_TOP_K`` — how many cheapest distinct solutions to enumerate
+  at the root after the run (1 = just the best;
+  :mod:`repro.extraction.topk`),
 
 override the defaults everywhere at once.
 """
@@ -30,6 +36,7 @@ import os
 from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
+from ..extraction import EXTRACTOR_NAMES
 from ..saturation.schedulers import SCHEDULER_NAMES
 
 __all__ = ["Limits"]
@@ -64,6 +71,8 @@ class Limits:
     scheduler: str = "simple"
     search_workers: int = 1
     rule_profile: Optional[str] = None
+    extractor: str = "greedy"
+    top_k: int = 1
 
     def __post_init__(self) -> None:
         if self.step_limit < 0:
@@ -81,6 +90,13 @@ class Limits:
             raise ValueError(
                 f"search_workers must be >= 1, got {self.search_workers}"
             )
+        if self.extractor not in EXTRACTOR_NAMES:
+            raise ValueError(
+                f"extractor must be one of {EXTRACTOR_NAMES}, "
+                f"got {self.extractor!r}"
+            )
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "Limits":
@@ -96,6 +112,8 @@ class Limits:
                 env.get("REPRO_SEARCH_WORKERS", base.search_workers)
             ),
             rule_profile=env.get("REPRO_RULE_PROFILE") or None,
+            extractor=env.get("REPRO_EXTRACTOR", base.extractor),
+            top_k=int(env.get("REPRO_TOP_K", base.top_k)),
         )
 
     def override(
@@ -106,6 +124,8 @@ class Limits:
         scheduler: Optional[str] = None,
         search_workers: Optional[int] = None,
         rule_profile: Optional[str] = None,
+        extractor: Optional[str] = None,
+        top_k: Optional[int] = None,
     ) -> "Limits":
         """A copy with any non-``None`` field replaced."""
         updates = {
@@ -117,6 +137,8 @@ class Limits:
                 ("scheduler", scheduler),
                 ("search_workers", search_workers),
                 ("rule_profile", rule_profile),
+                ("extractor", extractor),
+                ("top_k", top_k),
             )
             if value is not None
         }
@@ -131,6 +153,8 @@ class Limits:
             "scheduler": self.scheduler,
             "search_workers": self.search_workers,
             "rule_profile": self.rule_profile,
+            "extractor": self.extractor,
+            "top_k": self.top_k,
         }
 
     def to_dict(self) -> dict:
@@ -148,6 +172,8 @@ class Limits:
             scheduler=str(data.get("scheduler", "simple")),
             search_workers=int(data.get("search_workers", 1)),
             rule_profile=data.get("rule_profile") or None,
+            extractor=str(data.get("extractor", "greedy")),
+            top_k=int(data.get("top_k", 1)),
         )
 
     def key(self) -> tuple:
@@ -163,9 +189,17 @@ class Limits:
         not serve stale results after the profile file at the same
         path is re-recorded (and two directories' unrelated
         ``p.json`` files must not collide in a shared cache).
+        ``extractor`` and ``top_k`` likewise join only when
+        non-default, so every pre-extraction-engine cache entry stays
+        valid — and since both change the produced report (preferred
+        solutions, candidate lists), they must join when set.
         """
         base = (self.step_limit, self.node_limit, self.time_limit,
                 self.scheduler)
-        if self.rule_profile is None:
-            return base
-        return base + (_profile_digest(self.rule_profile),)
+        if self.rule_profile is not None:
+            base = base + (_profile_digest(self.rule_profile),)
+        if self.extractor != "greedy":
+            base = base + (f"extractor:{self.extractor}",)
+        if self.top_k != 1:
+            base = base + (f"top_k:{self.top_k}",)
+        return base

@@ -183,9 +183,12 @@ class Session:
         scheduler: Optional[str] = None,
         search_workers: Optional[int] = None,
         rule_profile: Optional[str] = None,
+        extractor: Optional[str] = None,
+        top_k: Optional[int] = None,
     ) -> Limits:
         return self.limits.override(step_limit, node_limit, time_limit,
-                                    scheduler, search_workers, rule_profile)
+                                    scheduler, search_workers, rule_profile,
+                                    extractor, top_k)
 
     @property
     def stats(self) -> dict:
@@ -208,6 +211,8 @@ class Session:
         scheduler: Optional[str] = None,
         search_workers: Optional[int] = None,
         rule_profile: Optional[str] = None,
+        extractor: Optional[str] = None,
+        top_k: Optional[int] = None,
     ) -> "OptimizationResult":
         """Optimize one kernel for one target, with result caching.
 
@@ -228,6 +233,8 @@ class Session:
             scheduler=scheduler,
             search_workers=search_workers,
             rule_profile=rule_profile,
+            extractor=extractor,
+            top_k=top_k,
         )
 
     def optimize_term(
@@ -243,12 +250,15 @@ class Session:
         scheduler: Optional[str] = None,
         search_workers: Optional[int] = None,
         rule_profile: Optional[str] = None,
+        extractor: Optional[str] = None,
+        top_k: Optional[int] = None,
     ) -> "OptimizationResult":
         """Optimize a bare IR term (see :func:`repro.pipeline.optimize_term`)."""
         from ..pipeline import optimize_term as _pipeline_optimize_term
 
         limits = self.resolve_limits(step_limit, node_limit, time_limit,
-                                     scheduler, search_workers, rule_profile)
+                                     scheduler, search_workers, rule_profile,
+                                     extractor, top_k)
         named = isinstance(target, str)
         target_obj = self.target(target) if named else target
         key = self._term_key(term, symbol_shapes, target, limits, kernel_name)
@@ -460,6 +470,7 @@ class Session:
         limits = self.resolve_limits(
             request.step_limit, request.node_limit, request.time_limit,
             request.scheduler, request.search_workers, request.rule_profile,
+            request.extractor, request.top_k,
         )
         payload: dict = {"target": request.target, "limits": limits.to_dict()}
         if request.kernel is not None:

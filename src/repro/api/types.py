@@ -81,6 +81,8 @@ class OptimizationRequest:
     scheduler: Optional[str] = None  # "simple" | "backoff"
     search_workers: Optional[int] = None  # parallel e-matching fan-out
     rule_profile: Optional[str] = None  # telemetry profile for pruning
+    extractor: Optional[str] = None  # "greedy" | "dag"
+    top_k: Optional[int] = None  # enumerate k cheapest distinct solutions
 
     def __post_init__(self) -> None:
         if (self.kernel is None) == (self.term is None):
@@ -144,6 +146,16 @@ class OptimizationReport:
     #: Rules dropped by profile-driven pruning before the run, or None
     #: when no profile was applied (and for pre-pruning reports).
     pruned_rules: Optional[list] = None
+    #: Extractor that produced the solution ("greedy" | "dag").
+    extractor: str = "greedy"
+    #: Rule provenance of the final solution: names of the rules whose
+    #: unions/creations touched a solution e-class, or None for
+    #: reports produced before provenance existed.
+    solution_rules: Optional[list] = None
+    #: The ``top_k`` cheapest distinct solutions, cheapest first, as
+    #: ``{"solution": <IR text>, "cost": <float|None>}`` dicts; None
+    #: unless the run asked for ``top_k > 1``.
+    candidates: Optional[list] = None
 
     @classmethod
     def from_result(cls, result, limits, seconds: float = 0.0) -> "OptimizationReport":
@@ -173,6 +185,14 @@ class OptimizationReport:
             if hasattr(run, "total_phases") else None,
             pruned_rules=list(result.pruned_rules)
             if getattr(result, "pruned_rules", None) else None,
+            extractor=getattr(run, "extractor", "greedy"),
+            solution_rules=list(final.solution_rules)
+            if getattr(final, "solution_rules", None) else None,
+            candidates=[
+                {"solution": pretty(term), "cost": _cost_to_json(cost)}
+                for term, cost in result.candidates
+            ]
+            if getattr(result, "candidates", None) else None,
         )
 
     @classmethod

@@ -11,6 +11,9 @@ Examples::
     python -m repro --cache-dir ~/.cache/repro   # persist results on disk
     python -m repro --scheduler backoff      # egg-style rule backoff
     python -m repro --rule-profile prof.json # dump per-rule telemetry
+    python -m repro --extractor dag          # DAG-aware extraction
+    python -m repro gemv --top-k 3 --run     # time the 3 cheapest solutions
+    python -m repro --provenance prov.json   # dump solution_rules per run
 
 Limits default to the unified :class:`repro.api.Limits` profile and
 honour ``REPRO_STEP_LIMIT`` / ``REPRO_NODE_LIMIT`` /
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
@@ -92,8 +96,27 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--rule-profile", type=Path, default=None,
                         metavar="PATH",
                         help="write per-rule saturation telemetry (search "
-                             "time, matches, unions, bans) for every run "
-                             "to this JSON file")
+                             "time, matches, unions, bans, solution-"
+                             "contributing unions) for every run to this "
+                             "JSON file")
+    from .extraction import EXTRACTOR_NAMES
+    parser.add_argument("--extractor", choices=EXTRACTOR_NAMES, default=None,
+                        help="per-step extraction strategy: 'greedy' is the "
+                             "paper's tree-cost default, 'dag' prices shared "
+                             "subterms once (default: REPRO_EXTRACTOR or "
+                             f"'{defaults.extractor}')")
+    parser.add_argument("--top-k", type=_positive_int, default=None,
+                        metavar="K",
+                        help="also enumerate the K cheapest distinct "
+                             "solutions per run (with --run, each candidate "
+                             "is timed and the empirically fastest one is "
+                             "used; default: REPRO_TOP_K or "
+                             f"{defaults.top_k})")
+    parser.add_argument("--provenance", type=Path, default=None,
+                        metavar="PATH",
+                        help="write rule provenance (each run's "
+                             "solution_rules and top-k candidates) to this "
+                             "JSON file")
     parser.add_argument("-w", "--search-workers", type=_positive_int,
                         default=None, metavar="N",
                         help="fan each step's rule searches across N "
@@ -122,9 +145,24 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _time_and_check(kernel, target, solution, budget, speedups) -> bool:
-    """--run: execute the solution term, verify it, record its speedup."""
+def _time_and_check(kernel, target, report, budget, speedups) -> bool:
+    """--run: execute the solution term, verify it, record its speedup.
+
+    With ``--top-k`` > 1 the static cost model's ranking is not
+    trusted: every candidate is executed and timed, and the
+    empirically fastest one becomes the solution that gets verified
+    and recorded (the :func:`repro.analysis.coverage.pick_fastest`
+    path).
+    """
+    solution = report.best_term
     inputs = kernel.inputs(0)
+    if report.candidates and len(report.candidates) > 1:
+        from .analysis.coverage import pick_fastest
+        from .ir.parser import parse
+
+        terms = [parse(entry["solution"]) for entry in report.candidates]
+        index, _ = pick_fastest(terms, inputs, target.runtime)
+        solution = terms[index]
     got = run_solution(solution, inputs, target.runtime)
     if not outputs_match(got, kernel.reference(inputs)):
         return False
@@ -189,13 +227,45 @@ def _parallel_rows(session, kernels, target_name, args, quiet, collected) -> tup
     return rows, failures
 
 
+def _write_provenance(path: Path, limits, reports) -> None:
+    """Dump rule provenance as JSON (schema ``repro-provenance/1``).
+
+    One entry per run: the rules whose unions/creations touched an
+    e-class of the extracted solution (``solution_rules``), the rules
+    pruning dropped beforehand, and — under ``--top-k`` — the candidate
+    solutions with their static costs.  Runs answered from a
+    pre-provenance cache carry ``solution_rules: null``.
+    """
+    provenance = {
+        "schema": "repro-provenance/1",
+        "limits": limits.to_dict(),
+        "runs": [
+            {
+                "kernel": report.kernel,
+                "target": report.target,
+                "extractor": report.extractor,
+                "best_cost": report.best_cost
+                if math.isfinite(report.best_cost) else None,
+                "solution_summary": report.solution_summary,
+                "solution_rules": report.solution_rules,
+                "pruned_rules": report.pruned_rules,
+                "candidates": report.candidates,
+                "cache_hit": report.cache_hit,
+            }
+            for report in reports
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(provenance, indent=2, sort_keys=True))
+
+
 def _write_rule_profile(path: Path, limits, reports) -> None:
     """Dump per-rule saturation telemetry as JSON.
 
     Schema (``repro-rule-profile/1``): ``limits`` echoes the resolved
     budget; ``runs`` has one entry per (kernel, target) run with its
     ``rule_stats`` (name → search_seconds / searches / matches_found /
-    matches_applied / unions / bans / banned_steps) and
+    matches_applied / unions / bans / banned_steps / solution_unions) and
     ``phase_seconds`` (search / apply / rebuild / extract totals);
     ``aggregate`` sums ``rule_stats`` across all runs.  Runs answered
     from a pre-telemetry cache carry ``rule_stats: null``.
@@ -242,6 +312,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.steps, args.nodes, args.time_limit, args.scheduler,
         args.search_workers,
         str(args.prune_from_profile) if args.prune_from_profile else None,
+        args.extractor, args.top_k,
     )
     session = Session(limits, cache_dir=args.cache_dir)
     all_reports: List = []
@@ -282,7 +353,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 rows.append(row)
                 if args.run and report.solution is not None:
                     if not _time_and_check(
-                        kernel, target, report.best_term, args.budget, speedups
+                        kernel, target, report, args.budget, speedups
                     ):
                         print(f"error: {kernel.name} solution mismatch",
                               file=sys.stderr)
@@ -304,6 +375,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         _write_rule_profile(args.rule_profile, limits, all_reports)
         if not args.quiet:
             print(f"rule profile written to {args.rule_profile}")
+    if args.provenance is not None:
+        _write_provenance(args.provenance, limits, all_reports)
+        if not args.quiet:
+            print(f"provenance written to {args.provenance}")
     return exit_code
 
 

@@ -7,14 +7,15 @@
 * :mod:`repro.egraph.runner` — compatibility shim over the
   :mod:`repro.saturation` engine (scheduling, incremental e-matching,
   telemetry);
-* :mod:`repro.egraph.extract` — cost-model extraction;
+* :mod:`repro.egraph.extract` — compatibility shim over the
+  :mod:`repro.extraction` engine (greedy/DAG extractors, top-k
+  enumeration, rule provenance);
 * :mod:`repro.egraph.analysis` — per-e-class shape analysis.
 """
 
 from .analysis import ShapeAnalysis, dims_of_class, shape_of_class
 from .egraph import Analysis, ClassRef, EClass, EGraph
 from .enode import ENode
-from .extract import AstSizeCost, CostModel, ExtractionResult, Extractor
 from .pattern import (
     Bindings,
     ClassBinding,
@@ -46,12 +47,16 @@ from .rewrite import (
 )
 from .unionfind import UnionFind
 
-# The runner names live in repro.saturation now; resolve them lazily
-# (PEP 562) so that importing repro.saturation first — which imports
-# this package for the e-graph machinery — does not create an import
-# cycle through the repro.egraph.runner compatibility shim.
+# The runner and extractor names live in repro.saturation and
+# repro.extraction now; resolve them lazily (PEP 562) so that
+# importing either subsystem first — both import this package for the
+# e-graph machinery — does not create an import cycle through the
+# repro.egraph.runner / repro.egraph.extract compatibility shims.
 _RUNNER_NAMES = frozenset(
     {"Runner", "RunResult", "StepRecord", "StopReason", "library_calls_of"}
+)
+_EXTRACT_NAMES = frozenset(
+    {"CostModel", "AstSizeCost", "Extractor", "ExtractionResult"}
 )
 
 
@@ -60,6 +65,10 @@ def __getattr__(name: str):
         from . import runner
 
         return getattr(runner, name)
+    if name in _EXTRACT_NAMES:
+        from . import extract
+
+        return getattr(extract, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [

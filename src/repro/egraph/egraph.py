@@ -97,6 +97,14 @@ class EGraph:
         # saturation engine's incremental e-matching restricts rule
         # search to these classes and their parent closure.
         self._dirty: Set[int] = set()
+        # Union-origin log for rule provenance: while origin_tag is a
+        # rule name (the saturation runner sets it around each rule
+        # application), every e-node creation and class union appends
+        # (tag, class_id, other_class_id_or_-1).  Untagged mutations —
+        # initial term construction, congruence repair — are not
+        # logged; repro.extraction.provenance walks this log.
+        self.origin_tag: Optional[str] = None
+        self.union_origins: List[TupleT[str, int, int]] = []
         # Bumped on every mutation; used for fixpoint detection.
         self.version = 0
         # Bumped only by rebuild(); the smallest-term table caches off
@@ -180,6 +188,8 @@ class EGraph:
         if self._analysis is not None:
             eclass.data = self._analysis.make(self, enode)
         self._dirty.add(class_id)
+        if self.origin_tag is not None:
+            self.union_origins.append((self.origin_tag, class_id, -1))
         self.version += 1
         return class_id
 
@@ -205,6 +215,8 @@ class EGraph:
         root_b = self._uf.find(b)
         if root_a == root_b:
             return root_a
+        if self.origin_tag is not None:
+            self.union_origins.append((self.origin_tag, root_a, root_b))
         self.version += 1
         new_root = self._uf.union(root_a, root_b)
         other = root_b if new_root == root_a else root_a

@@ -1,133 +1,27 @@
-"""Cost-model-based extraction (§V-C).
+"""Compatibility shim: the extraction engine moved to
+:mod:`repro.extraction`.
 
-The extractor assigns each e-class the cost of its cheapest e-node,
-where an e-node's cost is computed by a :class:`CostModel` from its
-children's class costs (the "local cost model" the paper adopts from
-egg).  The per-class table is computed as a Bellman-Ford-style fixpoint
-— necessary because saturated e-graphs are cyclic — and the final term
-is read off top-down by picking each class's argmin e-node.
+This module re-exports the extraction surface (``CostModel``,
+``AstSizeCost``, ``Extractor``, ``ExtractionResult``) so existing
+``repro.egraph.extract`` imports keep working; ``Extractor`` resolves
+to the default :class:`~repro.extraction.greedy.GreedyExtractor`,
+whose behaviour is the seed implementation ported verbatim.  New code
+should import from :mod:`repro.extraction` directly, which also
+exposes the DAG-aware extractor, top-k enumeration, and rule
+provenance.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Tuple as TupleT
-
-from ..ir.terms import Term
-from .egraph import EGraph
-from .enode import ENode, enode_to_term_shallow
+from ..extraction.base import (  # noqa: F401
+    INFINITY,
+    AstSizeCost,
+    CostModel,
+    CostModelArityError,
+    ExtractionError,
+    ExtractionResult,
+    FixpointDivergence,
+)
+from ..extraction.greedy import GreedyExtractor as Extractor  # noqa: F401
 
 __all__ = ["CostModel", "Extractor", "ExtractionResult", "AstSizeCost"]
-
-INFINITY = math.inf
-
-
-class CostModel:
-    """Computes the cost of one e-node given its children's costs.
-
-    ``egraph`` and the e-node's own class id are provided so models can
-    consult the shape analysis (array dims) of both operands and the
-    node's own class.
-    """
-
-    def enode_cost(
-        self,
-        egraph: EGraph,
-        class_id: int,
-        enode: ENode,
-        child_costs: List[float],
-    ) -> float:
-        raise NotImplementedError
-
-
-class AstSizeCost(CostModel):
-    """Plain AST-size cost (every node costs 1); useful for tests."""
-
-    def enode_cost(
-        self,
-        egraph: EGraph,
-        class_id: int,
-        enode: ENode,
-        child_costs: List[float],
-    ) -> float:
-        return 1.0 + sum(child_costs)
-
-
-class ExtractionResult:
-    """Result of extracting one class: the chosen term and its cost."""
-
-    def __init__(self, term: Optional[Term], cost: float) -> None:
-        self.term = term
-        self.cost = cost
-
-    def __repr__(self) -> str:  # pragma: no cover
-        return f"ExtractionResult(cost={self.cost!r}, term={self.term!s})"
-
-
-class Extractor:
-    """Extracts minimum-cost terms from an e-graph under a cost model."""
-
-    def __init__(self, egraph: EGraph, cost_model: CostModel) -> None:
-        self.egraph = egraph
-        self.cost_model = cost_model
-        self._costs: Dict[int, TupleT[float, Optional[ENode]]] = {}
-        self._compute()
-
-    def _compute(self) -> None:
-        egraph = self.egraph
-        costs = self._costs
-        for class_id in egraph.class_ids():
-            costs[class_id] = (INFINITY, None)
-        changed = True
-        iterations = 0
-        # Each pass can only lower class costs; termination is
-        # guaranteed because every class's cost is bounded below by the
-        # cost of its cheapest finite derivation (acyclic term).
-        while changed:
-            changed = False
-            iterations += 1
-            if iterations > 10_000:  # pragma: no cover - safety net
-                raise RuntimeError("extraction fixpoint failed to converge")
-            for class_id, eclass in list(egraph._classes.items()):
-                best_cost, best_node = costs.get(class_id, (INFINITY, None))
-                for enode in eclass.nodes:
-                    cost = self._enode_cost(class_id, enode)
-                    if cost < best_cost:
-                        best_cost, best_node = cost, enode
-                        changed = True
-                costs[class_id] = (best_cost, best_node)
-
-    def _enode_cost(self, class_id: int, enode: ENode) -> float:
-        child_costs: List[float] = []
-        for child in enode.children:
-            cost, _ = self._costs.get(self.egraph.find(child), (INFINITY, None))
-            if cost == INFINITY:
-                return INFINITY
-            child_costs.append(cost)
-        cost = self.cost_model.enode_cost(self.egraph, class_id, enode, child_costs)
-        # Enforce strict monotonicity (node strictly dearer than its
-        # children): guarantees the per-class argmin selection is
-        # acyclic, so top-down term building terminates even on cyclic
-        # e-graphs with degenerate (e.g. zero-size) dimensions.
-        return max(cost, sum(child_costs) + 1e-6)
-
-    def cost_of(self, class_id: int) -> float:
-        """Minimum cost of any term represented by the class."""
-        return self._costs.get(self.egraph.find(class_id), (INFINITY, None))[0]
-
-    def extract(self, class_id: int) -> ExtractionResult:
-        """The minimum-cost term of the class (``term=None`` when the
-        class has no finite-cost derivation)."""
-        class_id = self.egraph.find(class_id)
-        cost, _ = self._costs.get(class_id, (INFINITY, None))
-        if cost == INFINITY:
-            return ExtractionResult(None, INFINITY)
-        term = self._build(class_id, set())
-        return ExtractionResult(term, cost)
-
-    def _build(self, class_id: int, on_path: set) -> Term:
-        class_id = self.egraph.find(class_id)
-        cost, node = self._costs[class_id]
-        assert node is not None
-        children = tuple(self._build(child, on_path) for child in node.children)
-        return enode_to_term_shallow(node.op, node.payload, children)

@@ -90,6 +90,7 @@ def optimize_pair(
     steps: Optional[int] = None,
     nodes: Optional[int] = None,
     rule_scheduler: Optional[str] = None,
+    extractor: Optional[str] = None,
 ) -> OptimizationResult:
     """Optimized (kernel, target) with explicit or environment limits.
 
@@ -105,7 +106,7 @@ def optimize_pair(
         rule_scheduler = scheduler()
     return session().optimize(
         kernel_name, target_name, step_limit=steps, node_limit=nodes,
-        scheduler=rule_scheduler,
+        scheduler=rule_scheduler, extractor=extractor,
     )
 
 

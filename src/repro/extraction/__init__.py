@@ -1,0 +1,92 @@
+"""The extraction engine subsystem.
+
+Everything that turns a saturated e-graph into concrete solutions
+lives here (:mod:`repro.egraph.extract` remains as a thin
+compatibility shim, mirroring how ``repro.egraph.runner`` shims the
+saturation engine):
+
+* :mod:`repro.extraction.base` — the :class:`CostModel` seam, the
+  :class:`Extractor` protocol, :class:`ExtractionResult`, and the
+  typed errors (:class:`FixpointDivergence`,
+  :class:`CostModelArityError`);
+* :mod:`repro.extraction.greedy` — the default Bellman-Ford tree-cost
+  extractor (the paper's §V-C semantics, ported verbatim from the
+  seed implementation so canonical artifacts stay byte-identical);
+* :mod:`repro.extraction.dag` — DAG-aware extraction pricing shared
+  subterms once, selected via ``Limits(extractor="dag")`` /
+  ``REPRO_EXTRACTOR=dag`` / ``--extractor dag``;
+* :mod:`repro.extraction.topk` — the k cheapest distinct terms per
+  class (``Limits(top_k=k)`` / ``REPRO_TOP_K`` / ``--top-k``), so
+  coverage tooling can pick the empirically fastest candidate instead
+  of trusting the static model;
+* :mod:`repro.extraction.provenance` — walks an extraction's chosen
+  e-nodes back through the e-graph's union-origin log to report
+  ``solution_rules``, feeding ``RuleStats.solution_unions`` and the
+  provenance-aware pruning mode.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .base import (
+    INFINITY,
+    AstSizeCost,
+    CostModel,
+    CostModelArityError,
+    ExtractionError,
+    ExtractionResult,
+    Extractor,
+    FixpointDivergence,
+    checked_enode_cost,
+)
+from .dag import DagExtractor
+from .greedy import GreedyExtractor
+from .provenance import contributing_events, solution_rule_counts, solution_rules
+from .topk import TopKEnumerator, extract_topk
+
+__all__ = [
+    "INFINITY",
+    "CostModel",
+    "AstSizeCost",
+    "Extractor",
+    "ExtractionResult",
+    "ExtractionError",
+    "FixpointDivergence",
+    "CostModelArityError",
+    "checked_enode_cost",
+    "GreedyExtractor",
+    "DagExtractor",
+    "TopKEnumerator",
+    "extract_topk",
+    "contributing_events",
+    "solution_rule_counts",
+    "solution_rules",
+    "EXTRACTORS",
+    "EXTRACTOR_NAMES",
+    "make_extractor",
+]
+
+#: Registry of selectable extractors, keyed by the name used in
+#: ``Limits(extractor=...)`` / ``REPRO_EXTRACTOR`` / ``--extractor``.
+EXTRACTORS = {
+    GreedyExtractor.name: GreedyExtractor,
+    DagExtractor.name: DagExtractor,
+}
+
+EXTRACTOR_NAMES = tuple(EXTRACTORS)
+
+
+def make_extractor(spec: Union[str, type, None]) -> type:
+    """Resolve an extractor class from a registry name (or pass an
+    :class:`Extractor` subclass through; ``None`` means the default)."""
+    if spec is None:
+        return GreedyExtractor
+    if isinstance(spec, type) and issubclass(spec, Extractor):
+        return spec
+    try:
+        return EXTRACTORS[spec]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown extractor {spec!r}; expected one of {EXTRACTOR_NAMES}"
+        ) from None

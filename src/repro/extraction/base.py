@@ -1,0 +1,190 @@
+"""Extraction-engine foundations: the cost-model seam, the extractor
+protocol, and the result type every extractor returns.
+
+The paper's §V-C extraction is a *local* cost model (adopted from egg):
+an e-node's cost is a function of its children's class costs, and an
+extractor selects one e-node per class to minimize the root's cost.
+This module fixes the vocabulary shared by all extractors:
+
+* :class:`CostModel` — prices one e-node from its children's costs
+  (subclasses live in :mod:`repro.targets.cost`);
+* :class:`Extractor` — the protocol concrete extractors implement
+  (:mod:`repro.extraction.greedy`, :mod:`repro.extraction.dag`);
+* :class:`ExtractionResult` — term, cost, and the per-class chosen
+  e-nodes, which is what rule provenance walks
+  (:mod:`repro.extraction.provenance`).
+
+Every extractor's cost fixpoint is guarded by an explicit iteration
+cap: a cost model that keeps lowering costs (non-monotone, NaN-happy,
+or unbounded-below) raises :class:`FixpointDivergence` with the
+offending classes instead of looping forever.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple as TupleT
+
+from ..egraph.enode import ENode
+from ..ir.terms import Term
+
+__all__ = [
+    "INFINITY",
+    "CostModel",
+    "AstSizeCost",
+    "ExtractionError",
+    "FixpointDivergence",
+    "CostModelArityError",
+    "ExtractionResult",
+    "Extractor",
+    "checked_enode_cost",
+]
+
+INFINITY = math.inf
+
+#: Default cap on cost-fixpoint passes; generous (the deepest tier-1
+#: graphs converge in tens of passes) but finite, so a pathological
+#: cost model fails with a diagnostic instead of spinning.
+DEFAULT_MAX_ITERATIONS = 10_000
+
+
+class ExtractionError(RuntimeError):
+    """Base class for extraction-engine failures."""
+
+
+class FixpointDivergence(ExtractionError):
+    """The extraction cost fixpoint failed to converge within its
+    iteration cap.
+
+    Converging is guaranteed for any cost model that is monotone in its
+    children's costs (every model in :mod:`repro.targets.cost` is);
+    hitting this error means the cost model keeps lowering some class's
+    cost on every pass — typically a model returning ``NaN``, a
+    negative-cost feedback loop, or state that changes between calls.
+    """
+
+    def __init__(self, extractor: str, iterations: int, classes) -> None:
+        sample = ", ".join(str(c) for c in list(classes)[:8])
+        suffix = "…" if len(classes) > 8 else ""
+        super().__init__(
+            f"{extractor} extraction did not reach a cost fixpoint after "
+            f"{iterations} passes; {len(classes)} class(es) still changing "
+            f"(e.g. {sample}{suffix}).  This indicates a non-monotone or "
+            f"unstable cost model — enode_cost must not lower a class's "
+            f"cost indefinitely."
+        )
+        self.iterations = iterations
+        self.classes = tuple(classes)
+
+
+class CostModelArityError(TypeError):
+    """``child_costs`` does not match the e-node's child count.
+
+    Raised instead of silently mis-pricing: a cost model indexing
+    ``child_costs[1]`` of a one-child node would otherwise read a
+    neighbouring value (or crash with a bare ``IndexError`` far from
+    the offending call site).
+    """
+
+    def __init__(self, enode: ENode, got: int) -> None:
+        super().__init__(
+            f"cost model called with {got} child cost(s) for e-node "
+            f"{enode.op!r} (payload {enode.payload!r}) which has "
+            f"{len(enode.children)} child(ren)"
+        )
+        self.enode = enode
+        self.got = got
+
+
+class CostModel:
+    """Computes the cost of one e-node given its children's costs.
+
+    ``egraph`` and the e-node's own class id are provided so models can
+    consult the shape analysis (array dims) of both operands and the
+    node's own class.
+    """
+
+    def enode_cost(
+        self,
+        egraph,
+        class_id: int,
+        enode: ENode,
+        child_costs: List[float],
+    ) -> float:
+        raise NotImplementedError
+
+
+class AstSizeCost(CostModel):
+    """Plain AST-size cost (every node costs 1); useful for tests."""
+
+    def enode_cost(
+        self,
+        egraph,
+        class_id: int,
+        enode: ENode,
+        child_costs: List[float],
+    ) -> float:
+        return 1.0 + sum(child_costs)
+
+
+def checked_enode_cost(
+    model: CostModel,
+    egraph,
+    class_id: int,
+    enode: ENode,
+    child_costs: List[float],
+) -> float:
+    """Invoke ``model.enode_cost`` with the arity validated first."""
+    if len(child_costs) != len(enode.children):
+        raise CostModelArityError(enode, len(child_costs))
+    return model.enode_cost(egraph, class_id, enode, child_costs)
+
+
+class ExtractionResult:
+    """Result of extracting one class: the chosen term, its cost, and
+    the e-node chosen for every class the solution visits.
+
+    ``chosen`` maps canonical class ids to the selected e-node; it is
+    empty for failed extractions (``term is None``) and for results
+    constructed by legacy callers that only pass ``(term, cost)``.
+    """
+
+    def __init__(
+        self,
+        term: Optional[Term],
+        cost: float,
+        chosen: Optional[Dict[int, ENode]] = None,
+    ) -> None:
+        self.term = term
+        self.cost = cost
+        self.chosen: Dict[int, ENode] = chosen if chosen is not None else {}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ExtractionResult(cost={self.cost!r}, term={self.term!s})"
+
+
+class Extractor:
+    """Protocol for extractors: pick minimum-cost terms from an e-graph
+    under a cost model.
+
+    Concrete extractors compute their cost tables eagerly in
+    ``__init__`` (the e-graph must not be mutated between construction
+    and extraction) and implement :meth:`extract` / :meth:`cost_of`.
+    ``name`` is the registry key used by ``Limits(extractor=...)`` /
+    ``REPRO_EXTRACTOR`` / ``--extractor``.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, egraph, cost_model: CostModel) -> None:
+        self.egraph = egraph
+        self.cost_model = cost_model
+
+    def cost_of(self, class_id: int) -> float:
+        """Minimum cost of any term represented by the class."""
+        raise NotImplementedError
+
+    def extract(self, class_id: int) -> ExtractionResult:
+        """The minimum-cost term of the class (``term=None`` when the
+        class has no finite-cost derivation)."""
+        raise NotImplementedError

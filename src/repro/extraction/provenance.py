@@ -1,0 +1,74 @@
+"""Rule provenance: which rules enabled an extracted solution.
+
+Saturation telemetry (:mod:`repro.saturation.telemetry`) counts every
+rule's matches and unions, but cannot tell a *dead-end* union (``I-Gemm``
+gluing a gemm call onto an intermediate class no solution ever uses)
+from a *solution-bearing* one (``I-Gemv`` inserting the very e-node
+extraction picks).  The ROADMAP names this the blocker for tightening
+pruning thresholds.
+
+The e-graph now keeps a **union-origin log**: while the saturation
+runner applies a rule's match it sets ``EGraph.origin_tag`` to the
+rule's telemetry name, and every e-node creation and class union
+performed under that tag is appended to ``EGraph.union_origins``
+(initial term construction and congruence-closure repairs run
+untagged and are not logged — they are consequences, not causes).
+
+Given an extraction's per-class chosen e-nodes
+(:attr:`~repro.extraction.base.ExtractionResult.chosen`), provenance
+resolves every logged event onto current union-find roots and collects
+the rules whose events touched a solution class.  This is a sound
+over-approximation: a rule it reports *did* create or merge content in
+an e-class the solution reads from; a rule it omits provably never
+touched any solution class, which is exactly the guarantee the
+provenance-aware pruning mode needs ("never prune a rule observed
+contributing to a recorded solution").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Set, Tuple as TupleT
+
+__all__ = [
+    "contributing_events",
+    "solution_rule_counts",
+    "solution_rules",
+]
+
+
+def contributing_events(
+    egraph, chosen: Mapping[int, object]
+) -> Dict[str, Set[int]]:
+    """Per-rule sets of log indices whose events touched a solution
+    class.
+
+    ``chosen`` is an extraction's class-id → e-node mapping; only its
+    keys matter.  Returning log *indices* (rather than bare counts)
+    lets callers union the contributions of several extractions —
+    e.g. every per-step solution of a saturation run — without double
+    counting events shared between steps.
+    """
+    find = egraph.find
+    solution_roots = {find(class_id) for class_id in chosen}
+    if not solution_roots:
+        return {}
+    events: Dict[str, Set[int]] = {}
+    for index, (tag, class_a, class_b) in enumerate(egraph.union_origins):
+        if find(class_a) in solution_roots or (
+            class_b >= 0 and find(class_b) in solution_roots
+        ):
+            events.setdefault(tag, set()).add(index)
+    return events
+
+
+def solution_rule_counts(egraph, chosen: Mapping[int, object]) -> Dict[str, int]:
+    """Per-rule count of creation/union events on solution classes."""
+    return {
+        tag: len(indices)
+        for tag, indices in contributing_events(egraph, chosen).items()
+    }
+
+
+def solution_rules(egraph, chosen: Mapping[int, object]) -> TupleT[str, ...]:
+    """Sorted names of the rules that contributed to the solution."""
+    return tuple(sorted(contributing_events(egraph, chosen)))

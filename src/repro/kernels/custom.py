@@ -1,4 +1,5 @@
-"""The eight custom kernels of table I.
+"""The eight custom kernels of table I, plus ``dot`` (a CI-affordable
+pinned kernel outside the table).
 
 Sizes are scaled down from HPC-typical dimensions so that the
 interpreted "pure C" substrate finishes in benchmark-friendly time;
@@ -132,6 +133,40 @@ def _loops_blur1d(inp: Mapping[str, Any]) -> np.ndarray:
             acc += x[i + t] / 3.0
         out[i] = acc
     return out
+
+
+def kernel_dot() -> Kernel:
+    """Dot product of two vectors: ``Σ A[i]·B[i]``.
+
+    Not a table I row — it joins the suite as a CI-affordable pinned
+    kernel for the perf-regression gate (its saturation is among the
+    cheapest that still exercises the marquee ``ifold → dot`` idiom
+    directly, rather than through gemv's nested derivation).
+    """
+    n = N_VEC
+    term = dot_ir(_sym("A"), _sym("B"), n)
+    return Kernel(
+        name="dot",
+        suite="custom",
+        description="Vector dot product",
+        term=term,
+        symbol_shapes={"A": vector(n), "B": vector(n)},
+        make_inputs=lambda rng: {
+            "A": rng.standard_normal(n),
+            "B": rng.standard_normal(n),
+        },
+        reference=lambda inp: float(np.dot(inp["A"], inp["B"])),
+        reference_loops=_loops_dot,
+        params={"N": n},
+    )
+
+
+def _loops_dot(inp: Mapping[str, Any]) -> float:
+    a, bvec = inp["A"], inp["B"]
+    acc = 0.0
+    for i in range(len(a)):
+        acc += a[i] * bvec[i]
+    return acc
 
 
 def kernel_gemv() -> Kernel:
@@ -303,11 +338,12 @@ def _loops_vsum(inp: Mapping[str, Any]) -> float:
 
 
 def custom_kernels() -> list:
-    """All eight custom kernels."""
+    """The eight custom table I kernels plus ``dot`` (CI pinned set)."""
     return [
         kernel_1mm(),
         kernel_axpy(),
         kernel_blur1d(),
+        kernel_dot(),
         kernel_gemv(),
         kernel_memset(),
         kernel_slim_2mm(),

@@ -39,6 +39,11 @@ class OptimizationResult:
     #: Telemetry-names of rules dropped by profile-driven pruning
     #: before the run (empty when no ``rule_profile`` was given).
     pruned_rules: tuple = ()
+    #: The ``top_k`` cheapest distinct solutions at the root after the
+    #: final step, as (term, cost) pairs, cheapest first.  Only
+    #: populated when the run asked for ``top_k > 1``; the first entry
+    #: then coincides with the greedy best term.
+    candidates: tuple = ()
 
     @property
     def steps(self) -> list:
@@ -62,6 +67,12 @@ class OptimizationResult:
     def solution_summary(self) -> str:
         return self.run.final.solution_summary
 
+    @property
+    def solution_rules(self) -> tuple:
+        """Names of the rules provenance says enabled the final
+        solution (see :mod:`repro.extraction.provenance`)."""
+        return self.run.final.solution_rules
+
     def best_step(self) -> StepRecord:
         """The step whose solution has the lowest cost."""
         candidates = [s for s in self.run.steps if s.best_term is not None]
@@ -81,6 +92,8 @@ def optimize_term(
     scheduler: str = DEFAULT_LIMITS["scheduler"],
     search_workers: int = DEFAULT_LIMITS["search_workers"],
     rule_profile: Optional[str] = DEFAULT_LIMITS["rule_profile"],
+    extractor: str = DEFAULT_LIMITS["extractor"],
+    top_k: int = DEFAULT_LIMITS["top_k"],
     kernel_name: str = "<term>",
 ) -> OptimizationResult:
     """Optimize a bare IR term for ``target``.
@@ -89,7 +102,10 @@ def optimize_term(
     fork-shared process pool (byte-identical solutions, see
     :mod:`repro.saturation.parallel`); ``rule_profile`` prunes rules a
     recorded telemetry profile says are wasteful for this kernel
-    (:mod:`repro.saturation.pruning`).
+    (:mod:`repro.saturation.pruning`); ``extractor`` selects the
+    per-step extraction strategy and ``top_k`` additionally enumerates
+    the k cheapest distinct solutions at the root after the final step
+    (:mod:`repro.extraction`).
     """
     rules = list(target.rules)
     pruned_rules: tuple = ()
@@ -111,8 +127,19 @@ def optimize_term(
         time_limit=time_limit,
         scheduler=scheduler,
         search_workers=search_workers,
+        extractor=extractor,
     )
     run = runner.run(root, cost_model=target.cost_model)
+    candidates: tuple = ()
+    if top_k > 1:
+        from .extraction.topk import extract_topk
+
+        candidates = tuple(
+            (result.term, result.cost)
+            for result in extract_topk(
+                egraph, target.cost_model, root, top_k
+            )
+        )
     return OptimizationResult(
         kernel_name=kernel_name,
         target_name=target.name,
@@ -120,6 +147,7 @@ def optimize_term(
         egraph=egraph,
         root_class=egraph.find(root),
         pruned_rules=pruned_rules,
+        candidates=candidates,
     )
 
 
@@ -133,6 +161,8 @@ def optimize(
     scheduler: str = DEFAULT_LIMITS["scheduler"],
     search_workers: int = DEFAULT_LIMITS["search_workers"],
     rule_profile: Optional[str] = DEFAULT_LIMITS["rule_profile"],
+    extractor: str = DEFAULT_LIMITS["extractor"],
+    top_k: int = DEFAULT_LIMITS["top_k"],
 ) -> OptimizationResult:
     """Optimize ``kernel`` for ``target`` (the §VI methodology, in the
     artifact's CPU-invariant step-limited mode)."""
@@ -146,5 +176,7 @@ def optimize(
         scheduler=scheduler,
         search_workers=search_workers,
         rule_profile=rule_profile,
+        extractor=extractor,
+        top_k=top_k,
         kernel_name=kernel.name,
     )

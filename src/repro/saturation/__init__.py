@@ -18,7 +18,9 @@ Everything that drives an equality-saturation run lives here:
   / ``-w``), byte-identical to serial by construction;
 * :mod:`repro.saturation.pruning` — telemetry-driven rule pruning from
   a recorded ``--rule-profile`` JSON (``Limits(rule_profile=...)`` /
-  ``REPRO_RULE_PROFILE`` / ``--prune-from-profile``).
+  ``REPRO_RULE_PROFILE`` / ``--prune-from-profile``), provenance-aware
+  by default (rules observed contributing to solutions are never
+  pruned; see :mod:`repro.extraction.provenance`).
 
 :mod:`repro.egraph.runner` remains as a thin compatibility shim over
 this package.

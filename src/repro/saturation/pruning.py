@@ -15,7 +15,12 @@ A rule is pruned for a kernel when, aggregated over the profile's
 matching runs, it was searched but its match-per-union ratio exceeds
 ``PruningPolicy.max_match_union_ratio`` with at least
 ``PruningPolicy.min_matches`` matches (rules with few matches are
-harmless; rules with unions are productive).  "Matching runs" are
+harmless; rules with unions are productive).  The policy is
+*provenance-aware* by default: a rule the profile records as having
+contributed to an extracted solution (``solution_unions > 0``, fed
+from :mod:`repro.extraction.provenance`) is never pruned regardless
+of its ratio — the guard that lets the thresholds be tightened
+without risking solution quality.  "Matching runs" are
 selected conservatively: runs of the *same kernel* on the same target
 when the profile has them, otherwise runs of kernels in the same
 :func:`kernel_class` (matmul / matvec / stencil / vector families of
@@ -76,7 +81,7 @@ KERNEL_CLASSES: Dict[str, frozenset] = {
     "matmul": frozenset({"1mm", "2mm", "slim-2mm", "gemm", "doitgen"}),
     "matvec": frozenset({"atax", "gemv", "gemver", "gesummv", "mvt"}),
     "stencil": frozenset({"blur1d", "jacobi1d", "stencil2d"}),
-    "vector": frozenset({"axpy", "memset", "vsum"}),
+    "vector": frozenset({"axpy", "dot", "memset", "vsum"}),
 }
 
 
@@ -105,8 +110,21 @@ class PruningPolicy:
     #: Prune when aggregate ``matches_found / unions`` exceeds this
     #: (zero-union rules count as infinitely wasteful).
     max_match_union_ratio: float = 10_000.0
+    #: Provenance-aware mode (default on): a rule the profile records
+    #: as having contributed to any extracted solution
+    #: (``solution_unions > 0``, fed from
+    #: :mod:`repro.extraction.provenance`) is never pruned, whatever
+    #: its match/union ratio says.  This is the guard that makes
+    #: tightening the ratio thresholds safe: ``I-Gemm``'s 30 dead-end
+    #: unions on gemv and ``I-Gemv``'s solution-bearing ones are no
+    #: longer indistinguishable.  Profiles recorded before provenance
+    #: existed carry ``solution_unions = 0`` everywhere, so the mode
+    #: degrades to the pure ratio policy on old data.
+    protect_solution_rules: bool = True
 
     def is_wasteful(self, stats: RuleStats) -> bool:
+        if self.protect_solution_rules and stats.solution_unions > 0:
+            return False
         if stats.matches_found < self.min_matches:
             return False
         if stats.unions == 0:

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..ir.terms import Term, collect_calls
 from ..egraph.egraph import EGraph
-from ..egraph.extract import CostModel, Extractor
+from ..extraction import CostModel, contributing_events, make_extractor
 from ..egraph.pattern import ClassBinding, TermBinding
 from ..egraph.rewrite import Match, Rule
 from .ematch import IncrementalMatcher
@@ -114,6 +114,10 @@ class StepRecord:
     #: Wall-clock split of the step (search/apply/rebuild/extract);
     #: ``None`` on the step-0 record.
     phases: Optional[PhaseTimings] = None
+    #: Names of the rules whose unions/creations touched a class of
+    #: this step's extracted solution (rule provenance; empty on the
+    #: step-0 record and when no cost model extracts).
+    solution_rules: tuple = ()
 
     @property
     def solution_summary(self) -> str:
@@ -143,10 +147,17 @@ class RunResult:
     #: Steps whose search phase actually executed on the process pool
     #: (0 under serial search or after a broken-pool fallback).
     parallel_steps: int = 0
+    #: Name of the extractor that produced the per-step solutions.
+    extractor: str = "greedy"
 
     @property
     def final(self) -> StepRecord:
         return self.steps[-1]
+
+    @property
+    def solution_rules(self) -> tuple:
+        """Provenance of the final solution (see StepRecord)."""
+        return self.final.solution_rules
 
     @property
     def num_steps(self) -> int:
@@ -198,6 +209,7 @@ class Runner:
         incremental: Optional[bool] = None,
         search_workers: int = 1,
         applied_cap: int = 500_000,
+        extractor: Union[str, type, None] = None,
     ) -> None:
         self.egraph = egraph
         self.rules = list(rules)
@@ -205,6 +217,9 @@ class Runner:
         self.node_limit = node_limit
         self.time_limit = time_limit
         self.scheduler = scheduler
+        # Per-step extraction strategy; resolved eagerly so a typo'd
+        # name fails at construction, not on the first record.
+        self.extractor_cls = make_extractor(extractor)
         self.incremental = (
             _incremental_default() if incremental is None else incremental
         )
@@ -235,9 +250,16 @@ class Runner:
         searcher = ParallelSearch(egraph, self.rules, self.search_workers)
         contexts: List[object] = [None] * len(self.rules)
         records: List[StepRecord] = []
+        # Union of every recorded solution's provenance events, keyed
+        # by rule telemetry name; event indices dedup contributions
+        # shared between steps (see repro.extraction.provenance).
+        contributed: Dict[str, Set[int]] = {}
         start = time.perf_counter()
         deadline = start + self.time_limit
-        records.append(self._record(0, 0.0, 0, 0, root_class, cost_model, extract_each_step))
+        records.append(self._record(
+            0, 0.0, 0, 0, root_class, cost_model, extract_each_step,
+            contributed,
+        ))
         stop_reason = StopReason.STEP_LIMIT
         applied: Set[tuple] = set()
         for step in range(1, self.step_limit + 1):
@@ -277,12 +299,16 @@ class Runner:
                 ):
                     timed_out = True
                     break
+                # Tag mutations with the applying rule so the e-graph's
+                # union-origin log can attribute them (provenance).
+                egraph.origin_tag = rule_stats.name
                 made = rule.apply(egraph, match)
                 rule_stats.matches_applied += 1
                 rule_stats.unions += made
                 unions += made
                 if egraph.num_nodes > self.node_limit:
                     break
+            egraph.origin_tag = None
             phases.apply = time.perf_counter() - apply_start
 
             # --- rebuild ------------------------------------------------
@@ -301,7 +327,7 @@ class Runner:
             extract_start = time.perf_counter()
             record = self._record(
                 step, 0.0, len(matches), unions, root_class, cost_model,
-                extract_each_step,
+                extract_each_step, contributed,
             )
             phases.extract = time.perf_counter() - extract_start
             record.seconds = time.perf_counter() - step_start
@@ -331,6 +357,12 @@ class Runner:
             if timed_out or time.perf_counter() > deadline:
                 stop_reason = StopReason.TIME_LIMIT
                 break
+        # Provenance feeds telemetry: how many of each rule's logged
+        # events touched a class of any recorded per-step solution.
+        for rule_stats in stats:
+            events = contributed.get(rule_stats.name)
+            if events:
+                rule_stats.solution_unions = len(events)
         return RunResult(
             records,
             stop_reason,
@@ -339,6 +371,7 @@ class Runner:
             scheduler=scheduler.name,
             search_workers=self.search_workers,
             parallel_steps=searcher.parallel_steps,
+            extractor=self.extractor_cls.name,
         )
 
     # ------------------------------------------------------------------
@@ -483,6 +516,7 @@ class Runner:
         root_class: int,
         cost_model: Optional[CostModel],
         extract_each_step: bool,
+        contributed: Optional[Dict[str, Set[int]]] = None,
     ) -> StepRecord:
         record = StepRecord(
             step=step,
@@ -493,9 +527,15 @@ class Runner:
             unions=unions,
         )
         if cost_model is not None and extract_each_step:
-            extractor = Extractor(self.egraph, cost_model)
+            extractor = self.extractor_cls(self.egraph, cost_model)
             result = extractor.extract(root_class)
             record.best_term = result.term
             record.best_cost = result.cost
             record.library_calls = library_calls_of(result.term)
+            if result.chosen:
+                events = contributing_events(self.egraph, result.chosen)
+                record.solution_rules = tuple(sorted(events))
+                if contributed is not None:
+                    for name, indices in events.items():
+                        contributed.setdefault(name, set()).update(indices)
         return record

@@ -44,6 +44,12 @@ class RuleStats:
     bans: int = 0
     #: Steps skipped while banned.
     banned_steps: int = 0
+    #: Union/creation events by this rule that touched an e-class of a
+    #: recorded (per-step) extracted solution — rule provenance, fed
+    #: from :mod:`repro.extraction.provenance`.  Distinguishes
+    #: solution-bearing unions from dead-end ones; the provenance-aware
+    #: pruning mode never drops a rule with a non-zero count here.
+    solution_unions: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -55,6 +61,7 @@ class RuleStats:
             "unions": self.unions,
             "bans": self.bans,
             "banned_steps": self.banned_steps,
+            "solution_unions": self.solution_unions,
         }
 
     @classmethod
@@ -70,6 +77,7 @@ class RuleStats:
         self.unions += other.unions
         self.bans += other.bans
         self.banned_steps += other.banned_steps
+        self.solution_unions += other.solution_unions
 
 
 @dataclass

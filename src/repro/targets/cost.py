@@ -30,7 +30,7 @@ from typing import List, Optional
 from ..egraph.analysis import shape_of_class
 from ..egraph.egraph import EGraph
 from ..egraph.enode import ENode
-from ..egraph.extract import CostModel
+from ..extraction.base import CostModel, CostModelArityError
 from ..ir.shapes import Array, Scalar, Shape
 
 __all__ = ["BaseCostModel", "BlasCostModel", "TorchCostModel", "SCALAR_FUNCTIONS"]
@@ -56,6 +56,13 @@ class BaseCostModel(CostModel):
         enode: ENode,
         child_costs: List[float],
     ) -> float:
+        if len(child_costs) != len(enode.children):
+            # Fail loudly instead of silently mis-pricing: the pricing
+            # below indexes child_costs positionally (child_costs[0] of
+            # a build is the body, [1] of an index the subscript, …),
+            # so a short or padded list would produce a wrong-but-
+            # plausible cost, not a crash.
+            raise CostModelArityError(enode, len(child_costs))
         op = enode.op
         if op in ("var", "const", "symbol"):
             return 1.0

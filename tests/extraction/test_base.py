@@ -1,0 +1,79 @@
+"""Extraction-engine foundations: protocol, results, registry, and
+the cost-model arity guard."""
+
+import math
+
+import pytest
+
+from repro.egraph import EGraph, ShapeAnalysis
+from repro.egraph.enode import ENode
+from repro.extraction import (
+    EXTRACTOR_NAMES,
+    AstSizeCost,
+    CostModelArityError,
+    DagExtractor,
+    ExtractionResult,
+    GreedyExtractor,
+    checked_enode_cost,
+    make_extractor,
+)
+from repro.ir import parse
+from repro.targets.cost import BaseCostModel
+
+
+class TestRegistry:
+    def test_names(self):
+        assert EXTRACTOR_NAMES == ("greedy", "dag")
+
+    def test_make_extractor_by_name(self):
+        assert make_extractor("greedy") is GreedyExtractor
+        assert make_extractor("dag") is DagExtractor
+
+    def test_make_extractor_default(self):
+        assert make_extractor(None) is GreedyExtractor
+
+    def test_make_extractor_passthrough_class(self):
+        assert make_extractor(DagExtractor) is DagExtractor
+
+    def test_make_extractor_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown extractor"):
+            make_extractor("astar")
+
+
+class TestExtractionResult:
+    def test_legacy_two_arg_construction(self):
+        result = ExtractionResult(None, math.inf)
+        assert result.term is None
+        assert result.chosen == {}
+
+    def test_chosen_carried(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a + 1"))
+        result = GreedyExtractor(eg, AstSizeCost()).extract(root)
+        # One chosen e-node per class on the solution path.
+        assert set(result.chosen) == {eg.find(c) for c in eg.class_ids()}
+        assert result.chosen[eg.find(root)].op == "call"
+
+
+class TestArityGuard:
+    def test_checked_enode_cost_validates(self):
+        eg = EGraph()
+        node = ENode("call", "+", (0, 1))
+        with pytest.raises(CostModelArityError, match="2 child"):
+            checked_enode_cost(AstSizeCost(), eg, 0, node, [1.0])
+
+    def test_base_cost_model_rejects_wrong_arity(self):
+        eg = EGraph(ShapeAnalysis({}))
+        root = eg.add_term(parse("a[1]"))
+        (node,) = [n for n in eg.nodes_of(root)]
+        model = BaseCostModel()
+        with pytest.raises(CostModelArityError):
+            model.enode_cost(eg, root, node, [1.0])  # index has 2 children
+        with pytest.raises(CostModelArityError):
+            model.enode_cost(eg, root, node, [1.0, 1.0, 1.0])
+
+    def test_correct_arity_still_prices(self):
+        eg = EGraph(ShapeAnalysis({}))
+        root = eg.add_term(parse("a[1]"))
+        (node,) = [n for n in eg.nodes_of(root)]
+        assert BaseCostModel().enode_cost(eg, root, node, [1.0, 1.0]) == 3.0

@@ -1,0 +1,99 @@
+"""Extractor determinism: equal-cost tie-breaking must be stable in
+canonical (insertion) order, across repeated runs and across processes
+with different hash seeds — mirroring the serial-vs-parallel
+byte-identity tests of the saturation engine."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.egraph import EGraph
+from repro.extraction import AstSizeCost, DagExtractor, GreedyExtractor, extract_topk
+from repro.ir import parse
+from repro.ir.printer import pretty
+
+
+def _tied_graph():
+    """A class whose two cheapest representations cost exactly the
+    same (AST size 3): ``a + b`` (inserted first) and ``b * a``."""
+    eg = EGraph()
+    root = eg.add_term(parse("a + b"))
+    eg.merge(root, eg.add_term(parse("b * a")))
+    eg.rebuild()
+    return eg, eg.find(root)
+
+
+class TestTieBreaking:
+    def test_greedy_keeps_first_inserted(self):
+        eg, root = _tied_graph()
+        result = GreedyExtractor(eg, AstSizeCost()).extract(root)
+        assert result.term == parse("a + b")
+
+    def test_dag_agrees_on_ties(self):
+        eg, root = _tied_graph()
+        greedy = GreedyExtractor(eg, AstSizeCost()).extract(root)
+        dag = DagExtractor(eg, AstSizeCost()).extract(root)
+        assert dag.term == greedy.term
+
+    def test_topk_orders_ties_canonically(self):
+        eg, root = _tied_graph()
+        results = extract_topk(eg, AstSizeCost(), root, 2)
+        assert [r.term for r in results] == [parse("a + b"), parse("b * a")]
+
+    def test_insertion_order_decides(self):
+        # Reversed insertion flips the winner: the tie-break is the
+        # canonical class/node order, not term structure.
+        eg = EGraph()
+        root = eg.add_term(parse("b * a"))
+        eg.merge(root, eg.add_term(parse("a + b")))
+        eg.rebuild()
+        result = GreedyExtractor(eg, AstSizeCost()).extract(root)
+        assert result.term == parse("b * a")
+
+
+_SUBPROCESS_SCRIPT = """
+import json, sys
+from repro.experiments import optimize_pair
+from repro.extraction import extract_topk, solution_rules
+from repro.ir.printer import pretty
+
+result = optimize_pair("memset", "blas", steps=3, nodes=3000,
+                       extractor=sys.argv[1])
+payload = {
+    "term": pretty(result.best_term),
+    "cost": result.final.best_cost,
+    "solution_rules": list(result.solution_rules),
+    "topk": [
+        pretty(r.term)
+        for r in extract_topk(
+            result.egraph, __import__("repro.targets", fromlist=["x"])
+            .blas_target().cost_model, result.root_class, 3)
+    ],
+}
+print(json.dumps(payload, sort_keys=True))
+"""
+
+
+def _run_isolated(extractor: str, hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SCRIPT, extractor],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+class TestCrossProcess:
+    @pytest.mark.parametrize("extractor", ["greedy", "dag"])
+    def test_byte_identical_across_hash_seeds(self, extractor):
+        """Two processes with different PYTHONHASHSEEDs must extract
+        byte-identical solutions, candidate lists, and provenance."""
+        first = _run_isolated(extractor, "0")
+        second = _run_isolated(extractor, "12345")
+        assert first == second

@@ -1,0 +1,65 @@
+"""The greedy (tree-cost) extractor: ported-verbatim behaviour plus
+the new fixpoint iteration cap."""
+
+import math
+
+import pytest
+
+from repro.egraph import EGraph, ShapeAnalysis
+from repro.extraction import AstSizeCost, FixpointDivergence, GreedyExtractor
+from repro.ir import parse
+from repro.ir.terms import Call, Symbol
+from repro.targets.cost import BaseCostModel
+
+
+class TestGreedyExtractor:
+    def test_single_representation(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a + 1"))
+        result = GreedyExtractor(eg, AstSizeCost()).extract(root)
+        assert result.term == parse("a + 1")
+        assert result.cost == pytest.approx(3.0)
+
+    def test_picks_cheaper_representation(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a + (b - b)"))
+        eg.merge(root, eg.add_term(parse("a + 0")))
+        eg.rebuild()
+        result = GreedyExtractor(eg, AstSizeCost()).extract(root)
+        assert result.term == parse("a + 0")
+
+    def test_cyclic_graph_terminates(self):
+        eg = EGraph()
+        fx = eg.add_term(Call("f", (Symbol("x"),)))
+        x = eg.add_term(Symbol("x"))
+        eg.merge(fx, x)
+        eg.rebuild()
+        result = GreedyExtractor(eg, AstSizeCost()).extract(x)
+        assert result.term == Symbol("x")
+
+    def test_infinite_cost_for_unknown_library_calls(self):
+        eg = EGraph(ShapeAnalysis({}))
+        root = eg.add_term(parse("dot(a, c)"))
+        result = GreedyExtractor(eg, BaseCostModel()).extract(root)
+        assert result.term is None
+        assert math.isinf(result.cost)
+        assert result.chosen == {}
+
+
+class TestIterationCap:
+    def test_cap_raises_with_diagnostic(self):
+        eg = EGraph()
+        eg.add_term(parse("a + (b + (c + d))"))  # needs several passes
+        with pytest.raises(FixpointDivergence) as excinfo:
+            GreedyExtractor(eg, AstSizeCost(), max_iterations=1)
+        message = str(excinfo.value)
+        assert "greedy" in message
+        assert "cost fixpoint" in message
+        assert "non-monotone" in message
+        assert excinfo.value.classes  # names the still-changing classes
+
+    def test_default_cap_is_generous(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a + (b + (c + d))"))
+        result = GreedyExtractor(eg, AstSizeCost()).extract(root)
+        assert result.cost == pytest.approx(7.0)

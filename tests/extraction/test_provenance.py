@@ -1,0 +1,148 @@
+"""Rule provenance: the union-origin log, solution_rules, the
+solution_unions telemetry, and the provenance-aware pruning mode."""
+
+import pytest
+
+from repro.egraph import EGraph, Runner
+from repro.egraph.rewrite import rewrite
+from repro.extraction import (
+    AstSizeCost,
+    GreedyExtractor,
+    contributing_events,
+    solution_rule_counts,
+    solution_rules,
+)
+from repro.ir import parse
+from repro.rules.dsl import padd, pconst, pv
+from repro.saturation.pruning import PruningPolicy
+from repro.saturation.telemetry import RuleStats
+
+
+class TestUnionOriginLog:
+    def test_untagged_mutations_not_logged(self):
+        eg = EGraph()
+        eg.add_term(parse("a + 0"))
+        assert eg.union_origins == []
+
+    def test_tagged_creation_and_union_logged(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a + 0"))
+        eg.origin_tag = "my-rule"
+        other = eg.add_term(parse("q"))
+        eg.merge(root, other)
+        eg.origin_tag = None
+        kinds = [(tag, b == -1) for tag, _, b in eg.union_origins]
+        assert ("my-rule", True) in kinds    # creation
+        assert ("my-rule", False) in kinds   # union
+
+    def test_noop_merge_not_logged(self):
+        eg = EGraph()
+        a = eg.add_term(parse("a"))
+        eg.origin_tag = "r"
+        eg.merge(a, a)
+        eg.origin_tag = None
+        assert eg.union_origins == []
+
+
+class TestSolutionRules:
+    def _saturated(self):
+        eg = EGraph()
+        root = eg.add_term(parse("x + 0"))
+        rule = rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))
+        result = Runner(eg, [rule], step_limit=5).run(
+            root, cost_model=AstSizeCost()
+        )
+        return eg, root, result
+
+    def test_contributing_rule_reported(self):
+        eg, root, result = self._saturated()
+        assert result.final.best_term == parse("x")
+        assert "add-zero" in result.final.solution_rules
+        assert "add-zero" in result.solution_rules  # RunResult property
+        chosen = GreedyExtractor(eg, AstSizeCost()).extract(eg.find(root)).chosen
+        counts = solution_rule_counts(eg, chosen)
+        assert counts.get("add-zero", 0) >= 1
+        assert solution_rules(eg, chosen) == tuple(sorted(counts))
+
+    def test_step_zero_has_no_provenance(self):
+        _, _, result = self._saturated()
+        assert result.steps[0].solution_rules == ()
+
+    def test_solution_unions_telemetry(self):
+        _, _, result = self._saturated()
+        stats = result.rule_stats["add-zero"]
+        assert stats.solution_unions >= 1
+        assert stats.to_dict()["solution_unions"] == stats.solution_unions
+        # Round-trip tolerates both old (no key) and new dicts.
+        rebuilt = RuleStats.from_dict(stats.to_dict())
+        assert rebuilt.solution_unions == stats.solution_unions
+        legacy = {k: v for k, v in stats.to_dict().items()
+                  if k != "solution_unions"}
+        assert RuleStats.from_dict(legacy).solution_unions == 0
+
+    def test_empty_chosen_empty_provenance(self):
+        eg = EGraph()
+        eg.add_term(parse("a"))
+        assert contributing_events(eg, {}) == {}
+
+
+class TestProvenanceAwarePruning:
+    def _stats(self, **kwargs):
+        base = dict(
+            name="r", matches_found=50_000, unions=0, solution_unions=0
+        )
+        base.update(kwargs)
+        return RuleStats(**base)
+
+    def test_wasteful_without_contribution_pruned(self):
+        assert PruningPolicy().is_wasteful(self._stats())
+
+    def test_solution_contributor_never_pruned(self):
+        stats = self._stats(solution_unions=3)
+        assert not PruningPolicy().is_wasteful(stats)
+
+    def test_protection_can_be_disabled(self):
+        stats = self._stats(solution_unions=3)
+        policy = PruningPolicy(protect_solution_rules=False)
+        assert policy.is_wasteful(stats)
+
+    def test_old_profiles_degrade_to_ratio_policy(self):
+        # Pre-provenance profiles carry solution_unions == 0 everywhere;
+        # behaviour is then exactly the old ratio policy.
+        assert PruningPolicy().is_wasteful(self._stats(solution_unions=0))
+        assert not PruningPolicy().is_wasteful(
+            self._stats(matches_found=10)
+        )
+
+
+class TestGemvAcceptance:
+    """The ISSUE acceptance bar: gemv's provenance names I-Gemv and
+    excludes at least one rule the ratio policy prunes."""
+
+    def test_gemv_solution_rules(self):
+        from repro.experiments import optimize_pair
+        from repro.saturation.pruning import RuleProfile, prune_rules
+        from repro.saturation.telemetry import rule_stats_to_dict
+        from repro.targets import blas_target
+
+        result = optimize_pair("gemv", "blas")
+        assert result.final.library_calls == {"gemv": 1}
+        rules_used = result.solution_rules
+        assert "I-Gemv" in rules_used
+
+        # Build a profile from this very run and ask the (ratio-only)
+        # policy what it would prune; every pruned rule must be absent
+        # from the solution's provenance.
+        profile = RuleProfile.from_dict({
+            "schema": "repro-rule-profile/1",
+            "runs": [{
+                "kernel": "gemv",
+                "target": "blas",
+                "rule_stats": rule_stats_to_dict(result.run.rule_stats),
+            }],
+        })
+        _, pruned = prune_rules(
+            blas_target().rules, profile, kernel="gemv", target="blas"
+        )
+        assert pruned, "expected the ratio policy to prune something on gemv"
+        assert not set(pruned) & set(rules_used)

@@ -1,0 +1,130 @@
+"""Top-k enumeration: the k cheapest distinct terms, deterministic,
+with the greedy best always first."""
+
+import pytest
+
+from repro.egraph import EGraph
+from repro.extraction import AstSizeCost, GreedyExtractor, extract_topk
+from repro.ir import parse
+
+
+def _merged_graph():
+    """One class holding four alternatives of distinct AST sizes."""
+    eg = EGraph()
+    root = eg.add_term(parse("x"))                       # cost 1
+    eg.merge(root, eg.add_term(parse("a + b")))          # cost 3
+    eg.merge(root, eg.add_term(parse("a * (b - c)")))    # cost 5
+    eg.merge(root, eg.add_term(parse("(a + b) * (c + d)")))  # cost 7
+    eg.rebuild()
+    return eg, eg.find(root)
+
+
+class TestTopK:
+    def test_orders_by_cost(self):
+        eg, root = _merged_graph()
+        results = extract_topk(eg, AstSizeCost(), root, 3)
+        assert [r.term for r in results] == [
+            parse("x"), parse("a + b"), parse("a * (b - c)")
+        ]
+        assert [r.cost for r in results] == pytest.approx([1.0, 3.0, 5.0])
+
+    def test_k_one_matches_greedy(self):
+        eg, root = _merged_graph()
+        (only,) = extract_topk(eg, AstSizeCost(), root, 1)
+        greedy = GreedyExtractor(eg, AstSizeCost()).extract(root)
+        assert only.term == greedy.term
+        assert only.cost == pytest.approx(greedy.cost)
+
+    def test_k_larger_than_alternatives(self):
+        eg = EGraph()
+        root = eg.add_term(parse("a + b"))
+        results = extract_topk(eg, AstSizeCost(), root, 10)
+        # Only one derivation exists; no padding, no duplicates.
+        assert len(results) == 1
+
+    def test_terms_are_distinct(self):
+        eg, root = _merged_graph()
+        results = extract_topk(eg, AstSizeCost(), root, 4)
+        terms = [r.term for r in results]
+        assert len(terms) == len(set(terms))
+
+    def test_results_carry_chosen_nodes(self):
+        eg, root = _merged_graph()
+        results = extract_topk(eg, AstSizeCost(), root, 2)
+        assert results[0].chosen and results[1].chosen
+        assert eg.find(root) in results[0].chosen
+
+    def test_no_finite_derivation(self):
+        from repro.egraph import ShapeAnalysis
+        from repro.targets.cost import BaseCostModel
+
+        eg = EGraph(ShapeAnalysis({}))
+        root = eg.add_term(parse("dot(a, c)"))  # unknown call: infinite
+        assert extract_topk(eg, BaseCostModel(), root, 3) == []
+
+    def test_k_validation(self):
+        eg, root = _merged_graph()
+        with pytest.raises(ValueError, match="k >= 1"):
+            extract_topk(eg, AstSizeCost(), root, 0)
+
+    def test_deterministic_across_calls(self):
+        eg, root = _merged_graph()
+        first = [(str(r.term), r.cost) for r in extract_topk(eg, AstSizeCost(), root, 4)]
+        second = [(str(r.term), r.cost) for r in extract_topk(eg, AstSizeCost(), root, 4)]
+        assert first == second
+
+
+class TestPipelineTopK:
+    def test_candidates_through_session(self):
+        from repro.api import Limits, Session
+
+        session = Session(Limits(step_limit=3, node_limit=3000, time_limit=60))
+        result = session.optimize("memset", "blas", top_k=3)
+        assert len(result.candidates) >= 2
+        costs = [cost for _, cost in result.candidates]
+        assert costs == sorted(costs)
+        # The cheapest candidate is the recorded best solution.
+        assert result.candidates[0][0] == result.best_term
+        assert result.candidates[0][1] == pytest.approx(result.final.best_cost)
+
+    def test_candidates_serialized_in_report(self):
+        from repro.api import Limits, Session
+        from repro.api.types import OptimizationReport
+
+        limits = Limits(step_limit=3, node_limit=3000, time_limit=60, top_k=3)
+        session = Session(limits)
+        result = session.optimize("memset", "blas")
+        report = OptimizationReport.from_result(result, limits)
+        assert report.candidates is not None
+        rebuilt = OptimizationReport.from_json(report.to_json())
+        assert rebuilt.candidates == report.candidates
+        assert rebuilt.candidates[0]["cost"] == pytest.approx(
+            result.final.best_cost
+        )
+
+    def test_default_no_candidates(self):
+        from repro.api import Limits, Session
+
+        session = Session(Limits(step_limit=2, node_limit=2000, time_limit=60))
+        result = session.optimize("memset", "blas")
+        assert result.candidates == ()
+
+
+class TestPickFastest:
+    def test_picks_the_cheap_loop(self):
+        from repro.analysis.coverage import pick_fastest
+        from repro.ir import builders as b
+
+        # A 2-element build vs a 4096-element build: the small one must
+        # win by execution time.
+        slow = b.build(4096, b.lam(b.v(0) + 1))
+        fast = b.build(2, b.lam(b.v(0) + 1))
+        index, seconds = pick_fastest([slow, fast], {}, {}, repeats=2)
+        assert index == 1
+        assert seconds >= 0.0
+
+    def test_requires_candidates(self):
+        from repro.analysis.coverage import pick_fastest
+
+        with pytest.raises(ValueError):
+            pick_fastest([], {}, {})
