@@ -41,6 +41,7 @@ PARTIAL_RUN_KNOBS = (
     # under this knob is exactly what the nightly determinism workflow
     # wants in subset/ so it can diff against the canonical files.
     "REPRO_SEARCH_WORKERS",
+    "REPRO_APPLY_WORKERS",
     "REPRO_RULE_PROFILE",
 )
 

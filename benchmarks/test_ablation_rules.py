@@ -14,7 +14,8 @@ the paper's flagship derivation (vsum → dot, §V-A):
 
 import pytest
 
-from repro.egraph import EGraph, Runner, ShapeAnalysis, atom_classes, var_classes
+from repro.egraph import EGraph, ShapeAnalysis, atom_classes, var_classes
+from repro.saturation import Runner
 from repro.ir import parse
 from repro.ir.shapes import vector
 from repro.kernels import registry

@@ -1,0 +1,99 @@
+"""Memory profile artifact: peak RSS and snapshot sizes per pinned run.
+
+The flat-store worker protocol promises that per-step snapshot cost is
+one columnar memcpy in the parent and an O(1) attach in workers —
+nothing that scales with the number of live Python objects.  This
+module measures the observable side of that promise and writes it to
+``REPRO_MEM_REPORT`` (default ``mem_profile.json``, git-ignored; CI
+uploads it as an artifact so memory trends stay inspectable across
+commits without gating merges):
+
+* ``peak_rss_kb`` — the process high-water mark after the pinned
+  tier-1 runs (``ru_maxrss``);
+* per run: e-node / e-class counts and the byte size of the final
+  e-graph's frozen :class:`~repro.egraph.store.FlatStore` arrays —
+  what one published shared-memory segment costs at that graph size.
+
+The only hard assertions are sanity bounds: snapshots must be
+columnar-sized (tens of bytes per e-node, not the KBs per node that
+pickled object graphs cost), which would catch an accidental return to
+object serialization.
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import optimize_pair, selected_kernels
+
+#: (kernel, target) pairs profiled; the tier-1 marquee set.
+PAIRS = (
+    ("gemv", "blas"),
+    ("vsum", "blas"),
+    ("axpy", "blas"),
+)
+
+REPORT_SCHEMA = "repro-mem-profile/1"
+
+
+def _peak_rss_kb() -> int:
+    import resource
+
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # Linux reports KB; macOS reports bytes.
+    if sys.platform == "darwin":
+        return usage.ru_maxrss // 1024
+    return usage.ru_maxrss
+
+
+@pytest.fixture(scope="module")
+def mem_report():
+    selected = set(selected_kernels())
+    pairs = [(k, t) for k, t in PAIRS if k in selected]
+    if not pairs:
+        pytest.skip("REPRO_KERNELS excludes every profiled kernel")
+    entries = {}
+    for kernel, target in pairs:
+        result = optimize_pair(kernel, target)
+        egraph = result.egraph
+        entry = {
+            "enodes": egraph.num_nodes,
+            "eclasses": egraph.num_classes,
+        }
+        if egraph.is_flat:
+            store = egraph.freeze()
+            entry["snapshot_bytes"] = store.nbytes
+            entry["snapshot_bytes_per_enode"] = round(
+                store.nbytes / max(1, egraph.num_nodes), 1
+            )
+        entries[f"{kernel}/{target}"] = entry
+    report = {
+        "schema": REPORT_SCHEMA,
+        "peak_rss_kb": _peak_rss_kb(),
+        "entries": entries,
+    }
+    report_path = Path(os.environ.get("REPRO_MEM_REPORT", "mem_profile.json"))
+    report_path.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\n[mem] profile written to {report_path}")
+    return report
+
+
+def test_peak_rss_recorded(mem_report):
+    assert mem_report["peak_rss_kb"] > 0
+
+
+def test_snapshots_are_columnar_sized(mem_report):
+    """A snapshot is nine int64 arrays — order tens of bytes per
+    e-node.  Hundreds would mean object-graph serialization crept back
+    into the worker protocol."""
+    for key, entry in mem_report["entries"].items():
+        if "snapshot_bytes" not in entry:
+            pytest.skip("suite running with REPRO_FLAT_STORE=0")
+        assert entry["snapshot_bytes"] > 0, key
+        assert entry["snapshot_bytes_per_enode"] < 500, (
+            f"{key}: {entry['snapshot_bytes_per_enode']} bytes/e-node — "
+            "snapshot no longer columnar?"
+        )

@@ -13,10 +13,11 @@ Run:  python examples/fig1_div_shift.py
 
 import math
 
-from repro.egraph import EGraph, Extractor, Runner
+from repro.egraph import EGraph
 from repro.egraph.dot import to_dot
-from repro.egraph.extract import CostModel
 from repro.egraph.rewrite import Match, dynamic_rule
+from repro.extraction import CostModel, GreedyExtractor as Extractor
+from repro.saturation import Runner
 from repro.ir import parse, pretty
 from repro.ir.terms import Call, Const
 from repro.rules.dsl import pcall, pconst, pv

@@ -16,6 +16,9 @@ all resolve through it, and the environment knobs
 * ``REPRO_SEARCH_WORKERS`` — process-pool fan-out of rule searches
   within each saturation step (1 = serial; results are byte-identical
   either way, see :mod:`repro.saturation.parallel`),
+* ``REPRO_APPLY_WORKERS`` — process-pool fan-out of the apply phase:
+  workers precompute pure appliers' result terms, the parent commits
+  them in canonical order (1 = serial; byte-identical either way),
 * ``REPRO_RULE_PROFILE`` — path to a recorded ``--rule-profile`` JSON
   used to prune historically wasteful rules before the run
   (:mod:`repro.saturation.pruning`),
@@ -73,6 +76,7 @@ class Limits:
     rule_profile: Optional[str] = None
     extractor: str = "greedy"
     top_k: int = 1
+    apply_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.step_limit < 0:
@@ -89,6 +93,10 @@ class Limits:
         if self.search_workers < 1:
             raise ValueError(
                 f"search_workers must be >= 1, got {self.search_workers}"
+            )
+        if self.apply_workers < 1:
+            raise ValueError(
+                f"apply_workers must be >= 1, got {self.apply_workers}"
             )
         if self.extractor not in EXTRACTOR_NAMES:
             raise ValueError(
@@ -114,6 +122,9 @@ class Limits:
             rule_profile=env.get("REPRO_RULE_PROFILE") or None,
             extractor=env.get("REPRO_EXTRACTOR", base.extractor),
             top_k=int(env.get("REPRO_TOP_K", base.top_k)),
+            apply_workers=int(
+                env.get("REPRO_APPLY_WORKERS", base.apply_workers)
+            ),
         )
 
     def override(
@@ -126,8 +137,12 @@ class Limits:
         rule_profile: Optional[str] = None,
         extractor: Optional[str] = None,
         top_k: Optional[int] = None,
+        apply_workers: Optional[int] = None,
     ) -> "Limits":
-        """A copy with any non-``None`` field replaced."""
+        """A copy with any non-``None`` field replaced.
+
+        New knobs append at the end of the signature: several callers
+        pass the older ones positionally."""
         updates = {
             name: value
             for name, value in (
@@ -139,6 +154,7 @@ class Limits:
                 ("rule_profile", rule_profile),
                 ("extractor", extractor),
                 ("top_k", top_k),
+                ("apply_workers", apply_workers),
             )
             if value is not None
         }
@@ -155,6 +171,7 @@ class Limits:
             "rule_profile": self.rule_profile,
             "extractor": self.extractor,
             "top_k": self.top_k,
+            "apply_workers": self.apply_workers,
         }
 
     def to_dict(self) -> dict:
@@ -174,13 +191,15 @@ class Limits:
             rule_profile=data.get("rule_profile") or None,
             extractor=str(data.get("extractor", "greedy")),
             top_k=int(data.get("top_k", 1)),
+            apply_workers=int(data.get("apply_workers", 1)),
         )
 
     def key(self) -> tuple:
         """Hashable cache-key fragment.
 
-        ``search_workers`` is deliberately *excluded*: parallel search
-        is guaranteed byte-identical to serial (matches are merged in
+        ``search_workers`` and ``apply_workers`` are deliberately
+        *excluded*: parallel search and apply are guaranteed
+        byte-identical to serial (matches are merged and committed in
         canonical rule order), so a cached serial result answers a
         parallel request and vice versa.  ``rule_profile`` changes the
         rule set, hence the results — but only joins the key when set,

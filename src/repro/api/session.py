@@ -185,10 +185,11 @@ class Session:
         rule_profile: Optional[str] = None,
         extractor: Optional[str] = None,
         top_k: Optional[int] = None,
+        apply_workers: Optional[int] = None,
     ) -> Limits:
         return self.limits.override(step_limit, node_limit, time_limit,
                                     scheduler, search_workers, rule_profile,
-                                    extractor, top_k)
+                                    extractor, top_k, apply_workers)
 
     @property
     def stats(self) -> dict:
@@ -213,6 +214,7 @@ class Session:
         rule_profile: Optional[str] = None,
         extractor: Optional[str] = None,
         top_k: Optional[int] = None,
+        apply_workers: Optional[int] = None,
     ) -> "OptimizationResult":
         """Optimize one kernel for one target, with result caching.
 
@@ -235,6 +237,7 @@ class Session:
             rule_profile=rule_profile,
             extractor=extractor,
             top_k=top_k,
+            apply_workers=apply_workers,
         )
 
     def optimize_term(
@@ -252,13 +255,14 @@ class Session:
         rule_profile: Optional[str] = None,
         extractor: Optional[str] = None,
         top_k: Optional[int] = None,
+        apply_workers: Optional[int] = None,
     ) -> "OptimizationResult":
         """Optimize a bare IR term (see :func:`repro.pipeline.optimize_term`)."""
         from ..pipeline import optimize_term as _pipeline_optimize_term
 
         limits = self.resolve_limits(step_limit, node_limit, time_limit,
                                      scheduler, search_workers, rule_profile,
-                                     extractor, top_k)
+                                     extractor, top_k, apply_workers)
         named = isinstance(target, str)
         target_obj = self.target(target) if named else target
         key = self._term_key(term, symbol_shapes, target, limits, kernel_name)
@@ -470,7 +474,7 @@ class Session:
         limits = self.resolve_limits(
             request.step_limit, request.node_limit, request.time_limit,
             request.scheduler, request.search_workers, request.rule_profile,
-            request.extractor, request.top_k,
+            request.extractor, request.top_k, request.apply_workers,
         )
         payload: dict = {"target": request.target, "limits": limits.to_dict()}
         if request.kernel is not None:

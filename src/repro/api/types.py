@@ -80,6 +80,7 @@ class OptimizationRequest:
     time_limit: Optional[float] = None
     scheduler: Optional[str] = None  # "simple" | "backoff"
     search_workers: Optional[int] = None  # parallel e-matching fan-out
+    apply_workers: Optional[int] = None  # parallel apply-planning fan-out
     rule_profile: Optional[str] = None  # telemetry profile for pruning
     extractor: Optional[str] = None  # "greedy" | "dag"
     top_k: Optional[int] = None  # enumerate k cheapest distinct solutions

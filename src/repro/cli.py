@@ -123,6 +123,13 @@ def _parser() -> argparse.ArgumentParser:
                              "fork-shared worker processes (default: "
                              "REPRO_SEARCH_WORKERS or 1 = serial; solutions "
                              "are byte-identical either way)")
+    parser.add_argument("--apply-workers", type=_positive_int,
+                        default=None, metavar="N",
+                        help="precompute pure rules' right-hand terms across "
+                             "N fork-shared worker processes before the "
+                             "deterministic serial commit (default: "
+                             "REPRO_APPLY_WORKERS or 1 = serial; solutions "
+                             "are byte-identical either way)")
     parser.add_argument("--prune-from-profile", type=Path, default=None,
                         metavar="PATH",
                         help="before each run, drop rules a previously "
@@ -313,6 +320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.search_workers,
         str(args.prune_from_profile) if args.prune_from_profile else None,
         args.extractor, args.top_k,
+        apply_workers=args.apply_workers,
     )
     session = Session(limits, cache_dir=args.cache_dir)
     all_reports: List = []

@@ -17,10 +17,33 @@ Extras needed by LIAR:
   extracting them;
 * ``known_sizes``, the set of array sizes present in the graph, used to
   instantiate the free size variable of ``R-INTRO-INDEXBUILD``.
+
+Storage layout — the *slotted* store (default):
+
+Every e-node is assigned a dense integer **slot** when it is first
+hash-consed.  ``_slot_form[slot]`` tracks the node's *current*
+canonical form (its live hashcons key) and ``_slot_class[slot]`` its
+class; per-class parent lists hold plain slot ints instead of
+``(ENode, class_id)`` pairs.  This buys two things:
+
+* **complete hashcons repair** — :meth:`rebuild` pops a parent's
+  *current* memo key (``_slot_form``), not the form recorded when the
+  parent was registered, so repair can no longer miss entries that
+  were re-keyed by an earlier merge and the O(memo) safety sweep the
+  object store needed every rebuild is gone;
+* **cheap columnar freezing** — :meth:`freeze` exports the graph as
+  numpy record arrays (:class:`repro.egraph.store.FlatStore`) that
+  parallel search workers attach to through shared memory instead of
+  receiving a pickled object graph.
+
+``REPRO_FLAT_STORE=0`` selects the previous per-class object-graph
+representation (kept for one release; runs are byte-identical either
+way, which ``tests/egraph/test_store.py`` asserts).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple as TupleT
 
@@ -29,6 +52,11 @@ from .enode import ENode, enode_to_term_shallow, term_to_parts
 from .unionfind import UnionFind
 
 __all__ = ["EGraph", "EClass", "ClassRef", "Analysis"]
+
+
+def _flat_store_default() -> bool:
+    """The slotted flat store is on unless ``REPRO_FLAT_STORE=0``."""
+    return os.environ.get("REPRO_FLAT_STORE", "1").strip() != "0"
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,11 +94,17 @@ class EClass:
     order is deterministic across processes (a plain set would iterate
     in PYTHONHASHSEED-dependent order, making saturation runs — and
     hence extracted solutions — irreproducible).
+
+    ``parents`` holds slot ints under the slotted store (the default;
+    resolve through ``EGraph._slot_form`` / ``_slot_class``) and
+    ``(parent ENode, parent class id)`` pairs under the legacy object
+    store (``REPRO_FLAT_STORE=0``).  Consumers outside this module
+    should use :meth:`EGraph.parents_of`, which hides the difference.
     """
 
     class_id: int
     nodes: Dict[ENode, None] = field(default_factory=dict)
-    parents: List[TupleT[ENode, int]] = field(default_factory=list)
+    parents: List = field(default_factory=list)
     data: object = None
 
 
@@ -85,7 +119,20 @@ class EGraph:
       are in the same class.
     """
 
-    def __init__(self, analysis: Optional[Analysis] = None) -> None:
+    def __init__(
+        self,
+        analysis: Optional[Analysis] = None,
+        *,
+        flat: Optional[bool] = None,
+    ) -> None:
+        # Slotted flat store (default) vs legacy object store; decided
+        # once at construction (REPRO_FLAT_STORE=0 opts out) because
+        # the two parent representations cannot be mixed mid-graph.
+        self._flat = _flat_store_default() if flat is None else bool(flat)
+        # slot -> the e-node's current canonical form (live memo key)
+        self._slot_form: List[ENode] = []
+        # slot -> the e-node's class id (kept find-compressed by repair)
+        self._slot_class: List[int] = []
         self._uf = UnionFind()
         self._memo: Dict[ENode, int] = {}
         self._classes: Dict[int, EClass] = {}
@@ -156,6 +203,39 @@ class EGraph:
         """True when classes ``a`` and ``b`` have been merged."""
         return self._uf.same(a, b)
 
+    @property
+    def is_flat(self) -> bool:
+        """Whether this graph uses the slotted flat store (and hence
+        supports :meth:`freeze`)."""
+        return self._flat
+
+    def has_class(self, class_id: int) -> bool:
+        """True when ``class_id`` is a live canonical class id."""
+        return class_id in self._classes
+
+    def parents_of(self, class_id: int) -> List[int]:
+        """Canonical class ids of the parents of ``class_id``'s class
+        (classes containing an e-node with a child in the class).  May
+        contain duplicates; callers canonicalize-and-dedup anyway."""
+        eclass = self._classes.get(self._uf.find(class_id))
+        if eclass is None:
+            return []
+        find = self._uf.find
+        if self._flat:
+            slot_class = self._slot_class
+            return [find(slot_class[slot]) for slot in eclass.parents]
+        return [find(parent_class) for _node, parent_class in eclass.parents]
+
+    def _parent_entries(
+        self, eclass: EClass
+    ) -> List[TupleT[ENode, int]]:
+        """The class's parents as ``(current form, class id)`` pairs,
+        independent of store mode (internal; analysis propagation)."""
+        if self._flat:
+            slot_form, slot_class = self._slot_form, self._slot_class
+            return [(slot_form[slot], slot_class[slot]) for slot in eclass.parents]
+        return list(eclass.parents)
+
     def pop_dirty(self) -> Set[int]:
         """Canonical ids of every class created or merged since the
         previous call, clearing the log.  Consumed once per saturation
@@ -181,8 +261,17 @@ class EGraph:
         eclass.nodes[enode] = None
         self._classes[class_id] = eclass
         self._memo[enode] = class_id
-        for child in enode.children:
-            self._classes[self._uf.find(child)].parents.append((enode, class_id))
+        if self._flat:
+            slot = len(self._slot_form)
+            self._slot_form.append(enode)
+            self._slot_class.append(class_id)
+            for child in enode.children:
+                self._classes[self._uf.find(child)].parents.append(slot)
+        else:
+            for child in enode.children:
+                self._classes[self._uf.find(child)].parents.append(
+                    (enode, class_id)
+                )
         if enode.op in ("build", "ifold"):
             self.known_sizes.add(enode.payload)  # type: ignore[arg-type]
         if self._analysis is not None:
@@ -235,19 +324,40 @@ class EGraph:
         """Restore the congruence invariant; returns the number of
         congruence-induced unions performed."""
         unions = 0
-        while True:
+        if self._flat:
+            # Slot-based repair pops each parent's *current* memo key
+            # (``_slot_form``), so it cannot miss entries re-keyed by an
+            # earlier merge — the O(memo) sweep the object store needed
+            # as a safety net every rebuild is unnecessary here.
+            # ``REPRO_EGRAPH_CHECK=1`` re-enables it as an assertion.
             while self._pending:
                 todo = {self._uf.find(class_id) for class_id in self._pending}
                 self._pending.clear()
                 for class_id in todo:
-                    unions += self._repair(class_id)
-            # Parent-list repair can miss hashcons entries whose stored
-            # form predates earlier merges; sweep the memo so every key
-            # is canonical (egg's post-rebuild invariant).  Sweeping can
-            # itself discover congruences, hence the outer loop.
-            unions += self._sweep_memo()
-            if not self._pending:
-                break
+                    unions += self._repair_flat(class_id)
+            if os.environ.get("REPRO_EGRAPH_CHECK", "").strip() == "1":
+                swept = self._sweep_memo()
+                assert not swept and not self._pending, (
+                    "flat-store repair left stale hashcons entries"
+                )
+        else:
+            while True:
+                while self._pending:
+                    todo = {
+                        self._uf.find(class_id) for class_id in self._pending
+                    }
+                    self._pending.clear()
+                    for class_id in todo:
+                        unions += self._repair(class_id)
+                # Legacy object store: parent-list repair pops the form
+                # *recorded at registration*, which can miss hashcons
+                # entries re-keyed by an earlier merge; sweep the memo
+                # so every key is canonical (egg's post-rebuild
+                # invariant).  Sweeping can itself discover
+                # congruences, hence the outer loop.
+                unions += self._sweep_memo()
+                if not self._pending:
+                    break
         if self._analysis is not None:
             self._propagate_analysis()
         self.generation += 1
@@ -309,6 +419,65 @@ class EGraph:
                 self._memo[canonical] = self._uf.find(parent_class)
         return unions
 
+    def _repair_flat(self, class_id: int) -> int:
+        """Slot-based variant of :meth:`_repair`.
+
+        The crucial difference is pass 1: it pops ``_slot_form[slot]``
+        — the parent's *current* canonical form, i.e. the key that is
+        actually in the hashcons right now — where the object store
+        pops the form recorded when the parent was registered.  A form
+        re-keyed by an earlier merge is therefore always found and
+        removed, closing the repair gap that previously required an
+        O(memo) sweep after every rebuild.
+        """
+        unions = 0
+        class_id = self._uf.find(class_id)
+        eclass = self._classes.get(class_id)
+        if eclass is None:
+            return 0
+        old_parents = eclass.parents
+        # Take the parent list out before any merging below: if this
+        # class itself gets merged mid-repair, the surviving class's
+        # other parents must not be clobbered.
+        eclass.parents = []
+        slot_form, slot_class = self._slot_form, self._slot_class
+        # Pass 1: refresh the hashcons for every parent slot.
+        for slot in old_parents:
+            current = slot_form[slot]
+            self._memo.pop(current, None)
+            canonical = self.canonicalize(current)
+            refreshed = self._uf.find(slot_class[slot])
+            slot_form[slot] = canonical
+            slot_class[slot] = refreshed
+            self._memo[canonical] = refreshed
+        # Pass 2: merge classes of parents that became congruent; the
+        # first slot per canonical form survives as the parent entry.
+        # Dropped duplicates stay congruent to the keeper forever (their
+        # classes are merged here, and congruent forms canonicalize
+        # identically), so the keeper maintains the shared memo key on
+        # behalf of all of them.
+        new_parents: Dict[ENode, int] = {}
+        for slot in old_parents:
+            canonical = slot_form[slot]
+            previous = new_parents.get(canonical)
+            if previous is not None:
+                if not self._uf.same(slot_class[previous], slot_class[slot]):
+                    self.merge(slot_class[previous], slot_class[slot])
+                    unions += 1
+                continue
+            new_parents[canonical] = slot
+        survivor = self._classes.get(self._uf.find(class_id))
+        if survivor is not None:
+            survivor.parents.extend(new_parents.values())
+            survivor.nodes = {
+                self.canonicalize(node): None for node in survivor.nodes
+            }
+            for slot in new_parents.values():
+                refreshed = self._uf.find(slot_class[slot])
+                slot_class[slot] = refreshed
+                self._memo[slot_form[slot]] = refreshed
+        return unions
+
     def _propagate_analysis(self) -> None:
         """Re-run ``make`` upwards from classes whose data changed."""
         assert self._analysis is not None
@@ -323,7 +492,7 @@ class EGraph:
                 eclass = self._classes.get(class_id)
                 if eclass is None:
                     continue
-                for parent_node, parent_class in list(eclass.parents):
+                for parent_node, parent_class in self._parent_entries(eclass):
                     parent_class = self._uf.find(parent_class)
                     parent = self._classes.get(parent_class)
                     if parent is None:
@@ -338,6 +507,25 @@ class EGraph:
     # ------------------------------------------------------------------
     # Snapshotting (parallel search, pickling)
     # ------------------------------------------------------------------
+
+    def freeze(self):
+        """Export the graph as a read-only columnar snapshot
+        (:class:`repro.egraph.store.FlatStore`).
+
+        The snapshot is what parallel search workers consume: the
+        parent publishes it once per step through POSIX shared memory
+        and workers *attach* to the arrays instead of unpickling an
+        object graph, so per-step snapshot cost stops scaling with the
+        number of live Python objects.  Requires the slotted store.
+        """
+        if not self._flat:
+            raise RuntimeError(
+                "freeze() requires the slotted flat store "
+                "(unset REPRO_FLAT_STORE=0)"
+            )
+        from .store import FlatStore
+
+        return FlatStore.from_egraph(self)
 
     def prepare_search(self) -> None:
         """Warm the derived search indexes (op index, smallest-term

@@ -1,9 +1,9 @@
 """The extraction engine subsystem.
 
 Everything that turns a saturated e-graph into concrete solutions
-lives here (:mod:`repro.egraph.extract` remains as a thin
-compatibility shim, mirroring how ``repro.egraph.runner`` shims the
-saturation engine):
+lives here (the old ``repro.egraph.extract`` shim module is gone; its
+names still resolve off ``repro.egraph`` with a deprecation warning
+for one release):
 
 * :mod:`repro.extraction.base` — the :class:`CostModel` seam, the
   :class:`Extractor` protocol, :class:`ExtractionResult`, and the

@@ -120,7 +120,8 @@ class DagExtractor(Extractor):
         egraph = self.egraph
         for passes in range(_MAX_PASSES):
             changed_classes = []
-            for class_id, eclass in list(egraph._classes.items()):
+            for eclass in list(egraph.classes()):
+                class_id = eclass.class_id
                 current = self._choices.get(class_id)
                 best_cost = current[0] if current is not None else INFINITY
                 best: Optional[TupleT[float, ENode, Dict[int, float]]] = None

@@ -72,7 +72,8 @@ class GreedyExtractor(Extractor):
                 raise FixpointDivergence(
                     self.name, self.max_iterations, sorted(self._last_changed)
                 )
-            for class_id, eclass in list(egraph._classes.items()):
+            for eclass in list(egraph.classes()):
+                class_id = eclass.class_id
                 best_cost, best_node = costs.get(class_id, (INFINITY, None))
                 for enode in eclass.nodes:
                     cost = self._enode_cost(class_id, enode)

@@ -81,7 +81,8 @@ class TopKEnumerator:
             lists[class_id] = ()
         for iteration in range(self.max_iterations):
             changed_classes = []
-            for class_id, eclass in list(egraph._classes.items()):
+            for eclass in list(egraph.classes()):
+                class_id = eclass.class_id
                 fresh = self._class_list(class_id, eclass)
                 if fresh != lists.get(class_id, ()):
                     lists[class_id] = fresh

@@ -14,7 +14,7 @@ from typing import Dict, Optional
 from .api.limits import Limits
 from .egraph.analysis import ShapeAnalysis
 from .egraph.egraph import EGraph
-from .egraph.runner import RunResult, Runner, StepRecord
+from .saturation.runner import RunResult, Runner, StepRecord
 from .ir.terms import Term
 from .kernels.base import Kernel
 from .targets.base import Target
@@ -91,6 +91,7 @@ def optimize_term(
     time_limit: float = DEFAULT_LIMITS["time_limit"],
     scheduler: str = DEFAULT_LIMITS["scheduler"],
     search_workers: int = DEFAULT_LIMITS["search_workers"],
+    apply_workers: int = DEFAULT_LIMITS["apply_workers"],
     rule_profile: Optional[str] = DEFAULT_LIMITS["rule_profile"],
     extractor: str = DEFAULT_LIMITS["extractor"],
     top_k: int = DEFAULT_LIMITS["top_k"],
@@ -99,7 +100,9 @@ def optimize_term(
     """Optimize a bare IR term for ``target``.
 
     ``search_workers > 1`` fans each step's rule searches across a
-    fork-shared process pool (byte-identical solutions, see
+    fork-shared process pool attached to shared-memory e-graph
+    snapshots, and ``apply_workers > 1`` precomputes pure rules' result
+    terms on the same pool (byte-identical solutions either way, see
     :mod:`repro.saturation.parallel`); ``rule_profile`` prunes rules a
     recorded telemetry profile says are wasteful for this kernel
     (:mod:`repro.saturation.pruning`); ``extractor`` selects the
@@ -127,6 +130,7 @@ def optimize_term(
         time_limit=time_limit,
         scheduler=scheduler,
         search_workers=search_workers,
+        apply_workers=apply_workers,
         extractor=extractor,
     )
     run = runner.run(root, cost_model=target.cost_model)
@@ -160,6 +164,7 @@ def optimize(
     time_limit: float = DEFAULT_LIMITS["time_limit"],
     scheduler: str = DEFAULT_LIMITS["scheduler"],
     search_workers: int = DEFAULT_LIMITS["search_workers"],
+    apply_workers: int = DEFAULT_LIMITS["apply_workers"],
     rule_profile: Optional[str] = DEFAULT_LIMITS["rule_profile"],
     extractor: str = DEFAULT_LIMITS["extractor"],
     top_k: int = DEFAULT_LIMITS["top_k"],
@@ -175,6 +180,7 @@ def optimize(
         time_limit=time_limit,
         scheduler=scheduler,
         search_workers=search_workers,
+        apply_workers=apply_workers,
         rule_profile=rule_profile,
         extractor=extractor,
         top_k=top_k,

@@ -14,16 +14,20 @@ Everything that drives an equality-saturation run lives here:
   per-step ``PhaseTimings``, surfaced in Session JSON reports and the
   CLI's ``--rule-profile`` dump;
 * :mod:`repro.saturation.parallel` — fork-pool fan-out of each step's
-  rule searches (``Limits(search_workers=N)`` / ``REPRO_SEARCH_WORKERS``
-  / ``-w``), byte-identical to serial by construction;
+  rule searches over shared-memory e-graph snapshots
+  (``Limits(search_workers=N)`` / ``REPRO_SEARCH_WORKERS`` / ``-w``)
+  and of pure rules' apply planning (``Limits(apply_workers=N)`` /
+  ``REPRO_APPLY_WORKERS`` / ``--apply-workers``), byte-identical to
+  serial by construction;
 * :mod:`repro.saturation.pruning` — telemetry-driven rule pruning from
   a recorded ``--rule-profile`` JSON (``Limits(rule_profile=...)`` /
   ``REPRO_RULE_PROFILE`` / ``--prune-from-profile``), provenance-aware
   by default (rules observed contributing to solutions are never
   pruned; see :mod:`repro.extraction.provenance`).
 
-:mod:`repro.egraph.runner` remains as a thin compatibility shim over
-this package.
+The old ``repro.egraph.runner`` shim module is gone; its names still
+resolve off ``repro.egraph`` with a deprecation warning for one
+release.
 """
 
 from .ematch import IncrementalMatcher, parent_closure, search_rule

@@ -54,11 +54,7 @@ def parent_closure(egraph: EGraph, seeds: Set[int]) -> Set[int]:
         if class_id in closure:
             continue
         closure.add(class_id)
-        eclass = egraph._classes.get(class_id)
-        if eclass is None:
-            continue
-        for _parent_node, parent_class in eclass.parents:
-            parent_id = egraph.find(parent_class)
+        for parent_id in egraph.parents_of(class_id):
             if parent_id not in closure:
                 stack.append(parent_id)
     return closure
@@ -89,7 +85,7 @@ def search_rule(
         if deadline is not None and index % _DEADLINE_STRIDE == 0:
             if time.perf_counter() > deadline:
                 break
-        if class_id not in egraph._classes:
+        if not egraph.has_class(class_id):
             continue  # merged away since the op index was built
         if restrict is not None and egraph.find(class_id) not in restrict:
             continue

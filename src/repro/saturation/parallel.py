@@ -1,4 +1,4 @@
-"""Parallel e-matching: fan rule searches across a process pool.
+"""Parallel e-matching and apply planning over a shared e-graph.
 
 Within one saturation step, every rule's search is an independent,
 read-only query of the e-graph — no rule's matches depend on another
@@ -8,32 +8,54 @@ cost of saturation on every tier-1 kernel; see
 the same way :meth:`repro.api.Session.optimize_many` already
 parallelizes across *runs*.
 
-The mechanism mirrors ``optimize_many``'s: on platforms with the
-``fork`` start method, worker processes inherit the parent's e-graph
-and rule list by copy-on-write at the moment the pool is created — no
-pickling of the (closure-carrying) rule objects is ever needed.  The
-pool is rebuilt each step because the e-graph changes between steps;
-fork is cheap relative to a multi-second search phase.  Workers send
-back plain :class:`~repro.egraph.rewrite.Match` lists (frozen
-dataclasses over terms and class ids, cheaply picklable).
+Worker protocol (slotted flat store, the default): one fork-based
+process pool is created per run — workers inherit the (closure-
+carrying) rule list by copy-on-write once, at pool creation.  Each
+step the parent freezes the e-graph into a columnar
+:class:`~repro.egraph.store.FlatStore` and publishes it through a
+single ``multiprocessing.shared_memory`` segment (only when the graph
+actually changed); tasks carry a ``(segment name, version)`` token and
+workers *attach* to the arrays — per-step snapshot transfer is O(1) in
+the number of live Python objects, instead of re-forking or pickling
+the object graph every step.  Superseded segments are unlinked by the
+parent; workers' existing mappings survive the unlink (POSIX) and are
+dropped when the next token arrives.
 
-Determinism guarantee: workers only *find* matches.  Scheduling
-decisions, dedup against already-applied matches, match admission, and
-application all happen in the parent, in canonical rule order, exactly
-as the serial engine does — and a rule's search output is a pure
-function of (e-graph, rule, restriction).  Solutions extracted from a
-parallel run are therefore byte-identical to a serial run's (the
-nightly CI workflow diffs them against the canonical artifacts).
+Under ``REPRO_FLAT_STORE=0`` (legacy object store) the previous
+protocol is kept: a fresh pool is forked each step and workers inherit
+the whole e-graph by copy-on-write.
+
+**Apply planning**: rules whose appliers are pure functions of the
+match (``Rule.snapshot_pure`` — pattern rules that never extract, plus
+beta reduction) can have their result terms computed in workers while
+the parent is idle-waiting anyway.  :meth:`ParallelSearch.plan_apply`
+partitions the step's admitted pure matches per rule, computes each
+partition's terms concurrently, and hands the parent a ``match index →
+terms`` plan; the parent then commits *every* match — planned terms
+and impure appliers alike — in canonical admission order.  Unions
+therefore happen in exactly the serial order, which is what keeps
+parallel runs byte-identical.
+
+Determinism guarantee: workers only *find* matches and *precompute*
+pure result terms.  Scheduling decisions, dedup against already-
+applied matches, match admission, and every e-graph mutation happen in
+the parent, in canonical rule order, exactly as the serial engine does
+— and both a rule's search output and a pure applier's output are pure
+functions of their inputs.  Solutions extracted from a parallel run
+are therefore byte-identical to a serial run's (the nightly CI
+workflow diffs them against the canonical artifacts).
 
 Serial fallback: ``search_workers <= 1``, platforms without ``fork``
 (Windows, macOS spawn-default sandboxes), pools that cannot be
 constructed (fd limits), or a pool that breaks mid-step
 (``BrokenProcessPool``, e.g. an OOM-killed worker) all degrade to the
-in-process search path; a broken pool additionally pins the run serial
-so a flaky environment does not re-fork every step.
+in-process search path; a broken pool additionally pins the rest of
+the run serial — search *and* apply — so a flaky environment does not
+re-fork every step.
 
-Select via ``Limits(search_workers=N)``, ``REPRO_SEARCH_WORKERS``, or
-the CLI's ``-w/--search-workers``.
+Select via ``Limits(search_workers=N, apply_workers=N)``,
+``REPRO_SEARCH_WORKERS`` / ``REPRO_APPLY_WORKERS``, or the CLI's
+``-w/--search-workers`` and ``--apply-workers``.
 """
 
 from __future__ import annotations
@@ -46,6 +68,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..egraph.egraph import EGraph
 from ..egraph.rewrite import Match, Rule
+from ..ir.terms import Term
 from .ematch import search_rule
 
 __all__ = [
@@ -62,9 +85,18 @@ SearchTask = Tuple[int, Optional[FrozenSet[int]]]
 #: One executed rule search: (per-rule search seconds, matches found).
 SearchOutcome = Tuple[float, List[Match]]
 
+#: One apply-planning entry: (match index, rule index, match).
+ApplyEntry = Tuple[int, int, Match]
+
 # Worker-side state, inherited through fork.  Set in the parent
 # immediately before the pool is created; only ever read in workers.
-_WORKER_STATE: Optional[Tuple[EGraph, Sequence[Rule]]] = None
+# ``egraph`` is None under the flat-store protocol (workers attach to
+# published snapshots instead).
+_WORKER_STATE: Optional[Tuple[Optional[EGraph], Sequence[Rule]]] = None
+
+# Worker-side snapshot cache: (token, attached store, snapshot view).
+# One entry — a fresh token supersedes (and unmaps) the previous one.
+_WORKER_SNAPSHOT: Optional[Tuple[tuple, object, object]] = None
 
 
 def fork_available() -> bool:
@@ -82,15 +114,42 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _worker_egraph(token: Optional[tuple]):
+    """The e-graph this worker should search: the fork-inherited object
+    graph (legacy) or the attached snapshot named by ``token``."""
+    assert _WORKER_STATE is not None, "search worker forked without state"
+    egraph, _rules = _WORKER_STATE
+    if token is None:
+        assert egraph is not None
+        return egraph
+    global _WORKER_SNAPSHOT
+    if _WORKER_SNAPSHOT is not None and _WORKER_SNAPSHOT[0] == token:
+        return _WORKER_SNAPSHOT[2]
+    from ..egraph.store import FlatStore, SnapshotEGraph
+
+    if _WORKER_SNAPSHOT is not None:
+        _token, old_store, old_snapshot = _WORKER_SNAPSHOT
+        _WORKER_SNAPSHOT = None
+        old_snapshot.dispose()
+        del old_snapshot
+        old_store.detach()
+    store = FlatStore.attach(token[0])
+    snapshot = SnapshotEGraph(store)
+    _WORKER_SNAPSHOT = (token, store, snapshot)
+    return snapshot
+
+
 def _search_chunk(
-    chunk: List[SearchTask], deadline: Optional[float]
+    token: Optional[tuple],
+    chunk: List[SearchTask],
+    deadline: Optional[float],
 ) -> List[Tuple[int, float, List[Match]]]:
     """Worker entry point: run a batch of rule searches against the
-    forked e-graph snapshot and return (rule_index, seconds, matches)
-    triples.  ``deadline`` is a ``perf_counter`` value — comparable
-    across fork because ``CLOCK_MONOTONIC`` is system-wide."""
-    assert _WORKER_STATE is not None, "search worker forked without state"
-    egraph, rules = _WORKER_STATE
+    snapshot and return (rule_index, seconds, matches) triples.
+    ``deadline`` is a ``perf_counter`` value — comparable across fork
+    because ``CLOCK_MONOTONIC`` is system-wide."""
+    egraph = _worker_egraph(token)
+    _egraph, rules = _WORKER_STATE
     results = []
     for rule_index, restrict in chunk:
         started = time.perf_counter()
@@ -99,18 +158,54 @@ def _search_chunk(
     return results
 
 
+def _apply_chunk(
+    entries: List[ApplyEntry], deadline: Optional[float]
+) -> Tuple[float, List[Tuple[int, List[Term]]]]:
+    """Worker entry point for apply planning: compute the result terms
+    of pure appliers.  Pure appliers never read the e-graph (enforced
+    by ``Rule.snapshot_pure``), so no snapshot is needed — the rule
+    list arrived through fork.  Entries past the deadline are skipped;
+    the parent computes them inline with identical results."""
+    assert _WORKER_STATE is not None, "apply worker forked without state"
+    _egraph, rules = _WORKER_STATE
+    started = time.perf_counter()
+    planned: List[Tuple[int, List[Term]]] = []
+    for match_index, rule_index, match in entries:
+        if deadline is not None and time.perf_counter() > deadline:
+            break
+        terms = list(rules[rule_index].applier(None, match))
+        planned.append((match_index, terms))
+    return time.perf_counter() - started, planned
+
+
+def _release_segment(shm) -> None:
+    """Unlink a published segment, then drop this process's mapping.
+
+    Unlink comes first: a ``close()`` that fails because buffer views
+    are still alive (``BufferError``) must not leave the name behind in
+    ``/dev/shm`` — the mapping itself is reclaimed at process exit."""
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    try:
+        shm.close()
+    except BufferError:
+        pass
+
+
 def _partition(
-    tasks: Sequence[SearchTask], weights: Sequence[float], buckets: int
-) -> List[List[SearchTask]]:
+    tasks: Sequence, weights: Sequence[float], buckets: int
+) -> List[List]:
     """Longest-processing-time assignment of tasks to ``buckets``.
 
-    ``weights[i]`` estimates the cost of searching rule ``i`` (the
-    rule's cumulative ``search_seconds`` telemetry from earlier steps),
-    so one historically expensive rule does not serialize a whole
-    worker behind a pile of cheap ones.  Never-searched rules weigh a
-    small constant, which spreads them round-robin."""
+    ``weights[i]`` estimates the cost of task ``i`` (for rule searches,
+    the rule's cumulative ``search_seconds`` telemetry from earlier
+    steps), so one historically expensive rule does not serialize a
+    whole worker behind a pile of cheap ones.  Never-searched rules
+    weigh a small constant, which spreads them round-robin."""
     loads = [0.0] * buckets
-    chunks: List[List[SearchTask]] = [[] for _ in range(buckets)]
+    chunks: List[List] = [[] for _ in range(buckets)]
     order = sorted(
         range(len(tasks)), key=lambda i: weights[i], reverse=True
     )
@@ -122,10 +217,13 @@ def _partition(
 
 
 class ParallelSearch:
-    """Per-run manager for the parallel search phase.
+    """Per-run manager for the parallel search and apply phases.
 
     One instance lives for the duration of a :meth:`Runner.run`; each
-    step calls :meth:`run_tasks` with that step's planned searches.
+    step calls :meth:`run_tasks` with that step's planned searches and
+    :meth:`plan_apply` with its admitted matches.  Call :meth:`close`
+    when the run ends to shut the pool down and unlink the last
+    published snapshot segment.
     """
 
     def __init__(
@@ -133,19 +231,57 @@ class ParallelSearch:
         egraph: EGraph,
         rules: Sequence[Rule],
         workers: int,
+        apply_workers: int = 1,
     ) -> None:
         self.egraph = egraph
         self.rules = rules
         self.workers = max(1, workers)
+        self.apply_workers = max(1, apply_workers)
         #: Set once a pool breaks; pins the rest of the run serial.
         self.broken = False
         #: Steps whose search phase actually ran on the pool.
         self.parallel_steps = 0
+        #: Steps whose apply phase consumed a worker-computed plan.
+        self.parallel_apply_steps = 0
+        #: Raw size of the last published snapshot's arrays (bytes).
+        self.snapshot_bytes = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_attempted = False
+        self._shm = None
+        self._published_version: Optional[int] = None
+        self._rule_index = {id(rule): i for i, rule in enumerate(rules)}
 
     @property
     def active(self) -> bool:
         """Whether the next search phase will try the process pool."""
         return self.workers > 1 and not self.broken and fork_available()
+
+    @property
+    def apply_active(self) -> bool:
+        """Whether apply planning will try the process pool.  Requires
+        the flat store: the legacy per-step pool is torn down before
+        the apply phase runs."""
+        return (
+            self.apply_workers > 1
+            and not self.broken
+            and fork_available()
+            and self.egraph.is_flat
+        )
+
+    def close(self) -> None:
+        """Shut down the pool and unlink the published snapshot."""
+        global _WORKER_STATE
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            _WORKER_STATE = None
+        if self._shm is not None:
+            _release_segment(self._shm)
+            self._shm = None
+
+    # ------------------------------------------------------------------
+    # Search phase
+    # ------------------------------------------------------------------
 
     def run_tasks(
         self,
@@ -161,13 +297,14 @@ class ParallelSearch:
         """
         if not self.active or len(tasks) < 2:
             return self._run_serial(tasks, deadline)
-        outcomes = self._run_pool(tasks, weights, deadline)
+        if self.egraph.is_flat:
+            outcomes = self._run_pool_shared(tasks, weights, deadline)
+        else:
+            outcomes = self._run_pool_legacy(tasks, weights, deadline)
         missing = [task for task in tasks if task[0] not in outcomes]
         if missing:
             outcomes.update(self._run_serial(missing, deadline))
         return outcomes
-
-    # ------------------------------------------------------------------
 
     def _run_serial(
         self, tasks: Sequence[SearchTask], deadline: Optional[float]
@@ -181,12 +318,98 @@ class ParallelSearch:
             outcomes[rule_index] = (time.perf_counter() - started, found)
         return outcomes
 
-    def _run_pool(
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The persistent fork pool, created on first use (attempted at
+        most once per run; a failed construction pins the run serial).
+        Workers inherit the rule list through fork at creation."""
+        global _WORKER_STATE
+        if self._pool is not None:
+            return self._pool
+        if self._pool_attempted:
+            return None
+        self._pool_attempted = True
+        import multiprocessing
+
+        # The pool forks its workers lazily, at first submit — so the
+        # state must stay published for the pool's whole lifetime (it
+        # is cleared in close()).  Workers created by any later submit
+        # inherit the same rule list.
+        _WORKER_STATE = (None, self.rules)
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=max(self.workers, self.apply_workers),
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        except (OSError, BrokenProcessPool):
+            self.broken = True
+            self._pool = None
+            _WORKER_STATE = None
+        return self._pool
+
+    def _publish(self) -> Optional[tuple]:
+        """Publish the current e-graph as a shared snapshot; returns
+        the worker attach token ``(segment name, version)``.  A no-op
+        (returning the existing token) when the graph has not changed
+        since the last publish."""
+        version = self.egraph.version
+        if self._published_version == version and self._shm is not None:
+            return (self._shm.name, version)
+        store = self.egraph.freeze()
+        shm = store.publish()
+        self.snapshot_bytes = store.nbytes
+        previous, self._shm = self._shm, shm
+        self._published_version = version
+        if previous is not None:
+            # Workers' existing mappings survive the unlink; the next
+            # token they receive points at the new segment.
+            _release_segment(previous)
+        return (shm.name, version)
+
+    def _run_pool_shared(
         self,
         tasks: Sequence[SearchTask],
         weights: Sequence[float],
         deadline: Optional[float],
     ) -> Dict[int, SearchOutcome]:
+        """Flat-store protocol: persistent pool + shared snapshot."""
+        pool = self._ensure_pool()
+        if pool is None:
+            return {}
+        try:
+            token = self._publish()
+        except OSError:
+            # Shared memory unavailable (e.g. /dev/shm exhausted).
+            self.broken = True
+            return {}
+        chunks = _partition(tasks, weights, min(self.workers, len(tasks)))
+        outcomes: Dict[int, SearchOutcome] = {}
+        try:
+            futures = [
+                pool.submit(_search_chunk, token, chunk, deadline)
+                for chunk in chunks
+            ]
+            for future in futures:
+                try:
+                    for rule_index, seconds, found in future.result():
+                        outcomes[rule_index] = (seconds, found)
+                except (OSError, BrokenProcessPool):
+                    # A worker died; its chunk reruns serially in
+                    # run_tasks.  Pin the rest of the run serial.
+                    self.broken = True
+        except (OSError, BrokenProcessPool):
+            self.broken = True
+        if not self.broken:
+            self.parallel_steps += 1
+        return outcomes
+
+    def _run_pool_legacy(
+        self,
+        tasks: Sequence[SearchTask],
+        weights: Sequence[float],
+        deadline: Optional[float],
+    ) -> Dict[int, SearchOutcome]:
+        """Legacy object-store protocol: fork a fresh pool this step so
+        workers inherit the current e-graph by copy-on-write."""
         global _WORKER_STATE
         import multiprocessing
 
@@ -203,7 +426,7 @@ class ParallelSearch:
                 mp_context=multiprocessing.get_context("fork"),
             ) as pool:
                 futures = [
-                    pool.submit(_search_chunk, chunk, deadline)
+                    pool.submit(_search_chunk, None, chunk, deadline)
                     for chunk in chunks
                 ]
                 for future in futures:
@@ -211,8 +434,6 @@ class ParallelSearch:
                         for rule_index, seconds, found in future.result():
                             outcomes[rule_index] = (seconds, found)
                     except (OSError, BrokenProcessPool):
-                        # A worker died; its chunk reruns serially in
-                        # run_tasks.  Pin the rest of the run serial.
                         self.broken = True
         except (OSError, BrokenProcessPool):
             # The pool could not be constructed at all.
@@ -223,9 +444,79 @@ class ParallelSearch:
             self.parallel_steps += 1
         return outcomes
 
+    # ------------------------------------------------------------------
+    # Apply phase
+    # ------------------------------------------------------------------
+
+    def plan_apply(
+        self,
+        matches: Sequence[Tuple[object, Rule, Match]],
+        deadline: Optional[float],
+    ) -> Tuple[Dict[int, List[Term]], float]:
+        """Precompute result terms for this step's pure admitted
+        matches on the worker pool.
+
+        Returns ``(match index → terms, worker cpu seconds)``.  The
+        plan may be partial (deadline, broken pool) or empty (planning
+        not active, too few pure matches); the caller computes missing
+        entries inline, with identical results, and commits everything
+        in canonical order.
+        """
+        if not self.apply_active:
+            return {}, 0.0
+        entries: List[ApplyEntry] = []
+        for index, (_stats, rule, match) in enumerate(matches):
+            if not rule.snapshot_pure:
+                continue
+            rule_index = self._rule_index.get(id(rule))
+            if rule_index is not None:
+                entries.append((index, rule_index, match))
+        if len(entries) < 2:
+            return {}, 0.0
+        pool = self._ensure_pool()
+        if pool is None:
+            return {}, 0.0
+        # Partition per rule so one chunk reuses one applier's closures.
+        groups: Dict[int, List[ApplyEntry]] = {}
+        for entry in entries:
+            groups.setdefault(entry[1], []).append(entry)
+        group_list = list(groups.values())
+        chunks = _partition(
+            group_list,
+            [float(len(group)) for group in group_list],
+            min(self.apply_workers, len(group_list)),
+        )
+        planned: Dict[int, List[Term]] = {}
+        cpu = 0.0
+        delivered = False
+        try:
+            futures = [
+                pool.submit(
+                    _apply_chunk,
+                    [entry for group in chunk for entry in group],
+                    deadline,
+                )
+                for chunk in chunks
+            ]
+            for future in futures:
+                try:
+                    seconds, results = future.result()
+                    cpu += seconds
+                    for match_index, terms in results:
+                        planned[match_index] = terms
+                    delivered = True
+                except (OSError, BrokenProcessPool):
+                    self.broken = True
+        except (OSError, BrokenProcessPool):
+            self.broken = True
+        if delivered and not self.broken:
+            self.parallel_apply_steps += 1
+        return planned, cpu
+
 
 def resolve_workers(requested: int) -> int:
-    """Effective worker count for a requested ``search_workers``.
+    """Effective worker count for a requested ``search_workers`` or
+    ``apply_workers`` knob.
 
     ``1`` means serial.  Requests above the machine's CPU count are
     honored as given (useful for determinism testing), but platforms

@@ -147,6 +147,10 @@ class RunResult:
     #: Steps whose search phase actually executed on the process pool
     #: (0 under serial search or after a broken-pool fallback).
     parallel_steps: int = 0
+    #: Apply-worker processes the run was configured with (1 = serial).
+    apply_workers: int = 1
+    #: Steps whose apply phase consumed a worker-computed term plan.
+    parallel_apply_steps: int = 0
     #: Name of the extractor that produced the per-step solutions.
     extractor: str = "greedy"
 
@@ -208,6 +212,7 @@ class Runner:
         scheduler: Union[str, RuleScheduler, None] = None,
         incremental: Optional[bool] = None,
         search_workers: int = 1,
+        apply_workers: int = 1,
         applied_cap: int = 500_000,
         extractor: Union[str, type, None] = None,
     ) -> None:
@@ -225,8 +230,11 @@ class Runner:
         )
         # Rule searches within one step fan out across a fork-shared
         # process pool (see repro.saturation.parallel); resolves to 1
-        # (serial) on platforms without fork.
+        # (serial) on platforms without fork.  Apply workers precompute
+        # pure appliers' terms on the same pool; the parent commits
+        # them in canonical order.
         self.search_workers = resolve_workers(search_workers)
+        self.apply_workers = resolve_workers(apply_workers)
         # The applied-match cache is cleared when it outgrows this;
         # re-application is semantically idempotent, so the bound trades
         # a little rework for bounded memory on enormous runs.
@@ -247,7 +255,9 @@ class Runner:
             IncrementalMatcher(egraph, len(self.rules))
             if self.incremental else None
         )
-        searcher = ParallelSearch(egraph, self.rules, self.search_workers)
+        searcher = ParallelSearch(
+            egraph, self.rules, self.search_workers, self.apply_workers
+        )
         contexts: List[object] = [None] * len(self.rules)
         records: List[StepRecord] = []
         # Union of every recorded solution's provenance events, keyed
@@ -262,6 +272,52 @@ class Runner:
         ))
         stop_reason = StopReason.STEP_LIMIT
         applied: Set[tuple] = set()
+        try:
+            stop_reason = self._run_steps(
+                egraph, scheduler, matcher, searcher, contexts, applied,
+                stats, records, contributed, root_class, cost_model,
+                extract_each_step, deadline,
+            )
+        finally:
+            # Shut the pool down and unlink the published snapshot even
+            # when extraction or a rule applier raises.
+            searcher.close()
+        # Provenance feeds telemetry: how many of each rule's logged
+        # events touched a class of any recorded per-step solution.
+        for rule_stats in stats:
+            events = contributed.get(rule_stats.name)
+            if events:
+                rule_stats.solution_unions = len(events)
+        return RunResult(
+            records,
+            stop_reason,
+            self.egraph.find(root_class),
+            rule_stats={s.name: s for s in stats},
+            scheduler=scheduler.name,
+            search_workers=self.search_workers,
+            parallel_steps=searcher.parallel_steps,
+            apply_workers=self.apply_workers,
+            parallel_apply_steps=searcher.parallel_apply_steps,
+            extractor=self.extractor_cls.name,
+        )
+
+    def _run_steps(
+        self,
+        egraph: EGraph,
+        scheduler: RuleScheduler,
+        matcher: Optional[IncrementalMatcher],
+        searcher: ParallelSearch,
+        contexts: List[object],
+        applied: Set[tuple],
+        stats: List["RuleStats"],
+        records: List[StepRecord],
+        contributed: Dict[str, Set[int]],
+        root_class: int,
+        cost_model,
+        extract_each_step: bool,
+        deadline: float,
+    ) -> str:
+        stop_reason = StopReason.STEP_LIMIT
         for step in range(1, self.step_limit + 1):
             phases = PhaseTimings()
             step_start = time.perf_counter()
@@ -290,7 +346,15 @@ class Runner:
             phases.search = time.perf_counter() - step_start
 
             # --- apply --------------------------------------------------
+            # Plan: workers precompute result terms for pure appliers
+            # (a no-op returning an empty plan under serial apply).
+            # Commit: the parent walks the admitted matches in
+            # canonical order, splicing in planned terms where present
+            # and running impure appliers inline — mutations happen in
+            # exactly the serial order either way.
             apply_start = time.perf_counter()
+            planned, plan_cpu = searcher.plan_apply(matches, deadline)
+            commit_start = time.perf_counter()
             unions = 0
             for index, (rule_stats, rule, match) in enumerate(matches):
                 if (
@@ -302,14 +366,22 @@ class Runner:
                 # Tag mutations with the applying rule so the e-graph's
                 # union-origin log can attribute them (provenance).
                 egraph.origin_tag = rule_stats.name
-                made = rule.apply(egraph, match)
+                terms = planned.get(index)
+                if terms is None:
+                    made = rule.apply(egraph, match)
+                else:
+                    made = rule.commit(egraph, match, terms)
                 rule_stats.matches_applied += 1
                 rule_stats.unions += made
                 unions += made
                 if egraph.num_nodes > self.node_limit:
                     break
             egraph.origin_tag = None
-            phases.apply = time.perf_counter() - apply_start
+            now = time.perf_counter()
+            phases.apply = now - apply_start
+            # CPU actually spent applying: worker planning seconds plus
+            # the parent's commit wall (== apply wall when serial).
+            phases.apply_cpu = plan_cpu + (now - commit_start)
 
             # --- rebuild ------------------------------------------------
             rebuild_start = time.perf_counter()
@@ -357,22 +429,7 @@ class Runner:
             if timed_out or time.perf_counter() > deadline:
                 stop_reason = StopReason.TIME_LIMIT
                 break
-        # Provenance feeds telemetry: how many of each rule's logged
-        # events touched a class of any recorded per-step solution.
-        for rule_stats in stats:
-            events = contributed.get(rule_stats.name)
-            if events:
-                rule_stats.solution_unions = len(events)
-        return RunResult(
-            records,
-            stop_reason,
-            self.egraph.find(root_class),
-            rule_stats={s.name: s for s in stats},
-            scheduler=scheduler.name,
-            search_workers=self.search_workers,
-            parallel_steps=searcher.parallel_steps,
-            extractor=self.extractor_cls.name,
-        )
+        return stop_reason
 
     # ------------------------------------------------------------------
     # phases

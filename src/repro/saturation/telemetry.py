@@ -89,6 +89,9 @@ class PhaseTimings:
     under serial search but exceeds it when rule searches fan out
     across worker processes (``Limits(search_workers=N)``) — the ratio
     ``search_cpu / search`` is the effective search parallelism.
+    ``apply_cpu`` is the analogue for the apply phase: worker seconds
+    spent precomputing pure appliers' terms plus the parent's commit
+    wall; it equals ``apply`` under serial apply.
     """
 
     search: float = 0.0
@@ -96,6 +99,7 @@ class PhaseTimings:
     rebuild: float = 0.0
     extract: float = 0.0
     search_cpu: float = 0.0
+    apply_cpu: float = 0.0
 
     @property
     def total(self) -> float:
@@ -108,6 +112,7 @@ class PhaseTimings:
             "rebuild": self.rebuild,
             "extract": self.extract,
             "search_cpu": self.search_cpu,
+            "apply_cpu": self.apply_cpu,
         }
 
     @classmethod
@@ -122,6 +127,7 @@ class PhaseTimings:
         self.rebuild += other.rebuild
         self.extract += other.extract
         self.search_cpu += other.search_cpu
+        self.apply_cpu += other.apply_cpu
 
 
 def rule_stats_to_dict(stats: Mapping[str, RuleStats]) -> Dict[str, dict]:

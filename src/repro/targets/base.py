@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..egraph.extract import CostModel
+from ..extraction import CostModel
 from ..egraph.rewrite import Rule
 from ..rules.blas import BLAS_FUNCTIONS, blas_rules
 from ..rules.core import CoreRuleConfig, core_rules

@@ -1,6 +1,7 @@
 """Tests for the e-graph shape analysis (repro.egraph.analysis)."""
 
-from repro.egraph import EGraph, Runner, ShapeAnalysis, dims_of_class, shape_of_class
+from repro.egraph import EGraph, ShapeAnalysis, dims_of_class, shape_of_class
+from repro.saturation import Runner
 from repro.ir import builders as b, parse
 from repro.ir.shapes import SCALAR, UNKNOWN, Array, matrix, vector
 from repro.rules import core_rules, scalar_rules

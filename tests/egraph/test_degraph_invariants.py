@@ -7,7 +7,8 @@ the representation invariants that extraction and matching rely on.
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.egraph import EGraph, Runner, ShapeAnalysis
+from repro.egraph import EGraph, ShapeAnalysis
+from repro.saturation import Runner
 from repro.ir import builders as b
 from repro.ir.shapes import SCALAR, vector
 from repro.ir.terms import Call, Const, Symbol, free_indices

@@ -1,0 +1,45 @@
+"""The removed runner/extract shim names must keep resolving off
+``repro.egraph`` — with a DeprecationWarning — for one release."""
+
+import pytest
+
+
+def test_runner_names_resolve_with_warning():
+    import repro.egraph as eg
+    from repro.saturation import Runner, RunResult, StopReason
+
+    with pytest.warns(DeprecationWarning, match="repro.saturation"):
+        assert eg.Runner is Runner
+    with pytest.warns(DeprecationWarning):
+        assert eg.RunResult is RunResult
+    with pytest.warns(DeprecationWarning):
+        assert eg.StopReason is StopReason
+
+
+def test_extract_names_resolve_with_warning():
+    import repro.egraph as eg
+    from repro.extraction import AstSizeCost, CostModel
+    from repro.extraction.greedy import GreedyExtractor
+
+    with pytest.warns(DeprecationWarning, match="repro.extraction"):
+        assert eg.CostModel is CostModel
+    with pytest.warns(DeprecationWarning):
+        assert eg.AstSizeCost is AstSizeCost
+    # The old shim's ``Extractor`` meant the greedy default, not the
+    # protocol.
+    with pytest.warns(DeprecationWarning):
+        assert eg.Extractor is GreedyExtractor
+
+
+def test_shim_modules_are_gone():
+    with pytest.raises(ImportError):
+        import repro.egraph.runner  # noqa: F401
+    with pytest.raises(ImportError):
+        import repro.egraph.extract  # noqa: F401
+
+
+def test_unknown_names_still_raise():
+    import repro.egraph as eg
+
+    with pytest.raises(AttributeError):
+        eg.does_not_exist

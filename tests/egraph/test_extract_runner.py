@@ -4,17 +4,10 @@ import math
 
 import pytest
 
-from repro.egraph import (
-    AstSizeCost,
-    EGraph,
-    Extractor,
-    Runner,
-    ShapeAnalysis,
-    StopReason,
-    rewrite,
-    library_calls_of,
-)
-from repro.egraph.extract import CostModel
+from repro.egraph import EGraph, ShapeAnalysis, rewrite
+from repro.extraction import AstSizeCost, CostModel
+from repro.extraction import GreedyExtractor as Extractor
+from repro.saturation import Runner, StopReason, library_calls_of
 from repro.ir import builders as b, parse
 from repro.ir.shapes import vector
 from repro.rules.dsl import padd, pconst, pmul, pv

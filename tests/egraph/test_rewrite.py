@@ -5,7 +5,6 @@ import pytest
 
 from repro.egraph import (
     EGraph,
-    Runner,
     ShapeAnalysis,
     all_classes,
     atom_classes,
@@ -22,6 +21,7 @@ from repro.egraph import (
 from repro.ir import builders as b, parse
 from repro.ir.shapes import vector
 from repro.rules.dsl import padd, pconst, pmul, pv
+from repro.saturation import Runner
 
 
 def _run(eg, rules, root, steps=3):

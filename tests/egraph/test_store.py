@@ -1,0 +1,352 @@
+"""Tests for the flat slotted store: FlatStore snapshots, the
+shared-memory round trip, SnapshotEGraph query parity, the repaired
+hashcons-miss, and flat-vs-legacy run equivalence.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.egraph import EGraph
+from repro.egraph.analysis import ShapeAnalysis
+from repro.egraph.enode import ENode
+from repro.egraph.rewrite import rewrite
+from repro.egraph.store import FlatStore, SnapshotEGraph
+from repro.ir import parse
+from repro.ir.printer import pretty
+from repro.kernels import registry
+from repro.rules.dsl import padd, pconst, pmul, pv
+from repro.saturation import Runner
+from repro.saturation.ematch import search_rule
+from repro.targets import blas_target
+
+
+def _saturated_egraph():
+    """A small saturated graph with merges, payload variety, and a
+    populated smallest-term table."""
+    eg = EGraph()
+    root = eg.add_term(parse("(x + 0) * (y + 0)"))
+    rules = [
+        rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x")),
+        rewrite("commute", pmul(pv("a"), pv("b")), pmul(pv("b"), pv("a"))),
+    ]
+    from repro.extraction import AstSizeCost
+
+    Runner(eg, rules, step_limit=4).run(root, cost_model=AstSizeCost())
+    return eg, root
+
+
+class TestFlatStoreSnapshot:
+    def test_freeze_requires_flat_store(self):
+        legacy = EGraph(flat=False)
+        legacy.add_term(parse("x + 1"))
+        with pytest.raises(RuntimeError):
+            legacy.freeze()
+
+    def test_snapshot_query_parity(self):
+        eg, root = _saturated_egraph()
+        snap = SnapshotEGraph(eg.freeze())
+        assert snap.num_classes == eg.num_classes
+        assert snap.class_ids() == eg.class_ids()
+        for class_id in eg.class_ids():
+            assert snap.find(class_id) == eg.find(class_id)
+            assert list(snap.nodes_of(class_id)) == list(eg.nodes_of(class_id))
+        assert snap.classes_by_op() == eg.classes_by_op()
+
+    def test_uf_array_is_fully_compressed(self):
+        eg, _root = _saturated_egraph()
+        store = eg.freeze()
+        for i in range(len(store.uf)):
+            assert int(store.uf[i]) == eg.find(i)
+
+    def test_children_stored_raw(self):
+        # Snapshot traversals must resolve children through the uf
+        # array exactly like the live graph resolves them through its
+        # union-find; stale ids are data, not noise.
+        eg = EGraph()
+        a = eg.add_term(parse("a"))
+        b_ = eg.add_term(parse("b"))
+        eg.add_term(parse("a + b"))
+        eg.merge(a, b_)
+        eg.rebuild()
+        store = eg.freeze()
+        raw_children = []
+        live_children = []
+        for eclass in eg.classes():
+            for node in eclass.nodes:
+                live_children.extend(node.children)
+        snap = SnapshotEGraph(store)
+        for class_id in snap.class_ids():
+            for node in snap.nodes_of(class_id):
+                raw_children.extend(node.children)
+        assert sorted(raw_children) == sorted(live_children)
+
+    def test_payload_interning_distinguishes_types(self):
+        # 0, 0.0 and False hash/compare equal in a dict, so a payload
+        # table interned by raw value would collapse them into one slot
+        # and hand every node the first-seen type back.
+        eg = EGraph()
+        for op, payload in (("const", 0), ("litf", 0.0), ("flag", False)):
+            eg.add_enode(ENode(op, payload, ()))
+        eg.rebuild()
+        snap = SnapshotEGraph(eg.freeze())
+        by_op = {
+            node.op: node.payload
+            for class_id in snap.class_ids()
+            for node in snap.nodes_of(class_id)
+        }
+        assert type(by_op["const"]) is int
+        assert type(by_op["litf"]) is float
+        assert type(by_op["flag"]) is bool
+
+    def test_extraction_parity(self):
+        eg, root = _saturated_egraph()
+        snap = SnapshotEGraph(eg.freeze())
+        assert pretty(snap.extract_smallest(root)) == pretty(
+            eg.extract_smallest(root)
+        )
+        for class_id in eg.class_ids():
+            assert [
+                pretty(t) for t in snap.extract_candidates(class_id, limit=3)
+            ] == [pretty(t) for t in eg.extract_candidates(class_id, limit=3)]
+
+    def test_search_parity_on_kernel(self):
+        kernel = registry.get("memset")
+        target = blas_target()
+        eg = EGraph(ShapeAnalysis(kernel.symbol_shapes))
+        eg.add_term(kernel.term)
+        eg.rebuild()
+        snap = SnapshotEGraph(eg.freeze())
+        for rule in target.rules:
+            assert search_rule(snap, rule, None, None) == search_rule(
+                eg, rule, None, None
+            ), rule.name
+
+    def test_empty_graph_freezes(self):
+        snap = SnapshotEGraph(EGraph().freeze())
+        assert snap.num_classes == 0
+        assert snap.class_ids() == []
+        assert snap.classes_by_op() == {}
+
+
+class TestSharedMemoryRoundTrip:
+    def test_publish_attach_round_trip(self):
+        eg, root = _saturated_egraph()
+        store = eg.freeze()
+        shm = store.publish()
+        try:
+            attached = FlatStore.attach(shm.name)
+            assert attached.ops == store.ops
+            assert attached.payloads == store.payloads
+            snap = SnapshotEGraph(attached)
+            assert snap.class_ids() == eg.class_ids()
+            assert pretty(snap.extract_smallest(root)) == pretty(
+                eg.extract_smallest(root)
+            )
+            snap.dispose()
+            attached.detach()
+        finally:
+            shm.unlink()
+            shm.close()
+
+    def test_attach_cost_is_header_sized(self):
+        # The worker-side protocol must not scale with graph size:
+        # attaching maps the segment and reads the pickled header, it
+        # never copies the arrays.
+        import numpy as np
+
+        eg, _root = _saturated_egraph()
+        store = eg.freeze()
+        shm = store.publish()
+        try:
+            attached = FlatStore.attach(shm.name)
+            # Zero-copy: the arrays are views on the mapped buffer.
+            assert all(
+                not getattr(attached, key).flags["OWNDATA"]
+                for key in ("uf", "children", "node_op")
+            )
+            assert isinstance(attached.uf, np.ndarray)
+            attached.detach()
+        finally:
+            shm.unlink()
+            shm.close()
+
+    def test_nbytes_reports_array_payload(self):
+        eg, _root = _saturated_egraph()
+        store = eg.freeze()
+        assert store.nbytes > 0
+        assert store.nbytes == sum(
+            getattr(store, key).nbytes
+            for key in (
+                "uf", "class_ids", "class_node_offsets", "node_op",
+                "node_payload", "child_offsets", "children", "size_val",
+                "size_witness",
+            )
+        )
+
+
+class TestHashconsRepair:
+    """The rebuild repair must pop each e-node's *current* memo key.
+
+    Under the old recorded-form scheme, a node re-keyed by an earlier
+    merge left its stale entry behind when a later merge re-keyed it
+    again — the miss the line-244 comment documented; the legacy store
+    papers over it with a full memo sweep each rebuild.
+    """
+
+    @staticmethod
+    def _memo_is_canonical(eg):
+        for node, class_id in eg._memo.items():
+            assert eg.canonicalize(node) == node, node
+            assert eg.has_class(eg.find(class_id))
+
+    @pytest.mark.parametrize("rebuild_between", [True, False])
+    def test_double_rekey_leaves_no_stale_entry(self, rebuild_between):
+        # n = f(a, b): merging a (re-keying n) and then b (re-keying n
+        # again) must pop the intermediate form, whether the merges are
+        # separated by a rebuild or repaired within a single one.
+        eg = EGraph(flat=True)
+        a = eg.add_enode(ENode("symbol", "a", ()))
+        b_ = eg.add_enode(ENode("symbol", "b", ()))
+        c = eg.add_enode(ENode("symbol", "c", ()))
+        d = eg.add_enode(ENode("symbol", "d", ()))
+        eg.add_enode(ENode("f", None, (a, b_)))
+        eg.merge(a, c)
+        if rebuild_between:
+            eg.rebuild()
+        eg.merge(b_, d)
+        eg.rebuild()
+        self._memo_is_canonical(eg)
+        # Exactly one entry for f remains, keyed by the current form.
+        f_entries = [n for n in eg._memo if n.op == "f"]
+        assert f_entries == [
+            ENode("f", None, (eg.find(a), eg.find(b_)))
+        ]
+
+    def test_congruence_found_through_stale_key(self):
+        # f(a,b) and f(c,d) become congruent only after both merges;
+        # a repair that popped the recorded (stale) form would miss
+        # the second node's unification.
+        eg = EGraph(flat=True)
+        a = eg.add_enode(ENode("symbol", "a", ()))
+        b_ = eg.add_enode(ENode("symbol", "b", ()))
+        c = eg.add_enode(ENode("symbol", "c", ()))
+        d = eg.add_enode(ENode("symbol", "d", ()))
+        fab = eg.add_enode(ENode("f", None, (a, b_)))
+        fcd = eg.add_enode(ENode("f", None, (c, d)))
+        assert not eg.same(fab, fcd)
+        eg.merge(a, c)
+        eg.rebuild()
+        eg.merge(b_, d)
+        eg.rebuild()
+        assert eg.same(fab, fcd)
+        self._memo_is_canonical(eg)
+
+    def test_flat_repair_is_complete_under_check_mode(self, monkeypatch):
+        # REPRO_EGRAPH_CHECK=1 asserts inside rebuild() that the sweep
+        # safety net finds nothing left to do after the slot repair.
+        monkeypatch.setenv("REPRO_EGRAPH_CHECK", "1")
+        eg = EGraph(flat=True)
+        root = eg.add_term(parse("(x + 0) * (y + 0)"))
+        rules = [
+            rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x")),
+            rewrite("commute", pmul(pv("a"), pv("b")), pmul(pv("b"), pv("a"))),
+        ]
+        from repro.extraction import AstSizeCost
+
+        Runner(eg, rules, step_limit=4).run(root, cost_model=AstSizeCost())
+        self._memo_is_canonical(eg)
+
+
+@st.composite
+def _merge_programs(draw):
+    """A random DAG of e-nodes plus a random merge schedule."""
+    n_leaves = draw(st.integers(2, 5))
+    n_inner = draw(st.integers(0, 6))
+    merges = draw(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=8
+        )
+    )
+    inner = [
+        (draw(st.integers(0, 1)), draw(st.integers(0, 20)), draw(st.integers(0, 20)))
+        for _ in range(n_inner)
+    ]
+    return n_leaves, inner, merges
+
+
+@given(_merge_programs())
+@settings(max_examples=60, deadline=None)
+def test_flat_and_legacy_stores_agree(program):
+    """Property: identical node/merge schedules leave the flat and
+    legacy stores with identical partitions, memo contents, and
+    smallest terms."""
+    n_leaves, inner, merges = program
+
+    def build(flat):
+        eg = EGraph(flat=flat)
+        ids = [
+            eg.add_enode(ENode("symbol", f"s{i}", ())) for i in range(n_leaves)
+        ]
+        for op_choice, left, right in inner:
+            op = "f" if op_choice == 0 else "g"
+            ids.append(
+                eg.add_enode(
+                    ENode(op, None, (ids[left % len(ids)], ids[right % len(ids)]))
+                )
+            )
+        for a, b_ in merges:
+            eg.merge(ids[a % len(ids)], ids[b_ % len(ids)])
+            eg.rebuild()
+        return eg, ids
+
+    flat_eg, flat_ids = build(True)
+    legacy_eg, legacy_ids = build(False)
+    assert flat_ids == legacy_ids
+    for x in flat_ids:
+        for y in flat_ids:
+            assert flat_eg.same(x, y) == legacy_eg.same(x, y)
+    # Memo values are lazily canonicalized (rootness is not an
+    # invariant); the keys and the classes they resolve to are.
+    assert {
+        node: flat_eg.find(class_id)
+        for node, class_id in flat_eg._memo.items()
+    } == {
+        node: legacy_eg.find(class_id)
+        for node, class_id in legacy_eg._memo.items()
+    }
+    assert flat_eg.num_classes == legacy_eg.num_classes
+    flat_sizes = flat_eg._size_table()
+    legacy_sizes = legacy_eg._size_table()
+    for x in flat_ids:
+        assert flat_sizes.get(flat_eg.find(x)) == legacy_sizes.get(
+            legacy_eg.find(x)
+        )
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_FLAT_STORE", "1") == "0",
+    reason="suite already running in legacy mode",
+)
+def test_legacy_env_opt_out_runs_byte_identical():
+    """REPRO_FLAT_STORE=0 (one-release escape hatch) must reproduce
+    the flat store's runs byte-identically."""
+    def run(flat):
+        kernel = registry.get("memset")
+        target = blas_target()
+        eg = EGraph(ShapeAnalysis(kernel.symbol_shapes), flat=flat)
+        root = eg.add_term(kernel.term)
+        runner = Runner(eg, target.rules, step_limit=3, node_limit=3000)
+        return runner.run(root, cost_model=target.cost_model)
+
+    flat, legacy = run(True), run(False)
+    assert [s.enodes for s in flat.steps] == [s.enodes for s in legacy.steps]
+    assert [s.matches for s in flat.steps] == [s.matches for s in legacy.steps]
+    assert [s.unions for s in flat.steps] == [s.unions for s in legacy.steps]
+    assert pretty(flat.final.best_term) == pretty(legacy.final.best_term)
+    for name, stats in flat.rule_stats.items():
+        other = legacy.rule_stats[name]
+        assert (stats.matches_found, stats.matches_applied, stats.unions) == (
+            other.matches_found, other.matches_applied, other.unions
+        ), name

@@ -3,7 +3,8 @@ solution_unions telemetry, and the provenance-aware pruning mode."""
 
 import pytest
 
-from repro.egraph import EGraph, Runner
+from repro.egraph import EGraph
+from repro.saturation import Runner
 from repro.egraph.rewrite import rewrite
 from repro.extraction import (
     AstSizeCost,

@@ -3,7 +3,8 @@
 
 import pytest
 
-from repro.egraph import EGraph, Runner, ShapeAnalysis
+from repro.egraph import EGraph, ShapeAnalysis
+from repro.saturation import Runner
 from repro.ir import builders as b, parse
 from repro.ir.shapes import SCALAR, vector
 from repro.rules import CoreRuleConfig, core_rules, scalar_rules

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.egraph import EGraph, Runner, ShapeAnalysis
+from repro.egraph import EGraph, ShapeAnalysis
+from repro.saturation import Runner
 from repro.ir import parse
 from repro.ir.shapes import vector
 from repro.rules import CoreRuleConfig, core_rules

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.egraph import EGraph, Runner, ShapeAnalysis
+from repro.egraph import EGraph, ShapeAnalysis
+from repro.saturation import Runner
 from repro.ir import builders as b, parse
 from repro.ir.shapes import SCALAR, matrix, vector
 from repro.ir.terms import Symbol

@@ -1,0 +1,231 @@
+"""Tests for deterministic parallel apply planning: purity
+classification (Rule.snapshot_pure), plan/commit equivalence, the
+byte-identical determinism guarantee at apply_workers > 1, and the
+knob's plumbing through Limits and the CLI.
+"""
+
+import pytest
+
+from repro.egraph import EGraph
+from repro.egraph.analysis import ShapeAnalysis
+from repro.egraph.rewrite import (
+    Match,
+    _pattern_rule_is_pure,
+    beta_reduce_rule,
+    dynamic_rule,
+    intro_index_build_rule,
+    intro_lambda_rule,
+    rewrite,
+)
+from repro.ir import parse
+from repro.ir.printer import pretty
+from repro.kernels import registry
+from repro.rules.dsl import padd, pconst, pmul, pv
+from repro.saturation import Runner, fork_available
+from repro.saturation.parallel import ParallelSearch
+from repro.targets import blas_target
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+
+
+def _run_kernel(kernel_name: str, search_workers: int, apply_workers: int,
+                **limits):
+    kernel = registry.get(kernel_name)
+    target = blas_target()
+    egraph = EGraph(ShapeAnalysis(kernel.symbol_shapes))
+    root = egraph.add_term(kernel.term)
+    runner = Runner(
+        egraph, target.rules, search_workers=search_workers,
+        apply_workers=apply_workers, **limits
+    )
+    return runner.run(root, cost_model=target.cost_model)
+
+
+class TestPurityClassification:
+    def test_plain_pattern_rule_is_pure(self):
+        rule = rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))
+        assert rule.snapshot_pure
+
+    def test_shifted_rhs_of_class_bound_var_is_impure(self):
+        # ?x is bound as a ClassBinding on the left (shift 0, not
+        # as_term); instantiating ?x↑ on the right must call
+        # extract_smallest — an e-graph read.
+        assert not _pattern_rule_is_pure(
+            padd(pv("x"), pconst(0)), padd(pv("x", shift=1), pconst(0))
+        )
+
+    def test_shifted_lhs_binding_keeps_rule_pure(self):
+        # When every LHS occurrence is itself shifted, the binding is a
+        # TermBinding; RHS shifts then work on the term, not the graph.
+        assert _pattern_rule_is_pure(
+            padd(pv("x", shift=1), pconst(0)), padd(pv("x", shift=2), pconst(0))
+        )
+
+    def test_beta_reduction_is_pure(self):
+        assert beta_reduce_rule().snapshot_pure
+
+    def test_dynamic_and_intro_rules_default_impure(self):
+        dyn = dynamic_rule("dyn", padd(pv("a"), pv("b")), lambda eg, m: [])
+        assert not dyn.snapshot_pure
+        assert not intro_lambda_rule().snapshot_pure
+        assert not intro_index_build_rule().snapshot_pure
+
+    def test_pure_applier_never_touches_the_egraph(self):
+        # The parallel worker calls applier(None, match); a pure rule
+        # must produce the same terms it produces with the live graph.
+        eg = EGraph()
+        root = eg.add_term(parse("x + 0"))
+        rule = rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))
+        eg.rebuild()
+        matches = rule.search(eg)
+        assert matches
+        for match in matches:
+            assert rule.applier(None, match) == rule.applier(eg, match)
+
+
+@needs_fork
+class TestPlanCommitEquivalence:
+    def test_planned_terms_match_inline_apply(self):
+        eg = EGraph()
+        root = eg.add_term(parse("(x + 0) * (y + 0)"))
+        eg.rebuild()
+        rules = [
+            rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x")),
+            rewrite("commute", pmul(pv("a"), pv("b")), pmul(pv("b"), pv("a"))),
+        ]
+        searcher = ParallelSearch(eg, rules, workers=1, apply_workers=2)
+        try:
+            admitted = [
+                (None, rule, match)
+                for rule in rules
+                for match in rule.search(eg)
+            ]
+            planned, cpu = searcher.plan_apply(admitted, None)
+            assert planned  # enough pure matches to plan
+            assert cpu > 0.0
+            for index, (_stats, rule, match) in enumerate(admitted):
+                if index in planned:
+                    assert planned[index] == list(rule.applier(None, match))
+        finally:
+            searcher.close()
+
+    def test_apply_inactive_on_legacy_store(self):
+        eg = EGraph(flat=False)
+        eg.add_term(parse("x + 0"))
+        rules = [rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))]
+        searcher = ParallelSearch(eg, rules, workers=1, apply_workers=4)
+        try:
+            assert not searcher.apply_active
+            assert searcher.plan_apply([], None) == ({}, 0.0)
+        finally:
+            searcher.close()
+
+    def test_single_pure_match_not_planned(self):
+        # Planning one match costs more than computing it inline.
+        eg = EGraph()
+        eg.add_term(parse("x + 0"))
+        eg.rebuild()
+        rules = [rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))]
+        searcher = ParallelSearch(eg, rules, workers=1, apply_workers=4)
+        try:
+            matches = [(None, rules[0], m) for m in rules[0].search(eg)]
+            assert len(matches) == 1
+            assert searcher.plan_apply(matches, None) == ({}, 0.0)
+        finally:
+            searcher.close()
+
+
+@needs_fork
+class TestApplyDeterminism:
+    def test_kernel_solution_byte_identical(self):
+        serial = _run_kernel("memset", 1, 1, step_limit=4, node_limit=4000)
+        parallel = _run_kernel("memset", 4, 4, step_limit=4, node_limit=4000)
+        assert parallel.apply_workers == 4
+        assert parallel.parallel_apply_steps > 0
+        assert pretty(serial.final.best_term) == pretty(parallel.final.best_term)
+        assert [s.enodes for s in serial.steps] == [s.enodes for s in parallel.steps]
+        assert [s.matches for s in serial.steps] == [s.matches for s in parallel.steps]
+        assert [s.unions for s in serial.steps] == [s.unions for s in parallel.steps]
+        assert serial.stop_reason == parallel.stop_reason
+        for name, stats in serial.rule_stats.items():
+            other = parallel.rule_stats[name]
+            assert (stats.matches_found, stats.matches_applied, stats.unions) == (
+                other.matches_found, other.matches_applied, other.unions
+            ), name
+
+    def test_apply_only_parallelism(self):
+        # apply_workers without search_workers still plans on the pool.
+        serial = _run_kernel("axpy", 1, 1, step_limit=3, node_limit=3000)
+        parallel = _run_kernel("axpy", 1, 3, step_limit=3, node_limit=3000)
+        assert parallel.parallel_apply_steps > 0
+        assert parallel.parallel_steps == 0
+        assert pretty(serial.final.best_term) == pretty(parallel.final.best_term)
+
+    def test_apply_cpu_telemetry(self):
+        serial = _run_kernel("memset", 1, 1, step_limit=3, node_limit=3000)
+        totals = serial.total_phases()
+        # Serial: apply_cpu is the apply wall clock.
+        assert totals.apply_cpu == pytest.approx(totals.apply, rel=0.05)
+        parallel = _run_kernel("memset", 1, 3, step_limit=3, node_limit=3000)
+        assert parallel.total_phases().apply_cpu > 0.0
+
+    def test_snapshot_bytes_recorded_after_publish(self):
+        kernel = registry.get("memset")
+        target = blas_target()
+        egraph = EGraph(ShapeAnalysis(kernel.symbol_shapes))
+        egraph.add_term(kernel.term)
+        egraph.rebuild()
+        searcher = ParallelSearch(egraph, target.rules, workers=2)
+        try:
+            tasks = [(i, None) for i in range(len(target.rules))]
+            searcher.run_tasks(tasks, [1.0] * len(tasks), None)
+            assert searcher.parallel_steps == 1
+            assert searcher.snapshot_bytes > 0
+        finally:
+            searcher.close()
+
+
+class TestLimitsKnob:
+    def test_env_and_validation(self, monkeypatch):
+        from repro.api import Limits
+
+        monkeypatch.setenv("REPRO_APPLY_WORKERS", "3")
+        assert Limits.from_env().apply_workers == 3
+        monkeypatch.delenv("REPRO_APPLY_WORKERS")
+        assert Limits.from_env().apply_workers == 1
+        with pytest.raises(ValueError):
+            Limits(apply_workers=0)
+
+    def test_excluded_from_cache_key(self):
+        from repro.api import Limits
+
+        assert Limits(apply_workers=4).key() == Limits().key()
+
+    def test_serialized_in_dicts(self):
+        from repro.api import Limits
+
+        limits = Limits(apply_workers=4)
+        assert limits.to_dict()["apply_workers"] == 4
+        assert Limits.from_dict(limits.to_dict()) == limits
+        # Pre-apply-planning dicts still load.
+        legacy = {"step_limit": 8, "node_limit": 12_000, "time_limit": 120.0}
+        assert Limits.from_dict(legacy).apply_workers == 1
+
+    def test_override_keyword(self):
+        from repro.api import Limits
+
+        assert Limits().override(apply_workers=4).apply_workers == 4
+
+
+@needs_fork
+class TestCli:
+    def test_apply_workers_flag(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "memset", "-t", "blas", "--steps", "3", "--nodes", "3000",
+            "--apply-workers", "2", "-q",
+        ])
+        assert code == 0

@@ -84,7 +84,7 @@ class TestDeterminism:
                 rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x")),
                 rewrite("commute", pmul(pv("a"), pv("b")), pmul(pv("b"), pv("a"))),
             ]
-            from repro.egraph import AstSizeCost
+            from repro.extraction import AstSizeCost
             return Runner(eg, rules, step_limit=6, search_workers=workers).run(
                 root, cost_model=AstSizeCost()
             )

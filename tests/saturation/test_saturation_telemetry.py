@@ -64,7 +64,7 @@ class TestRunnerTelemetry:
             rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x")),
             rewrite("commute", pmul(pv("a"), pv("b")), pmul(pv("b"), pv("a"))),
         ]
-        from repro.egraph import AstSizeCost
+        from repro.extraction import AstSizeCost
         return Runner(eg, rules, step_limit=6).run(
             root, cost_model=AstSizeCost())
 

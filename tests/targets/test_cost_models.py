@@ -4,7 +4,8 @@ import math
 
 import pytest
 
-from repro.egraph import EGraph, Extractor, ShapeAnalysis
+from repro.egraph import EGraph, ShapeAnalysis
+from repro.extraction import GreedyExtractor as Extractor
 from repro.ir import parse
 from repro.ir.shapes import SCALAR, matrix, vector
 from repro.targets import (
@@ -134,7 +135,7 @@ class TestTargets:
         assert set(torch.library_functions) <= set(torch.runtime)
 
     def test_pure_c_never_extracts_calls(self):
-        from repro.egraph import Extractor
+        from repro.extraction import GreedyExtractor as Extractor
 
         eg = EGraph(ShapeAnalysis({"A": vector(4), "B": vector(4)}))
         root = eg.add_term(parse("dot(A, B)"))

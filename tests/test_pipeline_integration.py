@@ -8,7 +8,7 @@ full table settings.
 import pytest
 
 from repro.backend.executor import verify_solution
-from repro.egraph.runner import StopReason
+from repro.saturation import StopReason
 from repro.ir.terms import Call, subterms
 from repro.kernels import registry
 from repro.pipeline import optimize, optimize_term

@@ -13,7 +13,9 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.backend.executor import outputs_match
 from repro.backend.library_runtime import blas_runtime, pytorch_runtime
-from repro.egraph import EGraph, Extractor, Runner, ShapeAnalysis
+from repro.egraph import EGraph, ShapeAnalysis
+from repro.extraction import GreedyExtractor as Extractor
+from repro.saturation import Runner
 from repro.ir import builders as b
 from repro.ir.interp import evaluate
 from repro.ir.shapes import SCALAR, vector
