@@ -59,17 +59,15 @@ def mem_report():
     for kernel, target in pairs:
         result = optimize_pair(kernel, target)
         egraph = result.egraph
-        entry = {
+        store = egraph.freeze()
+        entries[f"{kernel}/{target}"] = {
             "enodes": egraph.num_nodes,
             "eclasses": egraph.num_classes,
-        }
-        if egraph.is_flat:
-            store = egraph.freeze()
-            entry["snapshot_bytes"] = store.nbytes
-            entry["snapshot_bytes_per_enode"] = round(
+            "snapshot_bytes": store.nbytes,
+            "snapshot_bytes_per_enode": round(
                 store.nbytes / max(1, egraph.num_nodes), 1
-            )
-        entries[f"{kernel}/{target}"] = entry
+            ),
+        }
     report = {
         "schema": REPORT_SCHEMA,
         "peak_rss_kb": _peak_rss_kb(),
@@ -90,8 +88,6 @@ def test_snapshots_are_columnar_sized(mem_report):
     e-node.  Hundreds would mean object-graph serialization crept back
     into the worker protocol."""
     for key, entry in mem_report["entries"].items():
-        if "snapshot_bytes" not in entry:
-            pytest.skip("suite running with REPRO_FLAT_STORE=0")
         assert entry["snapshot_bytes"] > 0, key
         assert entry["snapshot_bytes_per_enode"] < 500, (
             f"{key}: {entry['snapshot_bytes_per_enode']} bytes/e-node — "

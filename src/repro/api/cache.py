@@ -69,13 +69,13 @@ class ResultCache:
         self._reports: Dict[str, OptimizationReport] = {}
 
     # -- tier 1: full in-process results --------------------------------
-    def get_result(self, key: str):
+    def get_result(self, key: str) -> Optional[object]:
         result = self._results.get(key)
         if result is not None:
             self.stats.hits += 1
         return result
 
-    def put_result(self, key: str, result) -> None:
+    def put_result(self, key: str, result: object) -> None:
         self._results[key] = result
 
     def drop_result(self, key: str) -> None:

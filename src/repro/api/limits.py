@@ -28,6 +28,10 @@ all resolve through it, and the environment knobs
 * ``REPRO_TOP_K`` — how many cheapest distinct solutions to enumerate
   at the root after the run (1 = just the best;
   :mod:`repro.extraction.topk`),
+* ``REPRO_CHECK`` — ``1``/``true`` runs the e-graph invariant verifier
+  (:mod:`repro.check.egraph`) after every saturation step and aborts
+  on the first violation (off by default: the sweep is O(graph) per
+  step and exists for debugging/CI, not the hot path),
 
 override the defaults everywhere at once.
 """
@@ -77,6 +81,7 @@ class Limits:
     extractor: str = "greedy"
     top_k: int = 1
     apply_workers: int = 1
+    check: bool = False
 
     def __post_init__(self) -> None:
         if self.step_limit < 0:
@@ -125,6 +130,8 @@ class Limits:
             apply_workers=int(
                 env.get("REPRO_APPLY_WORKERS", base.apply_workers)
             ),
+            check=env.get("REPRO_CHECK", "").strip().lower()
+            in ("1", "true", "yes", "on"),
         )
 
     def override(
@@ -138,6 +145,7 @@ class Limits:
         extractor: Optional[str] = None,
         top_k: Optional[int] = None,
         apply_workers: Optional[int] = None,
+        check: Optional[bool] = None,
     ) -> "Limits":
         """A copy with any non-``None`` field replaced.
 
@@ -155,6 +163,7 @@ class Limits:
                 ("extractor", extractor),
                 ("top_k", top_k),
                 ("apply_workers", apply_workers),
+                ("check", check),
             )
             if value is not None
         }
@@ -172,6 +181,7 @@ class Limits:
             "extractor": self.extractor,
             "top_k": self.top_k,
             "apply_workers": self.apply_workers,
+            "check": self.check,
         }
 
     def to_dict(self) -> dict:
@@ -192,6 +202,7 @@ class Limits:
             extractor=str(data.get("extractor", "greedy")),
             top_k=int(data.get("top_k", 1)),
             apply_workers=int(data.get("apply_workers", 1)),
+            check=bool(data.get("check", False)),
         )
 
     def key(self) -> tuple:
@@ -212,6 +223,8 @@ class Limits:
         non-default, so every pre-extraction-engine cache entry stays
         valid — and since both change the produced report (preferred
         solutions, candidate lists), they must join when set.
+        ``check`` is excluded like the worker counts: the invariant
+        verifier observes the run without changing its results.
         """
         base = (self.step_limit, self.node_limit, self.time_limit,
                 self.scheduler)

@@ -42,6 +42,8 @@ from ..kernels.base import Kernel, KernelRegistry
 from ..targets.base import Target
 
 if TYPE_CHECKING:  # pipeline imports Limits from here; stay lazy at runtime
+    from ..check.diagnostics import Diagnostic
+    from ..egraph.egraph import EGraph
     from ..pipeline import OptimizationResult
 from .cache import ResultCache
 from .limits import Limits
@@ -98,7 +100,9 @@ def _execute_payload(payload: dict, registry: TargetRegistry,
 from ..saturation.parallel import fork_available as _fork_available
 
 
-def _evict_adhoc(session_ref, ident: int, token: str) -> None:
+def _evict_adhoc(
+    session_ref: "weakref.ref[Session]", ident: int, token: str
+) -> None:
     """Finalizer for ad-hoc targets; weak session ref avoids pinning
     the session for as long as a caller's target lives."""
     session = session_ref()
@@ -175,6 +179,36 @@ class Session:
     def target_names(self) -> List[str]:
         return self.registry.names()
 
+    # ------------------------------------------------------------------
+    # static checks (repro.check)
+    # ------------------------------------------------------------------
+    def check_rules(
+        self, target: Union[str, Target, None] = None
+    ) -> List["Diagnostic"]:
+        """Statically analyze rewrite rules (see :mod:`repro.check.rules`).
+
+        With no argument, analyzes every shipped rule-set; with a
+        target (name or object), analyzes that target's assembled rule
+        list."""
+        from ..check.rules import RULESETS, analyze_rules, analyze_ruleset
+
+        if target is None:
+            findings: List["Diagnostic"] = []
+            for name in RULESETS:
+                findings.extend(analyze_ruleset(name))
+            return findings
+        target_obj = self.target(target) if isinstance(target, str) else target
+        return analyze_rules(
+            list(target_obj.rules), location=target_obj.name
+        )
+
+    def check_egraph(self, egraph: "EGraph") -> List["Diagnostic"]:
+        """Verify the representation invariants of a live e-graph
+        (see :mod:`repro.check.egraph`)."""
+        from ..check.egraph import verify
+
+        return verify(egraph)
+
     def resolve_limits(
         self,
         step_limit: Optional[int] = None,
@@ -186,10 +220,12 @@ class Session:
         extractor: Optional[str] = None,
         top_k: Optional[int] = None,
         apply_workers: Optional[int] = None,
+        check: Optional[bool] = None,
     ) -> Limits:
         return self.limits.override(step_limit, node_limit, time_limit,
                                     scheduler, search_workers, rule_profile,
-                                    extractor, top_k, apply_workers)
+                                    extractor, top_k, apply_workers,
+                                    check=check)
 
     @property
     def stats(self) -> dict:
@@ -215,6 +251,7 @@ class Session:
         extractor: Optional[str] = None,
         top_k: Optional[int] = None,
         apply_workers: Optional[int] = None,
+        check: Optional[bool] = None,
     ) -> "OptimizationResult":
         """Optimize one kernel for one target, with result caching.
 
@@ -238,6 +275,7 @@ class Session:
             extractor=extractor,
             top_k=top_k,
             apply_workers=apply_workers,
+            check=check,
         )
 
     def optimize_term(
@@ -256,13 +294,15 @@ class Session:
         extractor: Optional[str] = None,
         top_k: Optional[int] = None,
         apply_workers: Optional[int] = None,
+        check: Optional[bool] = None,
     ) -> "OptimizationResult":
         """Optimize a bare IR term (see :func:`repro.pipeline.optimize_term`)."""
         from ..pipeline import optimize_term as _pipeline_optimize_term
 
         limits = self.resolve_limits(step_limit, node_limit, time_limit,
                                      scheduler, search_workers, rule_profile,
-                                     extractor, top_k, apply_workers)
+                                     extractor, top_k, apply_workers,
+                                     check=check)
         named = isinstance(target, str)
         target_obj = self.target(target) if named else target
         key = self._term_key(term, symbol_shapes, target, limits, kernel_name)
@@ -475,6 +515,7 @@ class Session:
             request.step_limit, request.node_limit, request.time_limit,
             request.scheduler, request.search_workers, request.rule_profile,
             request.extractor, request.top_k, request.apply_workers,
+            check=request.check,
         )
         payload: dict = {"target": request.target, "limits": limits.to_dict()}
         if request.kernel is not None:

@@ -16,10 +16,14 @@ import hashlib
 import json
 import math
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
 
 from ..ir.shapes import Array, Scalar, Shape
 from ..ir.terms import Term
+
+if TYPE_CHECKING:  # pipeline imports this module; stay lazy at runtime
+    from ..pipeline import OptimizationResult
+    from .limits import Limits
 
 __all__ = [
     "OptimizationRequest",
@@ -84,6 +88,7 @@ class OptimizationRequest:
     rule_profile: Optional[str] = None  # telemetry profile for pruning
     extractor: Optional[str] = None  # "greedy" | "dag"
     top_k: Optional[int] = None  # enumerate k cheapest distinct solutions
+    check: Optional[bool] = None  # verify e-graph invariants per step
 
     def __post_init__(self) -> None:
         if (self.kernel is None) == (self.term is None):
@@ -159,7 +164,12 @@ class OptimizationReport:
     candidates: Optional[list] = None
 
     @classmethod
-    def from_result(cls, result, limits, seconds: float = 0.0) -> "OptimizationReport":
+    def from_result(
+        cls,
+        result: "OptimizationResult",
+        limits: "Limits",
+        seconds: float = 0.0,
+    ) -> "OptimizationReport":
         """Digest a :class:`~repro.pipeline.OptimizationResult`."""
         from ..ir.printer import pretty
         from ..saturation.telemetry import rule_stats_to_dict

@@ -1,0 +1,563 @@
+"""Static soundness analyzer for rewrite rules.
+
+For every :class:`~repro.egraph.rewrite.Rule` the analyzer verifies,
+without building an e-graph:
+
+* **RC101** — every metavariable / size variable the right-hand side
+  instantiates is bound by the left-hand side (an unbound variable
+  raises :class:`InstantiationError` at apply time, i.e. the rule can
+  never fire without crashing);
+* **RC102** — binder hygiene: each occurrence of a metavariable sits at
+  the same *level* (binder depth minus declared shift) on both sides.
+  Matching unshifts the bound subterm by ``shift`` and instantiation
+  re-shifts by the occurrence's ``shift``; a level mismatch means a
+  free De Bruijn variable is silently captured or dangles
+  (:mod:`repro.ir.debruijn` semantics);
+* **RC103** — pattern well-formedness: operator arity and payload type
+  against the IR constructors (the table :func:`repro.egraph.enode.
+  term_to_parts` defines);
+* **RC104** — shape preservation: both sides are instantiated with
+  fresh symbols / concrete size-variable assignments and run through
+  :func:`repro.ir.shapes.infer_shape`; sides whose shapes *definitely*
+  conflict (``join`` raises) make the rewrite shape-changing and
+  therefore unsound.
+
+Plus saturation-hygiene lints: RC201 (ill-shaped, never-firing LHS),
+RC202 (expansion-only rule), RC203 (duplicate modulo renaming and
+commutativity), RC204 (nonlinear pattern relying on structural term
+equality), RC206 (dynamic applier — RHS opaque, LHS-only checks).
+
+Lints are suppressible with a ``# repro: ignore[RCxxx]`` comment on the
+source line that names the rule (see CONTRIBUTING.md).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import re
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..egraph.pattern import PNode, Pattern, PVar, SizeVar
+from ..egraph.rewrite import Rule
+from ..ir import terms
+from ..ir.shapes import ShapeError, infer_shape, join
+from .diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "RULESETS",
+    "analyze_rules",
+    "analyze_ruleset",
+    "collect_suppressions",
+]
+
+#: The shipped rule-sets ``repro check-rules`` analyzes by default:
+#: name → (module, factory attribute).
+RULESETS: Dict[str, Tuple[str, str]] = {
+    "scalar": ("repro.rules.scalar", "scalar_rules"),
+    "core": ("repro.rules.core", "core_rules"),
+    "blas": ("repro.rules.blas", "blas_rules"),
+    "pytorch": ("repro.rules.pytorch", "pytorch_rules"),
+}
+
+# ---------------------------------------------------------------------------
+# Pattern well-formedness (RC103)
+# ---------------------------------------------------------------------------
+
+#: Fixed-arity operators (``call`` is variadic), mirroring
+#: :func:`repro.egraph.enode.term_to_parts`.
+_ARITY: Dict[str, int] = {
+    "var": 0,
+    "const": 0,
+    "symbol": 0,
+    "lam": 1,
+    "build": 1,
+    "fst": 1,
+    "snd": 1,
+    "app": 2,
+    "index": 2,
+    "ifold": 2,
+    "tuple": 2,
+}
+
+_BINDER_OPS = frozenset({"lam"})
+
+
+def _payload_problem(op: str, payload: object) -> Optional[str]:
+    """Why ``payload`` is invalid for ``op`` (``None`` when it is fine)."""
+    if op == "var":
+        if not isinstance(payload, int) or payload < 0:
+            return f"var payload must be a De Bruijn index, got {payload!r}"
+    elif op == "const":
+        if not isinstance(payload, (int, float, bool)):
+            return f"const payload must be a number, got {payload!r}"
+    elif op in ("symbol", "call"):
+        if not isinstance(payload, str) or not payload:
+            return f"{op} payload must be a non-empty name, got {payload!r}"
+    elif op in ("build", "ifold"):
+        if isinstance(payload, SizeVar):
+            return None
+        if not isinstance(payload, int) or payload <= 0:
+            return (
+                f"{op} payload must be a positive size or SizeVar, "
+                f"got {payload!r}"
+            )
+    else:
+        if payload is not None:
+            return f"{op} takes no payload, got {payload!r}"
+    return None
+
+
+def _walk(pattern: Pattern, depth: int = 0) -> Iterator[Tuple[Pattern, int]]:
+    """Yield ``(node, binder_depth)`` over the pattern tree."""
+    yield pattern, depth
+    if isinstance(pattern, PNode):
+        child_depth = depth + 1 if pattern.op in _BINDER_OPS else depth
+        for child in pattern.children:
+            yield from _walk(child, child_depth)
+
+
+def _check_wellformed(
+    pattern: Pattern, rule: str, side: str, location: Optional[str]
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for node, _depth in _walk(pattern):
+        if not isinstance(node, PNode):
+            continue
+        if node.op != "call" and node.op not in _ARITY:
+            out.append(Diagnostic(
+                "RC103", Severity.ERROR,
+                f"{side}: unknown operator {node.op!r}",
+                rule=rule, location=location,
+            ))
+            continue
+        if node.op != "call" and len(node.children) != _ARITY[node.op]:
+            out.append(Diagnostic(
+                "RC103", Severity.ERROR,
+                f"{side}: {node.op!r} takes {_ARITY[node.op]} "
+                f"child(ren), pattern has {len(node.children)}",
+                rule=rule, location=location,
+            ))
+        problem = _payload_problem(node.op, node.payload)
+        if problem:
+            out.append(Diagnostic(
+                "RC103", Severity.ERROR, f"{side}: {problem}",
+                rule=rule, location=location,
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Binding and hygiene (RC101 / RC102 / RC204)
+# ---------------------------------------------------------------------------
+
+
+def _var_occurrences(pattern: Pattern) -> Dict[str, List[Tuple[int, bool]]]:
+    """Metavariable name → list of ``(level, term_mode)`` occurrences.
+
+    ``level`` is binder depth minus the occurrence's declared shift —
+    the De Bruijn level the bound subterm is expressed at.
+    """
+    out: Dict[str, List[Tuple[int, bool]]] = {}
+    for node, depth in _walk(pattern):
+        if isinstance(node, PVar):
+            term_mode = node.shift > 0 or node.as_term
+            out.setdefault(node.name, []).append((depth - node.shift, term_mode))
+    return out
+
+
+def _size_vars(pattern: Pattern) -> Set[str]:
+    return {
+        node.payload.name
+        for node, _ in _walk(pattern)
+        if isinstance(node, PNode) and isinstance(node.payload, SizeVar)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Shape preservation (RC104 / RC201)
+# ---------------------------------------------------------------------------
+
+
+def _size_env(lhs: Pattern, rhs: Optional[Pattern]) -> Dict[str, int]:
+    """Assign each size variable a distinct concrete dimension."""
+    names = sorted(_size_vars(lhs) | (_size_vars(rhs) if rhs else set()))
+    return {name: 3 + i for i, name in enumerate(names)}
+
+
+def _pattern_term(pattern: Pattern, sizes: Mapping[str, int]) -> terms.Term:
+    """Instantiate a pattern as a concrete term: metavariables become
+    fresh closed ``Symbol("?name")`` placeholders (shape Unknown), size
+    variables their assigned dimensions."""
+    if isinstance(pattern, PVar):
+        return terms.Symbol(f"?{pattern.name}")
+    assert isinstance(pattern, PNode)
+    payload = pattern.payload
+    if isinstance(payload, SizeVar):
+        payload = sizes[payload.name]
+    kids = [_pattern_term(c, sizes) for c in pattern.children]
+    op = pattern.op
+    if op == "var":
+        return terms.Var(payload)
+    if op == "const":
+        return terms.Const(payload)
+    if op == "symbol":
+        return terms.Symbol(payload)
+    if op == "lam":
+        return terms.Lam(kids[0])
+    if op == "app":
+        return terms.App(kids[0], kids[1])
+    if op == "build":
+        return terms.Build(payload, kids[0])
+    if op == "index":
+        return terms.Index(kids[0], kids[1])
+    if op == "ifold":
+        return terms.IFold(payload, kids[0], kids[1])
+    if op == "tuple":
+        return terms.Tuple(kids[0], kids[1])
+    if op == "fst":
+        return terms.Fst(kids[0])
+    if op == "snd":
+        return terms.Snd(kids[0])
+    if op == "call":
+        return terms.Call(payload, tuple(kids))
+    raise ValueError(f"unknown pattern op {op!r}")
+
+
+def _max_free_level(pattern: Pattern) -> int:
+    """Highest free De Bruijn level referenced by the pattern, -1 if
+    closed.  A ``pdb(i)`` at binder depth ``d`` is free iff ``i >= d``."""
+    top = -1
+    for node, depth in _walk(pattern):
+        if isinstance(node, PNode) and node.op == "var":
+            index = node.payload
+            if isinstance(index, int) and index >= depth:
+                top = max(top, index - depth)
+    return top
+
+
+def _shape_diagnostics(
+    rule: str, lhs: Pattern, rhs: Optional[Pattern], location: Optional[str]
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    sizes = _size_env(lhs, rhs)
+    try:
+        lhs_term = _pattern_term(lhs, sizes)
+        rhs_term = _pattern_term(rhs, sizes) if rhs is not None else None
+    except (ValueError, TypeError, IndexError, KeyError):
+        return out  # malformed pattern: RC103 already reported it
+
+    # RC201: an LHS that cannot type under *any* instantiation never
+    # matches a well-typed e-graph.  Close free De Bruijn variables
+    # with lambdas so only genuine ill-shapedness (e.g. indexing a
+    # constant) trips strict inference.
+    wrapped = lhs_term
+    for _ in range(_max_free_level(lhs) + 1):
+        wrapped = terms.Lam(wrapped)
+    try:
+        infer_shape(wrapped, {}, strict=True)
+    except ShapeError as exc:
+        out.append(Diagnostic(
+            "RC201", Severity.WARNING,
+            f"left-hand side cannot match any well-typed term: {exc}",
+            rule=rule, location=location,
+        ))
+    if rhs_term is None:
+        return out
+
+    # RC104: lenient inference on both sides, then a definite conflict
+    # between the results (Unknown never conflicts) means the rewrite
+    # changes the shape of the matched class.
+    lhs_shape = infer_shape(lhs_term, {}, strict=False)
+    rhs_shape = infer_shape(rhs_term, {}, strict=False)
+    try:
+        join(lhs_shape, rhs_shape)
+    except ShapeError:
+        out.append(Diagnostic(
+            "RC104", Severity.ERROR,
+            f"left-hand side has shape {lhs_shape!r} but right-hand "
+            f"side has shape {rhs_shape!r} under a common instantiation",
+            rule=rule, location=location,
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Lints: expansion (RC202) and duplicates (RC203)
+# ---------------------------------------------------------------------------
+
+
+def _pattern_size(pattern: Pattern) -> int:
+    return sum(1 for _ in _walk(pattern))
+
+
+def _contains(hay: Pattern, needle: Pattern) -> bool:
+    if hay == needle:
+        return True
+    if isinstance(hay, PNode):
+        return any(_contains(child, needle) for child in hay.children)
+    return False
+
+
+def _commutative_ops(rules: Sequence[Rule]) -> Set[Tuple[str, object]]:
+    """(op, payload) pairs some rule in the set declares commutative,
+    i.e. a pure ``f(?a, ?b) → f(?b, ?a)`` rule exists."""
+    out: Set[Tuple[str, object]] = set()
+    for rule in rules:
+        lhs, rhs = rule.searcher, rule.rhs
+        if not (isinstance(lhs, PNode) and isinstance(rhs, PNode)):
+            continue
+        if lhs.op != rhs.op or lhs.payload != rhs.payload:
+            continue
+        if len(lhs.children) != 2 or len(rhs.children) != 2:
+            continue
+        a, b = lhs.children
+        if (
+            isinstance(a, PVar) and isinstance(b, PVar)
+            and a != b and rhs.children == (b, a)
+        ):
+            out.add((lhs.op, lhs.payload))
+    return out
+
+
+def _blind_key(pattern: Pattern) -> str:
+    """Name-independent ordering key for commutative-child sorting."""
+    if isinstance(pattern, PVar):
+        return f"?:{pattern.shift}:{pattern.as_term}"
+    assert isinstance(pattern, PNode)
+    kids = ",".join(_blind_key(c) for c in pattern.children)
+    return f"{pattern.op}:{pattern.payload!r}:({kids})"
+
+
+def _sort_commutative(
+    pattern: Pattern, commutative: Set[Tuple[str, object]]
+) -> Pattern:
+    if isinstance(pattern, PVar):
+        return pattern
+    assert isinstance(pattern, PNode)
+    kids = tuple(_sort_commutative(c, commutative) for c in pattern.children)
+    if (pattern.op, pattern.payload) in commutative:
+        kids = tuple(sorted(kids, key=_blind_key))
+    return PNode(pattern.op, pattern.payload, kids)
+
+
+def _canonical(pattern: Pattern, names: Dict[str, str]) -> str:
+    """Serialize with metavariables renamed in traversal order."""
+    if isinstance(pattern, PVar):
+        alias = names.setdefault(pattern.name, f"v{len(names)}")
+        return f"?{alias}:{pattern.shift}:{pattern.as_term}"
+    assert isinstance(pattern, PNode)
+    payload = pattern.payload
+    if isinstance(payload, SizeVar):
+        alias = names.setdefault(f"${payload.name}", f"v{len(names)}")
+        payload_repr = f"${alias}"
+    else:
+        payload_repr = repr(payload)
+    kids = ",".join(_canonical(c, names) for c in pattern.children)
+    return f"{pattern.op}:{payload_repr}:({kids})"
+
+
+def _rule_key(
+    lhs: Pattern, rhs: Pattern, commutative: Set[Tuple[str, object]]
+) -> Tuple[str, str]:
+    names: Dict[str, str] = {}
+    lhs_key = _canonical(_sort_commutative(lhs, commutative), names)
+    rhs_key = _canonical(_sort_commutative(rhs, commutative), names)
+    return lhs_key, rhs_key
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+_IGNORE_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)\]")
+_NAME_RE = re.compile(r"""["']([^"']+)["']""")
+
+
+def collect_suppressions(source_holder: object) -> Dict[str, Set[str]]:
+    """Scan Python source for ``# repro: ignore[RCxxx]`` tags.
+
+    A tag suppresses the listed codes for every rule whose name appears
+    as a string literal on the same source line, e.g.::
+
+        return rewrite("My-Rule", lhs, rhs)  # repro: ignore[RC202]
+
+    ``source_holder`` is anything :func:`inspect.getsource` accepts
+    (module, function, class).  Unreadable sources yield no
+    suppressions.
+    """
+    try:
+        source = inspect.getsource(source_holder)  # type: ignore[arg-type]
+    except (OSError, TypeError):
+        return {}
+    out: Dict[str, Set[str]] = {}
+    for line in source.splitlines():
+        tag = _IGNORE_RE.search(line)
+        if not tag:
+            continue
+        codes = {code.strip() for code in tag.group(1).split(",")}
+        for name in _NAME_RE.findall(line[: tag.start()]):
+            out.setdefault(name, set()).update(codes)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The analyzer
+# ---------------------------------------------------------------------------
+
+
+def _analyze_one(
+    rule: Rule, location: Optional[str]
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    lhs, rhs = rule.searcher, rule.rhs
+
+    out.extend(_check_wellformed(lhs, rule.name, "LHS", location))
+    if rhs is not None:
+        out.extend(_check_wellformed(rhs, rule.name, "RHS", location))
+
+    lhs_vars = _var_occurrences(lhs)
+    lhs_sizes = _size_vars(lhs)
+
+    # RC204: repeated LHS metavariable where at least one occurrence is
+    # term-mode — the matcher compares *structures*, not classes, so
+    # semantically equal but syntactically distinct terms won't match.
+    for name, occurrences in lhs_vars.items():
+        if len(occurrences) > 1 and any(term for _, term in occurrences):
+            out.append(Diagnostic(
+                "RC204", Severity.NOTE,
+                f"metavariable ?{name} occurs {len(occurrences)} times "
+                "with a term-mode occurrence; the match requires "
+                "structural equality of the bound subterms",
+                rule=rule.name, location=location,
+            ))
+
+    if rhs is None:
+        out.append(Diagnostic(
+            "RC206", Severity.NOTE,
+            "dynamic applier: the right-hand side is opaque Python, "
+            "only left-hand-side checks were applied",
+            rule=rule.name, location=location,
+        ))
+    else:
+        rhs_vars = _var_occurrences(rhs)
+        # RC101: everything the RHS instantiates must be bound.
+        for name in sorted(set(rhs_vars) - set(lhs_vars)):
+            out.append(Diagnostic(
+                "RC101", Severity.ERROR,
+                f"right-hand side uses metavariable ?{name} which the "
+                "left-hand side never binds",
+                rule=rule.name, location=location,
+            ))
+        for name in sorted(_size_vars(rhs) - lhs_sizes):
+            out.append(Diagnostic(
+                "RC101", Severity.ERROR,
+                f"right-hand side uses size variable ?{name} which the "
+                "left-hand side never binds",
+                rule=rule.name, location=location,
+            ))
+        # RC102: every RHS occurrence must sit at a level the LHS bound
+        # the variable at; otherwise instantiation re-shifts the
+        # subterm across a different number of binders than matching
+        # unshifted it by, capturing or dangling free variables.
+        for name, occurrences in rhs_vars.items():
+            if name not in lhs_vars:
+                continue
+            lhs_levels = {level for level, _ in lhs_vars[name]}
+            for level, _ in occurrences:
+                if level not in lhs_levels:
+                    out.append(Diagnostic(
+                        "RC102", Severity.ERROR,
+                        f"metavariable ?{name} is bound at binder "
+                        f"level(s) {sorted(lhs_levels)} on the "
+                        f"left-hand side but instantiated at level "
+                        f"{level} on the right-hand side (De Bruijn "
+                        "capture)",
+                        rule=rule.name, location=location,
+                    ))
+        # RC202: the LHS appearing intact inside a larger RHS can only
+        # grow the e-graph; saturation never terminates through it.
+        if _contains(rhs, lhs) and _pattern_size(rhs) > _pattern_size(lhs):
+            out.append(Diagnostic(
+                "RC202", Severity.WARNING,
+                "expansion-only rule: the left-hand side appears "
+                "intact inside the strictly larger right-hand side",
+                rule=rule.name, location=location,
+            ))
+
+    out.extend(_shape_diagnostics(rule.name, lhs, rhs, location))
+    return out
+
+
+def analyze_rules(
+    rules: Sequence[Rule],
+    *,
+    suppressions: Optional[Mapping[str, Iterable[str]]] = None,
+    location: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Statically analyze ``rules``, returning deduplicated findings.
+
+    ``suppressions`` maps rule names to diagnostic codes to drop (the
+    programmatic form of the ``# repro: ignore[...]`` source tag);
+    ``location`` labels findings (usually the rule-set name).
+    """
+    findings: List[Diagnostic] = []
+    for rule in rules:
+        findings.extend(_analyze_one(rule, location))
+
+    # RC203: duplicates modulo metavariable renaming and declared
+    # commutativity, across the whole set.
+    commutative = _commutative_ops(rules)
+    seen: Dict[Tuple[str, str], str] = {}
+    for rule in rules:
+        if rule.rhs is None:
+            continue
+        key = _rule_key(rule.searcher, rule.rhs, commutative)
+        earlier = seen.get(key)
+        if earlier is not None and earlier != rule.name:
+            findings.append(Diagnostic(
+                "RC203", Severity.WARNING,
+                f"duplicate of rule {earlier!r} modulo metavariable "
+                "renaming and commutativity",
+                rule=rule.name, location=location,
+            ))
+        else:
+            seen.setdefault(key, rule.name)
+
+    if suppressions:
+        muted = {name: set(codes) for name, codes in suppressions.items()}
+        findings = [
+            d for d in findings
+            if not (d.rule and d.code in muted.get(d.rule, ()))
+        ]
+    return list(dict.fromkeys(findings))
+
+
+def analyze_ruleset(name: str) -> List[Diagnostic]:
+    """Analyze one shipped rule-set by name (see :data:`RULESETS`),
+    honouring ``# repro: ignore[...]`` tags in its defining module."""
+    try:
+        module_name, factory_name = RULESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(RULESETS))
+        raise ValueError(f"unknown rule-set {name!r} (known: {known})") from None
+    module = importlib.import_module(module_name)
+    rules = getattr(module, factory_name)()
+    suppressions = collect_suppressions(module)
+    # Rules assembled from other modules (engine-level dynamic rules)
+    # may carry tags where they are defined, too.
+    from ..egraph import rewrite as rewrite_module
+
+    for rule_name, codes in collect_suppressions(rewrite_module).items():
+        suppressions.setdefault(rule_name, set()).update(codes)
+    return analyze_rules(rules, suppressions=suppressions, location=name)

@@ -14,6 +14,9 @@ Examples::
     python -m repro --extractor dag          # DAG-aware extraction
     python -m repro gemv --top-k 3 --run     # time the 3 cheapest solutions
     python -m repro --provenance prov.json   # dump solution_rules per run
+    python -m repro check-rules              # static rule-soundness analysis
+    python -m repro check-rules --ruleset blas --json
+    python -m repro check-egraph --kernel dot  # per-step invariant sweep
 
 Limits default to the unified :class:`repro.api.Limits` profile and
 honour ``REPRO_STEP_LIMIT`` / ``REPRO_NODE_LIMIT`` /
@@ -142,6 +145,11 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="persist optimization reports as JSON here and "
                              "reuse them across invocations")
+    parser.add_argument("--check", action="store_true",
+                        help="run the e-graph invariant verifier after every "
+                             "saturation step and abort on the first "
+                             "violation (default: REPRO_CHECK; off — the "
+                             "sweep is O(graph) per step)")
     parser.add_argument("--run", action="store_true",
                         help="execute and time the extracted solutions")
     parser.add_argument("--budget", type=float, default=0.25,
@@ -306,7 +314,99 @@ def _write_rule_profile(path: Path, limits, reports) -> None:
     path.write_text(json.dumps(profile, indent=2, sort_keys=True))
 
 
+def _check_rules_main(argv: List[str]) -> int:
+    """``repro check-rules``: static rule-soundness analysis."""
+    from .check import has_errors, render_json, render_text
+    from .check.rules import RULESETS, analyze_ruleset
+
+    parser = argparse.ArgumentParser(
+        prog="repro check-rules",
+        description="Statically analyze rewrite rules for soundness "
+                    "(binding, De Bruijn hygiene, arity, shape "
+                    "preservation) and saturation hygiene.",
+    )
+    parser.add_argument(
+        "--ruleset", nargs="+", choices=sorted(RULESETS), default=None,
+        help="rule-sets to analyze (default: all shipped sets)",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array")
+    args = parser.parse_args(argv)
+    findings = []
+    for name in args.ruleset or sorted(RULESETS):
+        findings.extend(analyze_ruleset(name))
+    print(render_json(findings) if args.json else render_text(findings))
+    return 1 if has_errors(findings) else 0
+
+
+def _check_egraph_main(argv: List[str]) -> int:
+    """``repro check-egraph``: saturate kernels with a per-step
+    invariant sweep and report every violation."""
+    from .check import has_errors, render_json, render_text
+    from .check.egraph import verify
+    from .egraph.analysis import ShapeAnalysis
+    from .egraph.egraph import EGraph
+    from .saturation.runner import Runner
+
+    defaults = Limits.from_env()
+    parser = argparse.ArgumentParser(
+        prog="repro check-egraph",
+        description="Run equality saturation with the e-graph invariant "
+                    "verifier at every step boundary (hashcons, "
+                    "congruence, union-find, slot store, parent lists, "
+                    "snapshot agreement).",
+    )
+    parser.add_argument("--kernel", nargs="+", default=["dot"],
+                        choices=registry.names(),
+                        help="kernels to saturate (default: dot)")
+    parser.add_argument("-t", "--target", default="blas",
+                        choices=target_registry.names(),
+                        help="target rule-set (default: blas)")
+    parser.add_argument("--steps", type=int, default=defaults.step_limit)
+    parser.add_argument("--nodes", type=int, default=defaults.node_limit)
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array")
+    args = parser.parse_args(argv)
+
+    session = Session()
+    target = session.target(args.target)
+    findings = []
+    for name in args.kernel:
+        kernel = registry.get(name)
+        egraph = EGraph(ShapeAnalysis(kernel.symbol_shapes))
+        root = egraph.add_term(kernel.term)
+        runner = Runner(
+            egraph, list(target.rules),
+            step_limit=args.steps, node_limit=args.nodes,
+            time_limit=defaults.time_limit,
+        )
+        steps_clean = []
+
+        def sweep(runner, step, _record, _kernel=name, _clean=steps_clean):
+            found = verify(runner.egraph)
+            for diagnostic in found:
+                findings.append(diagnostic)
+            if not found:
+                _clean.append(step)
+
+        runner.on_step_end.append(sweep)
+        runner.run(root, cost_model=target.cost_model)
+        if not args.json:
+            print(f"[{args.target}] {name}: {len(steps_clean)} step(s) "
+                  "verified clean")
+    if args.json:
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    return 1 if has_errors(findings) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "check-rules":
+        return _check_rules_main(argv[1:])
+    if argv and argv[0] == "check-egraph":
+        return _check_egraph_main(argv[1:])
     args = _parser().parse_args(argv)
     kernel_names = args.kernels or registry.names()
     try:
@@ -321,6 +421,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         str(args.prune_from_profile) if args.prune_from_profile else None,
         args.extractor, args.top_k,
         apply_workers=args.apply_workers,
+        check=args.check or None,
     )
     session = Session(limits, cache_dir=args.cache_dir)
     all_reports: List = []

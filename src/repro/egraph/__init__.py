@@ -98,7 +98,8 @@ __all__ = [
     "intro_fst_tuple_rule", "intro_snd_tuple_rule",
     "CandidateStrategy", "var_classes", "const_classes", "atom_classes",
     "all_classes",
-    "Runner", "RunResult", "StepRecord", "StopReason", "library_calls_of",
-    "CostModel", "AstSizeCost", "Extractor", "ExtractionResult",
+    # Deprecated names resolved lazily via __getattr__ (PEP 562):
+    "Runner", "RunResult", "StepRecord", "StopReason", "library_calls_of",  # noqa: F822
+    "CostModel", "AstSizeCost", "Extractor", "ExtractionResult",  # noqa: F822
     "ShapeAnalysis", "shape_of_class", "dims_of_class",
 ]

@@ -18,7 +18,7 @@ Extras needed by LIAR:
 * ``known_sizes``, the set of array sizes present in the graph, used to
   instantiate the free size variable of ``R-INTRO-INDEXBUILD``.
 
-Storage layout — the *slotted* store (default):
+Storage layout — the slotted store:
 
 Every e-node is assigned a dense integer **slot** when it is first
 hash-consed.  ``_slot_form[slot]`` tracks the node's *current*
@@ -30,15 +30,15 @@ class; per-class parent lists hold plain slot ints instead of
   *current* memo key (``_slot_form``), not the form recorded when the
   parent was registered, so repair can no longer miss entries that
   were re-keyed by an earlier merge and the O(memo) safety sweep the
-  object store needed every rebuild is gone;
+  previous object store needed every rebuild is gone;
 * **cheap columnar freezing** — :meth:`freeze` exports the graph as
   numpy record arrays (:class:`repro.egraph.store.FlatStore`) that
   parallel search workers attach to through shared memory instead of
   receiving a pickled object graph.
 
-``REPRO_FLAT_STORE=0`` selects the previous per-class object-graph
-representation (kept for one release; runs are byte-identical either
-way, which ``tests/egraph/test_store.py`` asserts).
+:func:`repro.check.egraph.verify` sweeps every representation
+invariant of this layout on demand (``Limits(check=True)`` /
+``REPRO_CHECK=1`` runs it after every saturation step).
 """
 
 from __future__ import annotations
@@ -52,11 +52,6 @@ from .enode import ENode, enode_to_term_shallow, term_to_parts
 from .unionfind import UnionFind
 
 __all__ = ["EGraph", "EClass", "ClassRef", "Analysis"]
-
-
-def _flat_store_default() -> bool:
-    """The slotted flat store is on unless ``REPRO_FLAT_STORE=0``."""
-    return os.environ.get("REPRO_FLAT_STORE", "1").strip() != "0"
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,16 +90,14 @@ class EClass:
     in PYTHONHASHSEED-dependent order, making saturation runs — and
     hence extracted solutions — irreproducible).
 
-    ``parents`` holds slot ints under the slotted store (the default;
-    resolve through ``EGraph._slot_form`` / ``_slot_class``) and
-    ``(parent ENode, parent class id)`` pairs under the legacy object
-    store (``REPRO_FLAT_STORE=0``).  Consumers outside this module
-    should use :meth:`EGraph.parents_of`, which hides the difference.
+    ``parents`` holds slot ints (resolve through ``EGraph._slot_form``
+    / ``_slot_class``).  Consumers outside this module should use
+    :meth:`EGraph.parents_of`.
     """
 
     class_id: int
     nodes: Dict[ENode, None] = field(default_factory=dict)
-    parents: List = field(default_factory=list)
+    parents: List[int] = field(default_factory=list)
     data: object = None
 
 
@@ -119,16 +112,7 @@ class EGraph:
       are in the same class.
     """
 
-    def __init__(
-        self,
-        analysis: Optional[Analysis] = None,
-        *,
-        flat: Optional[bool] = None,
-    ) -> None:
-        # Slotted flat store (default) vs legacy object store; decided
-        # once at construction (REPRO_FLAT_STORE=0 opts out) because
-        # the two parent representations cannot be mixed mid-graph.
-        self._flat = _flat_store_default() if flat is None else bool(flat)
+    def __init__(self, analysis: Optional[Analysis] = None) -> None:
         # slot -> the e-node's current canonical form (live memo key)
         self._slot_form: List[ENode] = []
         # slot -> the e-node's class id (kept find-compressed by repair)
@@ -203,12 +187,6 @@ class EGraph:
         """True when classes ``a`` and ``b`` have been merged."""
         return self._uf.same(a, b)
 
-    @property
-    def is_flat(self) -> bool:
-        """Whether this graph uses the slotted flat store (and hence
-        supports :meth:`freeze`)."""
-        return self._flat
-
     def has_class(self, class_id: int) -> bool:
         """True when ``class_id`` is a live canonical class id."""
         return class_id in self._classes
@@ -221,20 +199,16 @@ class EGraph:
         if eclass is None:
             return []
         find = self._uf.find
-        if self._flat:
-            slot_class = self._slot_class
-            return [find(slot_class[slot]) for slot in eclass.parents]
-        return [find(parent_class) for _node, parent_class in eclass.parents]
+        slot_class = self._slot_class
+        return [find(slot_class[slot]) for slot in eclass.parents]
 
     def _parent_entries(
         self, eclass: EClass
     ) -> List[TupleT[ENode, int]]:
-        """The class's parents as ``(current form, class id)`` pairs,
-        independent of store mode (internal; analysis propagation)."""
-        if self._flat:
-            slot_form, slot_class = self._slot_form, self._slot_class
-            return [(slot_form[slot], slot_class[slot]) for slot in eclass.parents]
-        return list(eclass.parents)
+        """The class's parents as ``(current form, class id)`` pairs
+        (internal; analysis propagation)."""
+        slot_form, slot_class = self._slot_form, self._slot_class
+        return [(slot_form[slot], slot_class[slot]) for slot in eclass.parents]
 
     def pop_dirty(self) -> Set[int]:
         """Canonical ids of every class created or merged since the
@@ -261,17 +235,11 @@ class EGraph:
         eclass.nodes[enode] = None
         self._classes[class_id] = eclass
         self._memo[enode] = class_id
-        if self._flat:
-            slot = len(self._slot_form)
-            self._slot_form.append(enode)
-            self._slot_class.append(class_id)
-            for child in enode.children:
-                self._classes[self._uf.find(child)].parents.append(slot)
-        else:
-            for child in enode.children:
-                self._classes[self._uf.find(child)].parents.append(
-                    (enode, class_id)
-                )
+        slot = len(self._slot_form)
+        self._slot_form.append(enode)
+        self._slot_class.append(class_id)
+        for child in enode.children:
+            self._classes[self._uf.find(child)].parents.append(slot)
         if enode.op in ("build", "ifold"):
             self.known_sizes.add(enode.payload)  # type: ignore[arg-type]
         if self._analysis is not None:
@@ -324,40 +292,21 @@ class EGraph:
         """Restore the congruence invariant; returns the number of
         congruence-induced unions performed."""
         unions = 0
-        if self._flat:
-            # Slot-based repair pops each parent's *current* memo key
-            # (``_slot_form``), so it cannot miss entries re-keyed by an
-            # earlier merge — the O(memo) sweep the object store needed
-            # as a safety net every rebuild is unnecessary here.
-            # ``REPRO_EGRAPH_CHECK=1`` re-enables it as an assertion.
-            while self._pending:
-                todo = {self._uf.find(class_id) for class_id in self._pending}
-                self._pending.clear()
-                for class_id in todo:
-                    unions += self._repair_flat(class_id)
-            if os.environ.get("REPRO_EGRAPH_CHECK", "").strip() == "1":
-                swept = self._sweep_memo()
-                assert not swept and not self._pending, (
-                    "flat-store repair left stale hashcons entries"
-                )
-        else:
-            while True:
-                while self._pending:
-                    todo = {
-                        self._uf.find(class_id) for class_id in self._pending
-                    }
-                    self._pending.clear()
-                    for class_id in todo:
-                        unions += self._repair(class_id)
-                # Legacy object store: parent-list repair pops the form
-                # *recorded at registration*, which can miss hashcons
-                # entries re-keyed by an earlier merge; sweep the memo
-                # so every key is canonical (egg's post-rebuild
-                # invariant).  Sweeping can itself discover
-                # congruences, hence the outer loop.
-                unions += self._sweep_memo()
-                if not self._pending:
-                    break
+        # Slot-based repair pops each parent's *current* memo key
+        # (``_slot_form``), so it cannot miss entries re-keyed by an
+        # earlier merge — no O(memo) safety sweep is needed per
+        # rebuild.  ``REPRO_EGRAPH_CHECK=1`` re-enables it as an
+        # assertion.
+        while self._pending:
+            todo = {self._uf.find(class_id) for class_id in self._pending}
+            self._pending.clear()
+            for class_id in todo:
+                unions += self._repair_flat(class_id)
+        if os.environ.get("REPRO_EGRAPH_CHECK", "").strip() == "1":
+            swept = self._sweep_memo()
+            assert not swept and not self._pending, (
+                "flat-store repair left stale hashcons entries"
+            )
         if self._analysis is not None:
             self._propagate_analysis()
         self.generation += 1
@@ -382,53 +331,16 @@ class EGraph:
             self._memo[canonical] = self._uf.find(class_id)
         return unions
 
-    def _repair(self, class_id: int) -> int:
-        """Re-canonicalize the parents of a recently merged class,
-        merging classes of now-congruent parents (egg's ``repair``)."""
-        unions = 0
-        class_id = self._uf.find(class_id)
-        eclass = self._classes.get(class_id)
-        if eclass is None:
-            return 0
-        old_parents = eclass.parents
-        # Take the parent list out before any merging below: if this
-        # class itself gets merged mid-repair, the surviving class's
-        # other parents must not be clobbered.
-        eclass.parents = []
-        # Pass 1: refresh the hashcons for every parent e-node.
-        for parent_node, parent_class in old_parents:
-            self._memo.pop(parent_node, None)
-            canonical = self.canonicalize(parent_node)
-            self._memo[canonical] = self._uf.find(parent_class)
-        # Pass 2: merge classes of parents that became congruent.
-        new_parents: Dict[ENode, int] = {}
-        for parent_node, parent_class in old_parents:
-            canonical = self.canonicalize(parent_node)
-            previous = new_parents.get(canonical)
-            if previous is not None and not self._uf.same(previous, parent_class):
-                parent_class = self.merge(previous, parent_class)
-                unions += 1
-            new_parents[canonical] = self._uf.find(parent_class)
-        survivor = self._classes.get(self._uf.find(class_id))
-        if survivor is not None:
-            survivor.parents.extend(new_parents.items())
-            survivor.nodes = {
-                self.canonicalize(node): None for node in survivor.nodes
-            }
-            for canonical, parent_class in new_parents.items():
-                self._memo[canonical] = self._uf.find(parent_class)
-        return unions
-
     def _repair_flat(self, class_id: int) -> int:
-        """Slot-based variant of :meth:`_repair`.
+        """Re-canonicalize the parents of a recently merged class,
+        merging classes of now-congruent parents (egg's ``repair``).
 
-        The crucial difference is pass 1: it pops ``_slot_form[slot]``
-        — the parent's *current* canonical form, i.e. the key that is
-        actually in the hashcons right now — where the object store
-        pops the form recorded when the parent was registered.  A form
-        re-keyed by an earlier merge is therefore always found and
-        removed, closing the repair gap that previously required an
-        O(memo) sweep after every rebuild.
+        Pass 1 pops ``_slot_form[slot]`` — the parent's *current*
+        canonical form, i.e. the key that is actually in the hashcons
+        right now — not the form recorded when the parent was
+        registered.  A form re-keyed by an earlier merge is therefore
+        always found and removed, closing the repair gap that would
+        otherwise require an O(memo) sweep after every rebuild.
         """
         unions = 0
         class_id = self._uf.find(class_id)
@@ -516,25 +428,16 @@ class EGraph:
         parent publishes it once per step through POSIX shared memory
         and workers *attach* to the arrays instead of unpickling an
         object graph, so per-step snapshot cost stops scaling with the
-        number of live Python objects.  Requires the slotted store.
+        number of live Python objects.
         """
-        if not self._flat:
-            raise RuntimeError(
-                "freeze() requires the slotted flat store "
-                "(unset REPRO_FLAT_STORE=0)"
-            )
         from .store import FlatStore
 
         return FlatStore.from_egraph(self)
 
     def prepare_search(self) -> None:
         """Warm the derived search indexes (op index, smallest-term
-        table) in this process.
-
-        The parallel search phase calls this immediately before forking
-        its worker pool so every worker inherits the indexes through
-        copy-on-write instead of each rebuilding its own; it is also a
-        cheap no-op when the indexes are already current."""
+        table) in this process; a cheap no-op when the indexes are
+        already current."""
         self.classes_by_op()
         self._size_table()
 

@@ -91,6 +91,11 @@ class Rule:
     # Computed by ``rewrite()`` for pattern rules; dynamic rules stay
     # False unless they opt in.
     snapshot_pure: bool = False
+    # The RHS pattern, when the applier is a plain pattern applier.
+    # Purely informational: the static analyzer (repro.check.rules)
+    # reads it to verify binding, hygiene, and shape preservation.
+    # Dynamic/function appliers leave it ``None``.
+    rhs: Optional[Pattern] = None
 
     def search(self, egraph: EGraph) -> List[Match]:
         """All matches of the searcher in the current e-graph.
@@ -168,6 +173,7 @@ def rewrite(name: str, lhs: Pattern, rhs: Pattern, match_limit: int = 100_000) -
         _pattern_applier(rhs),
         match_limit,
         snapshot_pure=_pattern_rule_is_pure(lhs, rhs),
+        rhs=rhs,
     )
 
 

@@ -95,6 +95,7 @@ def optimize_term(
     rule_profile: Optional[str] = DEFAULT_LIMITS["rule_profile"],
     extractor: str = DEFAULT_LIMITS["extractor"],
     top_k: int = DEFAULT_LIMITS["top_k"],
+    check: bool = DEFAULT_LIMITS["check"],
     kernel_name: str = "<term>",
 ) -> OptimizationResult:
     """Optimize a bare IR term for ``target``.
@@ -108,7 +109,9 @@ def optimize_term(
     (:mod:`repro.saturation.pruning`); ``extractor`` selects the
     per-step extraction strategy and ``top_k`` additionally enumerates
     the k cheapest distinct solutions at the root after the final step
-    (:mod:`repro.extraction`).
+    (:mod:`repro.extraction`); ``check`` runs the e-graph invariant
+    verifier after every step and aborts on the first violation
+    (:mod:`repro.check.egraph`).
     """
     rules = list(target.rules)
     pruned_rules: tuple = ()
@@ -132,6 +135,7 @@ def optimize_term(
         search_workers=search_workers,
         apply_workers=apply_workers,
         extractor=extractor,
+        check=check,
     )
     run = runner.run(root, cost_model=target.cost_model)
     candidates: tuple = ()
@@ -168,6 +172,7 @@ def optimize(
     rule_profile: Optional[str] = DEFAULT_LIMITS["rule_profile"],
     extractor: str = DEFAULT_LIMITS["extractor"],
     top_k: int = DEFAULT_LIMITS["top_k"],
+    check: bool = DEFAULT_LIMITS["check"],
 ) -> OptimizationResult:
     """Optimize ``kernel`` for ``target`` (the §VI methodology, in the
     artifact's CPU-invariant step-limited mode)."""
@@ -184,5 +189,6 @@ def optimize(
         rule_profile=rule_profile,
         extractor=extractor,
         top_k=top_k,
+        check=check,
         kernel_name=kernel.name,
     )

@@ -8,9 +8,9 @@ cost of saturation on every tier-1 kernel; see
 the same way :meth:`repro.api.Session.optimize_many` already
 parallelizes across *runs*.
 
-Worker protocol (slotted flat store, the default): one fork-based
-process pool is created per run — workers inherit the (closure-
-carrying) rule list by copy-on-write once, at pool creation.  Each
+Worker protocol: one fork-based process pool is created per run —
+workers inherit the (closure-carrying) rule list by copy-on-write
+once, at pool creation.  Each
 step the parent freezes the e-graph into a columnar
 :class:`~repro.egraph.store.FlatStore` and publishes it through a
 single ``multiprocessing.shared_memory`` segment (only when the graph
@@ -20,10 +20,6 @@ the number of live Python objects, instead of re-forking or pickling
 the object graph every step.  Superseded segments are unlinked by the
 parent; workers' existing mappings survive the unlink (POSIX) and are
 dropped when the next token arrives.
-
-Under ``REPRO_FLAT_STORE=0`` (legacy object store) the previous
-protocol is kept: a fresh pool is forked each step and workers inherit
-the whole e-graph by copy-on-write.
 
 **Apply planning**: rules whose appliers are pure functions of the
 match (``Rule.snapshot_pure`` — pattern rules that never extract, plus
@@ -88,11 +84,11 @@ SearchOutcome = Tuple[float, List[Match]]
 #: One apply-planning entry: (match index, rule index, match).
 ApplyEntry = Tuple[int, int, Match]
 
-# Worker-side state, inherited through fork.  Set in the parent
-# immediately before the pool is created; only ever read in workers.
-# ``egraph`` is None under the flat-store protocol (workers attach to
-# published snapshots instead).
-_WORKER_STATE: Optional[Tuple[Optional[EGraph], Sequence[Rule]]] = None
+# Worker-side state (the rule list), inherited through fork.  Set in
+# the parent immediately before the pool is created; only ever read in
+# workers.  Workers never inherit the e-graph itself — they attach to
+# published snapshots.
+_WORKER_STATE: Optional[Sequence[Rule]] = None
 
 # Worker-side snapshot cache: (token, attached store, snapshot view).
 # One entry — a fresh token supersedes (and unmaps) the previous one.
@@ -114,14 +110,9 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _worker_egraph(token: Optional[tuple]):
-    """The e-graph this worker should search: the fork-inherited object
-    graph (legacy) or the attached snapshot named by ``token``."""
-    assert _WORKER_STATE is not None, "search worker forked without state"
-    egraph, _rules = _WORKER_STATE
-    if token is None:
-        assert egraph is not None
-        return egraph
+def _worker_egraph(token: tuple):
+    """The e-graph this worker should search: the attached snapshot
+    named by ``token``."""
     global _WORKER_SNAPSHOT
     if _WORKER_SNAPSHOT is not None and _WORKER_SNAPSHOT[0] == token:
         return _WORKER_SNAPSHOT[2]
@@ -140,7 +131,7 @@ def _worker_egraph(token: Optional[tuple]):
 
 
 def _search_chunk(
-    token: Optional[tuple],
+    token: tuple,
     chunk: List[SearchTask],
     deadline: Optional[float],
 ) -> List[Tuple[int, float, List[Match]]]:
@@ -148,8 +139,9 @@ def _search_chunk(
     snapshot and return (rule_index, seconds, matches) triples.
     ``deadline`` is a ``perf_counter`` value — comparable across fork
     because ``CLOCK_MONOTONIC`` is system-wide."""
+    assert _WORKER_STATE is not None, "search worker forked without state"
     egraph = _worker_egraph(token)
-    _egraph, rules = _WORKER_STATE
+    rules = _WORKER_STATE
     results = []
     for rule_index, restrict in chunk:
         started = time.perf_counter()
@@ -167,7 +159,7 @@ def _apply_chunk(
     list arrived through fork.  Entries past the deadline are skipped;
     the parent computes them inline with identical results."""
     assert _WORKER_STATE is not None, "apply worker forked without state"
-    _egraph, rules = _WORKER_STATE
+    rules = _WORKER_STATE
     started = time.perf_counter()
     planned: List[Tuple[int, List[Term]]] = []
     for match_index, rule_index, match in entries:
@@ -258,14 +250,11 @@ class ParallelSearch:
 
     @property
     def apply_active(self) -> bool:
-        """Whether apply planning will try the process pool.  Requires
-        the flat store: the legacy per-step pool is torn down before
-        the apply phase runs."""
+        """Whether apply planning will try the process pool."""
         return (
             self.apply_workers > 1
             and not self.broken
             and fork_available()
-            and self.egraph.is_flat
         )
 
     def close(self) -> None:
@@ -297,10 +286,7 @@ class ParallelSearch:
         """
         if not self.active or len(tasks) < 2:
             return self._run_serial(tasks, deadline)
-        if self.egraph.is_flat:
-            outcomes = self._run_pool_shared(tasks, weights, deadline)
-        else:
-            outcomes = self._run_pool_legacy(tasks, weights, deadline)
+        outcomes = self._run_pool_shared(tasks, weights, deadline)
         missing = [task for task in tasks if task[0] not in outcomes]
         if missing:
             outcomes.update(self._run_serial(missing, deadline))
@@ -334,7 +320,7 @@ class ParallelSearch:
         # state must stay published for the pool's whole lifetime (it
         # is cleared in close()).  Workers created by any later submit
         # inherit the same rule list.
-        _WORKER_STATE = (None, self.rules)
+        _WORKER_STATE = self.rules
         try:
             self._pool = ProcessPoolExecutor(
                 max_workers=max(self.workers, self.apply_workers),
@@ -371,7 +357,7 @@ class ParallelSearch:
         weights: Sequence[float],
         deadline: Optional[float],
     ) -> Dict[int, SearchOutcome]:
-        """Flat-store protocol: persistent pool + shared snapshot."""
+        """Persistent pool + shared snapshot."""
         pool = self._ensure_pool()
         if pool is None:
             return {}
@@ -398,48 +384,6 @@ class ParallelSearch:
                     self.broken = True
         except (OSError, BrokenProcessPool):
             self.broken = True
-        if not self.broken:
-            self.parallel_steps += 1
-        return outcomes
-
-    def _run_pool_legacy(
-        self,
-        tasks: Sequence[SearchTask],
-        weights: Sequence[float],
-        deadline: Optional[float],
-    ) -> Dict[int, SearchOutcome]:
-        """Legacy object-store protocol: fork a fresh pool this step so
-        workers inherit the current e-graph by copy-on-write."""
-        global _WORKER_STATE
-        import multiprocessing
-
-        chunks = _partition(tasks, weights, min(self.workers, len(tasks)))
-        # Warm the derived search indexes (op index, smallest-term
-        # table) *before* forking so every worker inherits them via
-        # copy-on-write instead of rebuilding its own.
-        self.egraph.prepare_search()
-        outcomes: Dict[int, SearchOutcome] = {}
-        _WORKER_STATE = (self.egraph, self.rules)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=len(chunks),
-                mp_context=multiprocessing.get_context("fork"),
-            ) as pool:
-                futures = [
-                    pool.submit(_search_chunk, None, chunk, deadline)
-                    for chunk in chunks
-                ]
-                for future in futures:
-                    try:
-                        for rule_index, seconds, found in future.result():
-                            outcomes[rule_index] = (seconds, found)
-                    except (OSError, BrokenProcessPool):
-                        self.broken = True
-        except (OSError, BrokenProcessPool):
-            # The pool could not be constructed at all.
-            self.broken = True
-        finally:
-            _WORKER_STATE = None
         if not self.broken:
             self.parallel_steps += 1
         return outcomes

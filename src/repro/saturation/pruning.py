@@ -26,7 +26,9 @@ when the profile has them, otherwise runs of kernels in the same
 :func:`kernel_class` (matmul / matvec / stencil / vector families of
 the table I suite) — and when neither exists, nothing is pruned.
 Profiles recorded under a different rule set degrade gracefully: rule
-names unknown to the current target are reported via
+names unknown to the current target are reported once per (profile,
+rule set) as an **RC205** diagnostic (see
+:mod:`repro.check.diagnostics`) carried by an
 :class:`UnknownRuleWarning`, never an error.
 
 Wire-up: ``Limits(rule_profile=path)``, the ``REPRO_RULE_PROFILE``
@@ -46,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..check.diagnostics import Diagnostic, Severity
 from ..egraph.rewrite import Rule
 from .telemetry import RuleStats
 
@@ -70,7 +73,18 @@ class ProfileError(ValueError):
 
 class UnknownRuleWarning(UserWarning):
     """The profile names rules the current rule set does not contain
-    (it was recorded under a different/older rule set)."""
+    (it was recorded under a different/older rule set).
+
+    The warning text is the rendered RC205 diagnostic; the structured
+    :class:`~repro.check.diagnostics.Diagnostic` also rides on
+    ``prune_rules``'s optional ``diagnostics`` out-list.
+    """
+
+
+#: (profile path, unknown-name tuple) pairs already warned about in
+#: this process: a batch run prunes once per kernel against the same
+#: profile and must not repeat the identical warning per kernel.
+_WARNED: set = set()
 
 
 #: Table I kernel families: profiles recorded on one member are
@@ -246,13 +260,16 @@ def prune_rules(
     kernel: str,
     target: str,
     policy: Optional[PruningPolicy] = None,
+    diagnostics: Optional[List[Diagnostic]] = None,
 ) -> Tuple[List[Rule], List[str]]:
     """Split ``rules`` into (kept, pruned-names) using ``profile``.
 
     Duplicate rule names are disambiguated ``name``, ``name#2``, … —
     the same convention the runner's telemetry uses, so profile entries
     line up one-to-one with rule positions.  Profile entries naming
-    rules absent from ``rules`` trigger one :class:`UnknownRuleWarning`
+    rules absent from ``rules`` produce an RC205 diagnostic — appended
+    to ``diagnostics`` when given, and carried by one
+    :class:`UnknownRuleWarning` per (profile, unknown set) per process
     (profiles survive rule-set evolution); rules absent from the
     profile are always kept (no data, no pruning).
     """
@@ -270,13 +287,22 @@ def prune_rules(
 
     unknown = sorted(set(aggregate) - set(telemetry_names))
     if unknown:
-        warnings.warn(
+        diagnostic = Diagnostic(
+            "RC205",
+            Severity.WARNING,
             f"rule profile{f' {profile.path}' if profile.path else ''} names "
             f"{len(unknown)} rule(s) not in the current rule set "
             f"(recorded under a different rule set?): {', '.join(unknown)}",
-            UnknownRuleWarning,
-            stacklevel=2,
+            location=profile.path,
         )
+        if diagnostics is not None:
+            diagnostics.append(diagnostic)
+        key = (profile.path, tuple(unknown))
+        if key not in _WARNED:
+            _WARNED.add(key)
+            warnings.warn(
+                diagnostic.render(), UnknownRuleWarning, stacklevel=2
+            )
 
     kept: List[Rule] = []
     pruned: List[str] = []

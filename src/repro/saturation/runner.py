@@ -33,7 +33,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..ir.terms import Term, collect_calls
 from ..egraph.egraph import EGraph
@@ -215,6 +215,7 @@ class Runner:
         apply_workers: int = 1,
         applied_cap: int = 500_000,
         extractor: Union[str, type, None] = None,
+        check: bool = False,
     ) -> None:
         self.egraph = egraph
         self.rules = list(rules)
@@ -239,6 +240,19 @@ class Runner:
         # re-application is semantically idempotent, so the bound trades
         # a little rework for bounded memory on enormous runs.
         self.applied_cap = applied_cap
+        # Step-boundary hooks, called as ``hook(runner, step, record)``
+        # after each step's record lands (telemetry, tracing, the
+        # invariant verifier all attach here).  A hook that raises
+        # aborts the run.
+        self.on_step_end: List[Callable[["Runner", int, StepRecord], None]] = []
+        if check:
+            from ..check.egraph import verify_or_raise
+
+            self.on_step_end.append(
+                lambda runner, step, _record: verify_or_raise(
+                    runner.egraph, context=f"after step {step}"
+                )
+            )
 
     def run(
         self,
@@ -405,6 +419,8 @@ class Runner:
             record.seconds = time.perf_counter() - step_start
             record.phases = phases
             records.append(record)
+            for hook in self.on_step_end:
+                hook(self, step, record)
 
             # --- stop conditions ---------------------------------------
             if egraph.version == version_before and not timed_out:

@@ -1,9 +1,7 @@
 """Tests for the flat slotted store: FlatStore snapshots, the
 shared-memory round trip, SnapshotEGraph query parity, the repaired
-hashcons-miss, and flat-vs-legacy run equivalence.
+hashcons-miss, and randomized invariant checking via repro.check.
 """
-
-import os
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -38,12 +36,6 @@ def _saturated_egraph():
 
 
 class TestFlatStoreSnapshot:
-    def test_freeze_requires_flat_store(self):
-        legacy = EGraph(flat=False)
-        legacy.add_term(parse("x + 1"))
-        with pytest.raises(RuntimeError):
-            legacy.freeze()
-
     def test_snapshot_query_parity(self):
         eg, root = _saturated_egraph()
         snap = SnapshotEGraph(eg.freeze())
@@ -191,8 +183,8 @@ class TestHashconsRepair:
 
     Under the old recorded-form scheme, a node re-keyed by an earlier
     merge left its stale entry behind when a later merge re-keyed it
-    again — the miss the line-244 comment documented; the legacy store
-    papers over it with a full memo sweep each rebuild.
+    again; the retired object store papered over that miss with a full
+    memo sweep each rebuild.
     """
 
     @staticmethod
@@ -206,7 +198,7 @@ class TestHashconsRepair:
         # n = f(a, b): merging a (re-keying n) and then b (re-keying n
         # again) must pop the intermediate form, whether the merges are
         # separated by a rebuild or repaired within a single one.
-        eg = EGraph(flat=True)
+        eg = EGraph()
         a = eg.add_enode(ENode("symbol", "a", ()))
         b_ = eg.add_enode(ENode("symbol", "b", ()))
         c = eg.add_enode(ENode("symbol", "c", ()))
@@ -228,7 +220,7 @@ class TestHashconsRepair:
         # f(a,b) and f(c,d) become congruent only after both merges;
         # a repair that popped the recorded (stale) form would miss
         # the second node's unification.
-        eg = EGraph(flat=True)
+        eg = EGraph()
         a = eg.add_enode(ENode("symbol", "a", ()))
         b_ = eg.add_enode(ENode("symbol", "b", ()))
         c = eg.add_enode(ENode("symbol", "c", ()))
@@ -247,7 +239,7 @@ class TestHashconsRepair:
         # REPRO_EGRAPH_CHECK=1 asserts inside rebuild() that the sweep
         # safety net finds nothing left to do after the slot repair.
         monkeypatch.setenv("REPRO_EGRAPH_CHECK", "1")
-        eg = EGraph(flat=True)
+        eg = EGraph()
         root = eg.add_term(parse("(x + 0) * (y + 0)"))
         rules = [
             rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x")),
@@ -278,75 +270,25 @@ def _merge_programs(draw):
 
 @given(_merge_programs())
 @settings(max_examples=60, deadline=None)
-def test_flat_and_legacy_stores_agree(program):
-    """Property: identical node/merge schedules leave the flat and
-    legacy stores with identical partitions, memo contents, and
-    smallest terms."""
+def test_random_merge_schedules_keep_invariants(program):
+    """Property: any node/merge schedule leaves a rebuilt graph that
+    passes the full repro.check invariant sweep (hashcons, congruence,
+    union-find, slot store, parent lists, snapshot agreement)."""
+    from repro.check import verify
+
     n_leaves, inner, merges = program
-
-    def build(flat):
-        eg = EGraph(flat=flat)
-        ids = [
-            eg.add_enode(ENode("symbol", f"s{i}", ())) for i in range(n_leaves)
-        ]
-        for op_choice, left, right in inner:
-            op = "f" if op_choice == 0 else "g"
-            ids.append(
-                eg.add_enode(
-                    ENode(op, None, (ids[left % len(ids)], ids[right % len(ids)]))
-                )
+    eg = EGraph()
+    ids = [
+        eg.add_enode(ENode("symbol", f"s{i}", ())) for i in range(n_leaves)
+    ]
+    for op_choice, left, right in inner:
+        op = "f" if op_choice == 0 else "g"
+        ids.append(
+            eg.add_enode(
+                ENode(op, None, (ids[left % len(ids)], ids[right % len(ids)]))
             )
-        for a, b_ in merges:
-            eg.merge(ids[a % len(ids)], ids[b_ % len(ids)])
-            eg.rebuild()
-        return eg, ids
-
-    flat_eg, flat_ids = build(True)
-    legacy_eg, legacy_ids = build(False)
-    assert flat_ids == legacy_ids
-    for x in flat_ids:
-        for y in flat_ids:
-            assert flat_eg.same(x, y) == legacy_eg.same(x, y)
-    # Memo values are lazily canonicalized (rootness is not an
-    # invariant); the keys and the classes they resolve to are.
-    assert {
-        node: flat_eg.find(class_id)
-        for node, class_id in flat_eg._memo.items()
-    } == {
-        node: legacy_eg.find(class_id)
-        for node, class_id in legacy_eg._memo.items()
-    }
-    assert flat_eg.num_classes == legacy_eg.num_classes
-    flat_sizes = flat_eg._size_table()
-    legacy_sizes = legacy_eg._size_table()
-    for x in flat_ids:
-        assert flat_sizes.get(flat_eg.find(x)) == legacy_sizes.get(
-            legacy_eg.find(x)
         )
-
-
-@pytest.mark.skipif(
-    os.environ.get("REPRO_FLAT_STORE", "1") == "0",
-    reason="suite already running in legacy mode",
-)
-def test_legacy_env_opt_out_runs_byte_identical():
-    """REPRO_FLAT_STORE=0 (one-release escape hatch) must reproduce
-    the flat store's runs byte-identically."""
-    def run(flat):
-        kernel = registry.get("memset")
-        target = blas_target()
-        eg = EGraph(ShapeAnalysis(kernel.symbol_shapes), flat=flat)
-        root = eg.add_term(kernel.term)
-        runner = Runner(eg, target.rules, step_limit=3, node_limit=3000)
-        return runner.run(root, cost_model=target.cost_model)
-
-    flat, legacy = run(True), run(False)
-    assert [s.enodes for s in flat.steps] == [s.enodes for s in legacy.steps]
-    assert [s.matches for s in flat.steps] == [s.matches for s in legacy.steps]
-    assert [s.unions for s in flat.steps] == [s.unions for s in legacy.steps]
-    assert pretty(flat.final.best_term) == pretty(legacy.final.best_term)
-    for name, stats in flat.rule_stats.items():
-        other = legacy.rule_stats[name]
-        assert (stats.matches_found, stats.matches_applied, stats.unions) == (
-            other.matches_found, other.matches_applied, other.unions
-        ), name
+    for a, b_ in merges:
+        eg.merge(ids[a % len(ids)], ids[b_ % len(ids)])
+        eg.rebuild()
+        assert verify(eg) == []

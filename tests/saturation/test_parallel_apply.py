@@ -111,11 +111,11 @@ class TestPlanCommitEquivalence:
         finally:
             searcher.close()
 
-    def test_apply_inactive_on_legacy_store(self):
-        eg = EGraph(flat=False)
+    def test_apply_inactive_without_workers(self):
+        eg = EGraph()
         eg.add_term(parse("x + 0"))
         rules = [rewrite("add-zero", padd(pv("x"), pconst(0)), pv("x"))]
-        searcher = ParallelSearch(eg, rules, workers=1, apply_workers=4)
+        searcher = ParallelSearch(eg, rules, workers=1, apply_workers=1)
         try:
             assert not searcher.apply_active
             assert searcher.plan_apply([], None) == ({}, 0.0)

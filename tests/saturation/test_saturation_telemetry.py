@@ -111,7 +111,8 @@ class TestReportTelemetry:
         assert report.rule_stats
         assert any(s["matches_found"] > 0 for s in report.rule_stats.values())
         assert set(report.phase_seconds) == {
-            "search", "apply", "rebuild", "extract", "search_cpu"
+            "search", "apply", "rebuild", "extract", "search_cpu",
+            "apply_cpu",
         }
         # The whole report still round-trips through JSON.
         restored = OptimizationReport.from_json(report.to_json())
