@@ -9,10 +9,16 @@ uploads it as an artifact so memory trends stay inspectable across
 commits without gating merges):
 
 * ``peak_rss_kb`` — the process high-water mark after the pinned
-  tier-1 runs (``ru_maxrss``);
+  tier-1 runs (``repro.obs.metrics.peak_rss_kb``, i.e. ``ru_maxrss``);
 * per run: e-node / e-class counts and the byte size of the final
   e-graph's frozen :class:`~repro.egraph.store.FlatStore` arrays —
-  what one published shared-memory segment costs at that graph size.
+  what one published shared-memory segment costs at that graph size;
+* ``metrics`` — the same numbers as a ``repro-metrics/1``
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot (peak RSS as
+  the auto-populated ``process`` gauge, per-run store gauges labeled
+  by run), so the memory profile speaks the one metrics schema the
+  rest of the stack exports and can be merged/rendered like any other
+  snapshot (e.g. ``to_prometheus``).
 
 The only hard assertions are sanity bounds: snapshots must be
 columnar-sized (tens of bytes per e-node, not the KBs per node that
@@ -22,12 +28,12 @@ object serialization.
 
 import json
 import os
-import sys
 from pathlib import Path
 
 import pytest
 
 from repro.experiments import optimize_pair, selected_kernels
+from repro.obs.metrics import MetricsRegistry, peak_rss_kb
 
 #: (kernel, target) pairs profiled; the tier-1 marquee set.
 PAIRS = (
@@ -39,28 +45,20 @@ PAIRS = (
 REPORT_SCHEMA = "repro-mem-profile/1"
 
 
-def _peak_rss_kb() -> int:
-    import resource
-
-    usage = resource.getrusage(resource.RUSAGE_SELF)
-    # Linux reports KB; macOS reports bytes.
-    if sys.platform == "darwin":
-        return usage.ru_maxrss // 1024
-    return usage.ru_maxrss
-
-
 @pytest.fixture(scope="module")
 def mem_report():
     selected = set(selected_kernels())
     pairs = [(k, t) for k, t in PAIRS if k in selected]
     if not pairs:
         pytest.skip("REPRO_KERNELS excludes every profiled kernel")
+    registry = MetricsRegistry()
     entries = {}
     for kernel, target in pairs:
         result = optimize_pair(kernel, target)
         egraph = result.egraph
         store = egraph.freeze()
-        entries[f"{kernel}/{target}"] = {
+        run = f"{kernel}/{target}"
+        entries[run] = {
             "enodes": egraph.num_nodes,
             "eclasses": egraph.num_classes,
             "snapshot_bytes": store.nbytes,
@@ -68,10 +66,20 @@ def mem_report():
                 store.nbytes / max(1, egraph.num_nodes), 1
             ),
         }
+        registry.set("store", "enodes", egraph.num_nodes,
+                     help="e-nodes in the final graph", run=run)
+        registry.set("store", "eclasses", egraph.num_classes,
+                     help="canonical e-classes in the final graph", run=run)
+        registry.set("pool", "snapshot_bytes", store.nbytes,
+                     help="frozen FlatStore size (bytes)", run=run)
     report = {
         "schema": REPORT_SCHEMA,
-        "peak_rss_kb": _peak_rss_kb(),
+        # peak_rss_kb stays a top-level key for back-compat with
+        # earlier artifact consumers; the metrics snapshot below
+        # carries the same value as the process-family gauge.
+        "peak_rss_kb": peak_rss_kb(),
         "entries": entries,
+        "metrics": registry.snapshot(),
     }
     report_path = Path(os.environ.get("REPRO_MEM_REPORT", "mem_profile.json"))
     report_path.write_text(json.dumps(report, indent=2, sort_keys=True))
@@ -81,6 +89,16 @@ def mem_report():
 
 def test_peak_rss_recorded(mem_report):
     assert mem_report["peak_rss_kb"] > 0
+
+
+def test_metrics_snapshot_carries_process_gauge(mem_report):
+    """The registry snapshot must agree with the legacy top-level key
+    (snapshot() refreshes the gauge after the legacy read, so it may
+    only ever be equal or higher)."""
+    families = mem_report["metrics"]["families"]
+    samples = families["process"]["peak_rss_kb"]["samples"]
+    assert samples[0]["value"] >= mem_report["peak_rss_kb"]
+    assert set(families) >= {"process", "store", "pool"}
 
 
 def test_snapshots_are_columnar_sized(mem_report):

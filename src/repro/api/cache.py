@@ -38,12 +38,16 @@ __all__ = ["CacheStats", "ResultCache"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, exposed as ``Session.stats``."""
+    """Hit/miss/eviction counters, exposed as ``Session.stats``."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     disk_hits: int = 0
+    #: Entries dropped from the in-memory tiers (explicit drops plus
+    #: ``clear()``); disk files removed by ``clear(disk=True)`` count
+    #: too.
+    evictions: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -51,7 +55,29 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
         }
+
+    def to_metrics_snapshot(self) -> dict:
+        """The counters as a ``cache`` metrics family, mergeable into
+        any :class:`repro.obs.metrics.MetricsRegistry` snapshot."""
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.inc("cache", "hits_total", self.hits,
+                     help="result-cache hits (memory or disk)")
+        registry.inc("cache", "misses_total", self.misses,
+                     help="result-cache misses")
+        registry.inc("cache", "stores_total", self.stores,
+                     help="reports stored into the cache")
+        registry.inc("cache", "disk_hits_total", self.disk_hits,
+                     help="hits served from the on-disk tier")
+        registry.inc("cache", "evictions_total", self.evictions,
+                     help="entries evicted from the cache")
+        snapshot = registry.snapshot()
+        # Only the cache counters belong to this family snapshot.
+        snapshot["families"].pop("process", None)
+        return snapshot
 
 
 @dataclass
@@ -79,7 +105,8 @@ class ResultCache:
         self._results[key] = result
 
     def drop_result(self, key: str) -> None:
-        self._results.pop(key, None)
+        if self._results.pop(key, None) is not None:
+            self.stats.evictions += 1
 
     # -- reports (tier 1 dict, tier 2 JSON files) -----------------------
     def _path(self, key: str) -> Optional[Path]:
@@ -132,12 +159,14 @@ class ResultCache:
         self.stats.misses += 1
 
     def clear(self, *, disk: bool = False) -> None:
+        self.stats.evictions += len(self._results) + len(self._reports)
         self._results.clear()
         self._reports.clear()
         if disk and self.cache_dir is not None:
             for path in self.cache_dir.glob("*.json"):
                 try:
                     path.unlink()
+                    self.stats.evictions += 1
                 except OSError:
                     pass
 

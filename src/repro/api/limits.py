@@ -32,6 +32,12 @@ all resolve through it, and the environment knobs
   (:mod:`repro.check.egraph`) after every saturation step and aborts
   on the first violation (off by default: the sweep is O(graph) per
   step and exists for debugging/CI, not the hot path),
+* ``REPRO_TRACE`` — path to write a Chrome-trace-event JSON of the run
+  (session/request/step/phase/rule spans plus worker lanes; open it in
+  Perfetto — :mod:`repro.obs.trace`; off by default),
+* ``REPRO_METRICS`` — ``1``/``true`` populates the metrics registry
+  (:mod:`repro.obs.metrics`) during the run and snapshots it onto
+  ``OptimizationReport.metrics`` (off by default),
 
 override the defaults everywhere at once.
 """
@@ -82,6 +88,8 @@ class Limits:
     top_k: int = 1
     apply_workers: int = 1
     check: bool = False
+    trace: Optional[str] = None
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.step_limit < 0:
@@ -132,6 +140,9 @@ class Limits:
             ),
             check=env.get("REPRO_CHECK", "").strip().lower()
             in ("1", "true", "yes", "on"),
+            trace=env.get("REPRO_TRACE") or None,
+            metrics=env.get("REPRO_METRICS", "").strip().lower()
+            in ("1", "true", "yes", "on"),
         )
 
     def override(
@@ -146,6 +157,8 @@ class Limits:
         top_k: Optional[int] = None,
         apply_workers: Optional[int] = None,
         check: Optional[bool] = None,
+        trace: Optional[str] = None,
+        metrics: Optional[bool] = None,
     ) -> "Limits":
         """A copy with any non-``None`` field replaced.
 
@@ -164,6 +177,8 @@ class Limits:
                 ("top_k", top_k),
                 ("apply_workers", apply_workers),
                 ("check", check),
+                ("trace", trace),
+                ("metrics", metrics),
             )
             if value is not None
         }
@@ -182,6 +197,8 @@ class Limits:
             "top_k": self.top_k,
             "apply_workers": self.apply_workers,
             "check": self.check,
+            "trace": self.trace,
+            "metrics": self.metrics,
         }
 
     def to_dict(self) -> dict:
@@ -203,6 +220,8 @@ class Limits:
             top_k=int(data.get("top_k", 1)),
             apply_workers=int(data.get("apply_workers", 1)),
             check=bool(data.get("check", False)),
+            trace=data.get("trace") or None,
+            metrics=bool(data.get("metrics", False)),
         )
 
     def key(self) -> tuple:
@@ -224,7 +243,9 @@ class Limits:
         valid — and since both change the produced report (preferred
         solutions, candidate lists), they must join when set.
         ``check`` is excluded like the worker counts: the invariant
-        verifier observes the run without changing its results.
+        verifier observes the run without changing its results — and
+        ``trace`` / ``metrics`` are excluded for the same reason
+        (observability never changes what a run computes).
         """
         base = (self.step_limit, self.node_limit, self.time_limit,
                 self.scheduler)

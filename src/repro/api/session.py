@@ -82,12 +82,27 @@ def _execute_payload(payload: dict, registry: TargetRegistry,
             term = parse(payload["term"])
             shapes = spec_to_shapes(payload.get("symbol_shapes")) or {}
             name = payload.get("name", "<term>")
+        kwargs = limits.as_kwargs()
+        tracer = None
+        if limits.trace:
+            # Record locally and ship the events back with the report:
+            # several pool workers may share one output path, so the
+            # parent — not the workers — merges and writes the file.
+            from ..obs.trace import Tracer
+
+            tracer = Tracer()
+            kwargs["trace"] = tracer
         started = perf_counter()
         result = _pipeline_optimize_term(
-            term, target, shapes, kernel_name=name, **limits.as_kwargs()
+            term, target, shapes, kernel_name=name, **kwargs
         )
         seconds = perf_counter() - started
-        return OptimizationReport.from_result(result, limits, seconds).to_dict()
+        data = OptimizationReport.from_result(result, limits, seconds).to_dict()
+        if tracer is not None:
+            # Transient side-channel key: popped by the parent before
+            # OptimizationReport.from_dict, never cached or served.
+            data["_trace"] = tracer.export_events()
+        return data
     except Exception as exc:  # workers must never raise across the pool
         return OptimizationReport.from_error(
             payload, f"{type(exc).__name__}: {exc}"
@@ -147,6 +162,11 @@ class Session:
         #: Saturation runs actually executed (cache misses); the
         #: acceptance counter for "no re-saturation on repeat calls".
         self.runs = 0
+        # Accumulated span events per trace output path: successive
+        # optimize_many calls that target the same path extend one
+        # session-wide trace (the file is rewritten from the full set
+        # each time) instead of clobbering each other.
+        self._trace_events: Dict[str, List[dict]] = {}
 
     # ------------------------------------------------------------------
     # target / limits resolution
@@ -221,11 +241,13 @@ class Session:
         top_k: Optional[int] = None,
         apply_workers: Optional[int] = None,
         check: Optional[bool] = None,
+        trace: Optional[str] = None,
+        metrics: Optional[bool] = None,
     ) -> Limits:
         return self.limits.override(step_limit, node_limit, time_limit,
                                     scheduler, search_workers, rule_profile,
                                     extractor, top_k, apply_workers,
-                                    check=check)
+                                    check=check, trace=trace, metrics=metrics)
 
     @property
     def stats(self) -> dict:
@@ -252,6 +274,8 @@ class Session:
         top_k: Optional[int] = None,
         apply_workers: Optional[int] = None,
         check: Optional[bool] = None,
+        trace: Union[None, str, "object"] = None,
+        metrics: Optional[bool] = None,
     ) -> "OptimizationResult":
         """Optimize one kernel for one target, with result caching.
 
@@ -276,6 +300,8 @@ class Session:
             top_k=top_k,
             apply_workers=apply_workers,
             check=check,
+            trace=trace,
+            metrics=metrics,
         )
 
     def optimize_term(
@@ -295,14 +321,30 @@ class Session:
         top_k: Optional[int] = None,
         apply_workers: Optional[int] = None,
         check: Optional[bool] = None,
+        trace: Union[None, str, "object"] = None,
+        metrics: Optional[bool] = None,
     ) -> "OptimizationResult":
-        """Optimize a bare IR term (see :func:`repro.pipeline.optimize_term`)."""
+        """Optimize a bare IR term (see :func:`repro.pipeline.optimize_term`).
+
+        ``trace`` may be an output path (Chrome-trace JSON is written
+        when the run ends) or a caller-owned
+        :class:`~repro.obs.trace.Tracer`, which accumulates spans
+        across several calls (one session-wide trace); ``metrics``
+        puts a registry snapshot on ``result.metrics``.  A cache hit
+        returns the identical cached result — no run happens, so
+        nothing new is traced.
+        """
+        from ..obs.trace import Tracer
         from ..pipeline import optimize_term as _pipeline_optimize_term
 
+        caller_tracer = trace if isinstance(trace, Tracer) else None
         limits = self.resolve_limits(step_limit, node_limit, time_limit,
                                      scheduler, search_workers, rule_profile,
                                      extractor, top_k, apply_workers,
-                                     check=check)
+                                     check=check,
+                                     trace=trace if isinstance(trace, str)
+                                     else None,
+                                     metrics=metrics)
         named = isinstance(target, str)
         target_obj = self.target(target) if named else target
         key = self._term_key(term, symbol_shapes, target, limits, kernel_name)
@@ -328,12 +370,15 @@ class Session:
                 return base
             self.cache.miss()
         started = perf_counter()
+        kwargs = limits.as_kwargs()
+        if caller_tracer is not None:
+            kwargs["trace"] = caller_tracer
         result = _pipeline_optimize_term(
             term,
             target_obj,
             symbol_shapes,
             kernel_name=kernel_name,
-            **limits.as_kwargs(),
+            **kwargs,
         )
         seconds = perf_counter() - started
         self.runs += 1
@@ -484,6 +529,31 @@ class Session:
                     self.cache.put_report(
                         keys[index], report, disk=durable[index]
                     )
+        trace_paths = [
+            path for p in payloads
+            if (path := (p.get("limits") or {}).get("trace"))
+        ]
+        if trace_paths:
+            self._write_trace_files(trace_paths)
+        # Metrics requests additionally get the session's cache family
+        # folded into their snapshot — at serve time, not store time,
+        # so cached reports never carry stale hit/miss counters.  This
+        # also gives cache *hits* (which ran nothing) a populated
+        # snapshot.
+        cache_snapshot: Optional[dict] = None
+        for index, report in enumerate(reports):
+            if report is None or not report.ok:
+                continue
+            if not (payloads[index].get("limits") or {}).get("metrics"):
+                continue
+            if cache_snapshot is None:
+                from ..obs.metrics import merge_snapshots
+
+                cache_snapshot = self.cache.stats.to_metrics_snapshot()
+            reports[index] = dc_replace(
+                report,
+                metrics=merge_snapshots([report.metrics, cache_snapshot]),
+            )
         return [r for r in reports if r is not None]
 
     def _normalize_request(self, request: RequestLike) -> OptimizationRequest:
@@ -515,7 +585,8 @@ class Session:
             request.step_limit, request.node_limit, request.time_limit,
             request.scheduler, request.search_workers, request.rule_profile,
             request.extractor, request.top_k, request.apply_workers,
-            check=request.check,
+            check=request.check, trace=request.trace,
+            metrics=request.metrics,
         )
         payload: dict = {"target": request.target, "limits": limits.to_dict()}
         if request.kernel is not None:
@@ -567,25 +638,66 @@ class Session:
                 or all(p["target"] in BUILTIN_TARGETS for p in payloads)
             )
         )
+        dicts: Optional[List[Optional[dict]]] = None
         if use_pool:
             try:
-                return self._execute_pool(payloads, max_workers)
+                dicts = self._execute_pool(payloads, max_workers)
             except (OSError, BrokenProcessPool):
                 # Pool could not be constructed at all (sandbox, fd
                 # limits): run serially.  Breaks during submission or
                 # execution are handled inside _execute_pool without
                 # discarding completed results.
                 pass
-        return [
-            OptimizationReport.from_dict(
+        if dicts is None:
+            dicts = [
                 _execute_payload(p, self.registry, self.kernels)
-            )
-            for p in payloads
-        ]
+                for p in payloads
+            ]
+        return self._harvest_reports(payloads, dicts)
+
+    def _harvest_reports(
+        self, payloads: List[dict], dicts: List[Optional[dict]]
+    ) -> List[OptimizationReport]:
+        """Report dicts → reports, merging shipped worker traces.
+
+        Every run whose limits asked for a trace shipped its span
+        events back under the transient ``"_trace"`` key (see
+        :func:`_execute_payload`); they are popped here — before
+        ``from_dict``, so they never reach a cache — grouped by output
+        path, merged onto per-pid lanes, and written once per path.
+        """
+        reports: List[OptimizationReport] = []
+        for payload, data in zip(payloads, dicts):
+            events = (data or {}).pop("_trace", None)
+            path = (payload.get("limits") or {}).get("trace")
+            if events and path:
+                self._trace_events.setdefault(path, []).extend(events)
+            reports.append(OptimizationReport.from_dict(data))
+        return reports
+
+    def _write_trace_files(self, paths: Sequence[str]) -> None:
+        """Write each requested trace path from the accumulated events.
+
+        Called once per batch with *every* requested path — including
+        those of fully cache-served requests, which shipped no events:
+        asking for a trace must always produce a valid (possibly
+        session-only) file.
+        """
+        from ..obs.trace import Tracer
+
+        for path in dict.fromkeys(paths):
+            accumulated = self._trace_events.setdefault(path, [])
+            tracer = Tracer()
+            if accumulated:
+                # The merged timeline starts at the earliest shipped
+                # event, not at this (post-run) tracer's creation.
+                tracer.epoch = min(e["ts"] for e in accumulated)
+                tracer.add_remote(accumulated)
+            tracer.write(path, session_name="session")
 
     def _execute_pool(
         self, payloads: List[dict], max_workers: Optional[int]
-    ) -> List[OptimizationReport]:
+    ) -> List[Optional[dict]]:
         import multiprocessing
 
         if max_workers is None or max_workers < 1:
@@ -622,7 +734,7 @@ class Session:
             dicts[index] = _execute_payload(
                 payloads[index], self.registry, self.kernels
             )
-        return [OptimizationReport.from_dict(d) for d in dicts]
+        return dicts
 
 
 _DEFAULT_SESSION: Optional[Session] = None

@@ -89,6 +89,8 @@ class OptimizationRequest:
     extractor: Optional[str] = None  # "greedy" | "dag"
     top_k: Optional[int] = None  # enumerate k cheapest distinct solutions
     check: Optional[bool] = None  # verify e-graph invariants per step
+    trace: Optional[str] = None  # Chrome-trace JSON output path
+    metrics: Optional[bool] = None  # populate the metrics registry
 
     def __post_init__(self) -> None:
         if (self.kernel is None) == (self.term is None):
@@ -162,6 +164,11 @@ class OptimizationReport:
     #: ``{"solution": <IR text>, "cost": <float|None>}`` dicts; None
     #: unless the run asked for ``top_k > 1``.
     candidates: Optional[list] = None
+    #: Metrics-registry snapshot (``repro-metrics/1`` schema — runner /
+    #: store / pool / extraction / cache / process families, see
+    #: :mod:`repro.obs.metrics`); None unless the run asked for
+    #: ``metrics=True``.
+    metrics: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_result(
@@ -204,6 +211,7 @@ class OptimizationReport:
                 for term, cost in result.candidates
             ]
             if getattr(result, "candidates", None) else None,
+            metrics=getattr(result, "metrics", None),
         )
 
     @classmethod

@@ -150,6 +150,17 @@ def _parser() -> argparse.ArgumentParser:
                              "saturation step and abort on the first "
                              "violation (default: REPRO_CHECK; off — the "
                              "sweep is O(graph) per step)")
+    parser.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                        help="record every run's spans (request/step/phase/"
+                             "rule, plus worker lanes under -w) and write "
+                             "one merged Chrome-trace JSON here — open it "
+                             "in Perfetto (default: REPRO_TRACE; off)")
+    parser.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                        help="collect engine metrics (runner/store/pool/"
+                             "extraction/cache families) during every run "
+                             "and write the merged snapshot here in the "
+                             "Prometheus text format (default: "
+                             "REPRO_METRICS; off)")
     parser.add_argument("--run", action="store_true",
                         help="execute and time the extracted solutions")
     parser.add_argument("--budget", type=float, default=0.25,
@@ -282,10 +293,16 @@ def _write_rule_profile(path: Path, limits, reports) -> None:
     ``rule_stats`` (name → search_seconds / searches / matches_found /
     matches_applied / unions / bans / banned_steps / solution_unions) and
     ``phase_seconds`` (search / apply / rebuild / extract totals);
-    ``aggregate`` sums ``rule_stats`` across all runs.  Runs answered
-    from a pre-telemetry cache carry ``rule_stats: null``.
+    ``aggregate`` sums ``rule_stats`` across all runs and
+    ``aggregate_phase_seconds`` sums the per-run ``phase_seconds``
+    (search / apply / rebuild / extract walls plus the cpu variants)
+    the same way.  Runs answered from a pre-telemetry cache carry
+    ``rule_stats: null``.
     """
-    from .saturation.telemetry import aggregate_rule_stats
+    from .saturation.telemetry import (
+        aggregate_phase_seconds,
+        aggregate_rule_stats,
+    )
 
     profile = {
         "schema": "repro-rule-profile/1",
@@ -309,9 +326,36 @@ def _write_rule_profile(path: Path, limits, reports) -> None:
         "aggregate": aggregate_rule_stats(
             [report.rule_stats or {} for report in reports]
         ),
+        "aggregate_phase_seconds": aggregate_phase_seconds(
+            [report.phase_seconds for report in reports]
+        ),
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(profile, indent=2, sort_keys=True))
+
+
+def _write_metrics(path: Path, session, reports) -> None:
+    """Merge every run's metrics snapshot with the session's final
+    cache counters and write the result as Prometheus text.
+
+    Each report's snapshot carries the cache family *as of its serve
+    time*; only the per-run engine families are merged here, and the
+    session's final cache counters join once — otherwise N reports
+    would each re-add the whole session history.
+    """
+    from .obs.metrics import SNAPSHOT_SCHEMA, merge_snapshots, to_prometheus
+
+    snapshots = []
+    for report in reports:
+        if not report.metrics:
+            continue
+        families = dict(report.metrics.get("families") or {})
+        families.pop("cache", None)
+        snapshots.append({"schema": SNAPSHOT_SCHEMA, "families": families})
+    snapshots.append(session.cache.stats.to_metrics_snapshot())
+    merged = merge_snapshots(snapshots)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_prometheus(merged))
 
 
 def _check_rules_main(argv: List[str]) -> int:
@@ -422,6 +466,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.extractor, args.top_k,
         apply_workers=args.apply_workers,
         check=args.check or None,
+        trace=str(args.trace) if args.trace else None,
+        metrics=True if args.metrics else None,
     )
     session = Session(limits, cache_dir=args.cache_dir)
     all_reports: List = []
@@ -488,6 +534,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         _write_provenance(args.provenance, limits, all_reports)
         if not args.quiet:
             print(f"provenance written to {args.provenance}")
+    if args.metrics is not None:
+        _write_metrics(args.metrics, session, all_reports)
+        if not args.quiet:
+            print(f"metrics written to {args.metrics}")
+    if args.trace is not None and not args.quiet:
+        print(f"trace written to {args.trace}")
     return exit_code
 
 

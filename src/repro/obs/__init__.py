@@ -1,0 +1,38 @@
+"""``repro.obs`` — observability for the engine stack.
+
+Two instruments, both with no-op disabled forms so the engine can be
+instrumented unconditionally:
+
+* :mod:`repro.obs.trace` — nested span tracing with a Chrome
+  trace-event JSON exporter (open any recorded run in Perfetto) and
+  cross-process merging of worker-side spans onto per-pid lanes;
+* :mod:`repro.obs.metrics` — a registry of labeled counters, gauges,
+  and histograms, snapshot onto ``OptimizationReport.metrics`` and
+  exportable as Prometheus text.
+
+Enable via ``Limits(trace=..., metrics=True)``, ``REPRO_TRACE`` /
+``REPRO_METRICS``, or the CLI's ``--trace`` / ``--metrics``; both are
+excluded from cache keys (observation never changes results).
+"""
+
+from .metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    merge_snapshots,
+    peak_rss_kb,
+    to_prometheus,
+)
+from .trace import NULL_TRACER, Span, TraceError, Tracer, resolve_tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "TraceError",
+    "NULL_TRACER",
+    "resolve_tracer",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "merge_snapshots",
+    "to_prometheus",
+    "peak_rss_kb",
+]

@@ -9,11 +9,13 @@ paper's tables II/III and figures 4–6 are built from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from .api.limits import Limits
 from .egraph.analysis import ShapeAnalysis
 from .egraph.egraph import EGraph
+from .obs.metrics import NULL_METRICS, MetricsRegistry
+from .obs.trace import CAT_EXTRACT, CAT_REQUEST, Tracer, resolve_tracer
 from .saturation.runner import RunResult, Runner, StepRecord
 from .ir.terms import Term
 from .kernels.base import Kernel
@@ -44,6 +46,10 @@ class OptimizationResult:
     #: populated when the run asked for ``top_k > 1``; the first entry
     #: then coincides with the greedy best term.
     candidates: tuple = ()
+    #: Metrics-registry snapshot of the run (runner / store / pool /
+    #: extraction / process families, see :mod:`repro.obs.metrics`);
+    #: ``None`` unless the run asked for ``metrics=True``.
+    metrics: Optional[dict] = None
 
     @property
     def steps(self) -> list:
@@ -96,6 +102,8 @@ def optimize_term(
     extractor: str = DEFAULT_LIMITS["extractor"],
     top_k: int = DEFAULT_LIMITS["top_k"],
     check: bool = DEFAULT_LIMITS["check"],
+    trace: Union[None, str, Tracer] = DEFAULT_LIMITS["trace"],
+    metrics: bool = DEFAULT_LIMITS["metrics"],
     kernel_name: str = "<term>",
 ) -> OptimizationResult:
     """Optimize a bare IR term for ``target``.
@@ -111,8 +119,15 @@ def optimize_term(
     the k cheapest distinct solutions at the root after the final step
     (:mod:`repro.extraction`); ``check`` runs the e-graph invariant
     verifier after every step and aborts on the first violation
-    (:mod:`repro.check.egraph`).
+    (:mod:`repro.check.egraph`); ``trace`` records nested spans — a
+    path writes a Chrome-trace JSON when the run ends, a
+    :class:`~repro.obs.trace.Tracer` records into a caller-owned trace
+    (the session's cross-request trace) — and ``metrics`` populates a
+    registry whose snapshot lands on ``OptimizationResult.metrics``
+    (:mod:`repro.obs`).  Neither changes what the run computes.
     """
+    tracer = resolve_tracer(trace)
+    registry = MetricsRegistry() if metrics else NULL_METRICS
     rules = list(target.rules)
     pruned_rules: tuple = ()
     if rule_profile:
@@ -136,18 +151,29 @@ def optimize_term(
         apply_workers=apply_workers,
         extractor=extractor,
         check=check,
+        tracer=tracer,
+        metrics=registry,
     )
-    run = runner.run(root, cost_model=target.cost_model)
+    with tracer.span(
+        f"saturate:{kernel_name}/{target.name}", cat=CAT_REQUEST,
+        kernel=kernel_name, target=target.name,
+    ):
+        run = runner.run(root, cost_model=target.cost_model)
     candidates: tuple = ()
     if top_k > 1:
         from .extraction.topk import extract_topk
 
-        candidates = tuple(
-            (result.term, result.cost)
-            for result in extract_topk(
-                egraph, target.cost_model, root, top_k
+        with tracer.span(f"extract_topk:k={top_k}", cat=CAT_EXTRACT):
+            candidates = tuple(
+                (result.term, result.cost)
+                for result in extract_topk(
+                    egraph, target.cost_model, root, top_k
+                )
             )
-        )
+        registry.inc("extraction", "candidates_total", len(candidates),
+                     help="top-k candidate solutions enumerated")
+    if isinstance(trace, str):
+        tracer.write(trace, session_name=f"run:{kernel_name}")
     return OptimizationResult(
         kernel_name=kernel_name,
         target_name=target.name,
@@ -156,6 +182,7 @@ def optimize_term(
         root_class=egraph.find(root),
         pruned_rules=pruned_rules,
         candidates=candidates,
+        metrics=registry.snapshot() if metrics else None,
     )
 
 
@@ -173,6 +200,8 @@ def optimize(
     extractor: str = DEFAULT_LIMITS["extractor"],
     top_k: int = DEFAULT_LIMITS["top_k"],
     check: bool = DEFAULT_LIMITS["check"],
+    trace: Union[None, str, Tracer] = DEFAULT_LIMITS["trace"],
+    metrics: bool = DEFAULT_LIMITS["metrics"],
 ) -> OptimizationResult:
     """Optimize ``kernel`` for ``target`` (the §VI methodology, in the
     artifact's CPU-invariant step-limited mode)."""
@@ -190,5 +219,7 @@ def optimize(
         extractor=extractor,
         top_k=top_k,
         check=check,
+        trace=trace,
+        metrics=metrics,
         kernel_name=kernel.name,
     )

@@ -56,15 +56,18 @@ Select via ``Limits(search_workers=N, apply_workers=N)``,
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..egraph.egraph import EGraph
 from ..egraph.rewrite import Match, Rule
 from ..ir.terms import Term
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import CAT_POOL, CAT_RULE, NULL_TRACER, Tracer
 from .ematch import search_rule
 
 __all__ = [
@@ -134,30 +137,46 @@ def _search_chunk(
     token: tuple,
     chunk: List[SearchTask],
     deadline: Optional[float],
-) -> List[Tuple[int, float, List[Match]]]:
+    trace: bool = False,
+) -> Tuple[List[Tuple[int, float, List[Match]]], List[Dict[str, Any]]]:
     """Worker entry point: run a batch of rule searches against the
-    snapshot and return (rule_index, seconds, matches) triples.
-    ``deadline`` is a ``perf_counter`` value — comparable across fork
-    because ``CLOCK_MONOTONIC`` is system-wide."""
+    snapshot and return ``((rule_index, seconds, matches) triples,
+    span events)``.  ``deadline`` is a ``perf_counter`` value —
+    comparable across fork because ``CLOCK_MONOTONIC`` is system-wide,
+    and for the same reason the span events' absolute timestamps merge
+    directly into the parent's trace (:meth:`Tracer.add_remote`), each
+    on this worker's own pid lane."""
     assert _WORKER_STATE is not None, "search worker forked without state"
     egraph = _worker_egraph(token)
     rules = _WORKER_STATE
+    pid = os.getpid()
     results = []
+    events: List[Dict[str, Any]] = []
     for rule_index, restrict in chunk:
         started = time.perf_counter()
         found = search_rule(egraph, rules[rule_index], restrict, deadline)
-        results.append((rule_index, time.perf_counter() - started, found))
-    return results
+        seconds = time.perf_counter() - started
+        results.append((rule_index, seconds, found))
+        if trace:
+            events.append({
+                "name": f"search:{rules[rule_index].name}",
+                "cat": CAT_RULE, "ts": started, "dur": seconds,
+                "pid": pid, "args": {"matches": len(found)},
+            })
+    return results, events
 
 
 def _apply_chunk(
-    entries: List[ApplyEntry], deadline: Optional[float]
-) -> Tuple[float, List[Tuple[int, List[Term]]]]:
+    entries: List[ApplyEntry],
+    deadline: Optional[float],
+    trace: bool = False,
+) -> Tuple[float, List[Tuple[int, List[Term]]], List[Dict[str, Any]]]:
     """Worker entry point for apply planning: compute the result terms
     of pure appliers.  Pure appliers never read the e-graph (enforced
     by ``Rule.snapshot_pure``), so no snapshot is needed — the rule
     list arrived through fork.  Entries past the deadline are skipped;
-    the parent computes them inline with identical results."""
+    the parent computes them inline with identical results.  Returns
+    ``(seconds, planned terms, span events)``."""
     assert _WORKER_STATE is not None, "apply worker forked without state"
     rules = _WORKER_STATE
     started = time.perf_counter()
@@ -167,7 +186,15 @@ def _apply_chunk(
             break
         terms = list(rules[rule_index].applier(None, match))
         planned.append((match_index, terms))
-    return time.perf_counter() - started, planned
+    seconds = time.perf_counter() - started
+    events: List[Dict[str, Any]] = []
+    if trace:
+        events.append({
+            "name": f"plan_apply:{len(entries)} matches",
+            "cat": CAT_POOL, "ts": started, "dur": seconds,
+            "pid": os.getpid(), "args": {"planned": len(planned)},
+        })
+    return seconds, planned, events
 
 
 def _release_segment(shm) -> None:
@@ -224,11 +251,15 @@ class ParallelSearch:
         rules: Sequence[Rule],
         workers: int,
         apply_workers: int = 1,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.egraph = egraph
         self.rules = rules
         self.workers = max(1, workers)
         self.apply_workers = max(1, apply_workers)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: Set once a pool breaks; pins the rest of the run serial.
         self.broken = False
         #: Steps whose search phase actually ran on the pool.
@@ -296,12 +327,21 @@ class ParallelSearch:
         self, tasks: Sequence[SearchTask], deadline: Optional[float]
     ) -> Dict[int, SearchOutcome]:
         outcomes: Dict[int, SearchOutcome] = {}
+        trace = self.tracer.enabled
         for rule_index, restrict in tasks:
             started = time.perf_counter()
             found = search_rule(
                 self.egraph, self.rules[rule_index], restrict, deadline
             )
-            outcomes[rule_index] = (time.perf_counter() - started, found)
+            seconds = time.perf_counter() - started
+            outcomes[rule_index] = (seconds, found)
+            if trace:
+                # The serial path times rules anyway; record the span
+                # after the fact instead of wrapping the hot loop.
+                self.tracer.add_complete(
+                    f"search:{self.rules[rule_index].name}", CAT_RULE,
+                    started, seconds, matches=len(found),
+                )
         return outcomes
 
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
@@ -330,6 +370,11 @@ class ParallelSearch:
             self.broken = True
             self._pool = None
             _WORKER_STATE = None
+            self.metrics.inc(
+                "pool", "broken_fallbacks_total",
+                help="pool failures that pinned the run serial",
+                site="create",
+            )
         return self._pool
 
     def _publish(self) -> Optional[tuple]:
@@ -340,9 +385,23 @@ class ParallelSearch:
         version = self.egraph.version
         if self._published_version == version and self._shm is not None:
             return (self._shm.name, version)
+        publish_started = time.perf_counter()
         store = self.egraph.freeze()
         shm = store.publish()
         self.snapshot_bytes = store.nbytes
+        if self.tracer.enabled:
+            self.tracer.add_complete(
+                "publish_snapshot", CAT_POOL, publish_started,
+                time.perf_counter() - publish_started,
+                bytes=store.nbytes, version=version,
+            )
+        if self.metrics.enabled:
+            self.metrics.inc("pool", "snapshots_published_total",
+                             help="shared-memory snapshots published")
+            self.metrics.set_max(
+                "pool", "snapshot_bytes", store.nbytes,
+                help="largest published snapshot (bytes)",
+            )
         previous, self._shm = self._shm, shm
         self._published_version = version
         if previous is not None:
@@ -369,15 +428,19 @@ class ParallelSearch:
             return {}
         chunks = _partition(tasks, weights, min(self.workers, len(tasks)))
         outcomes: Dict[int, SearchOutcome] = {}
+        trace = self.tracer.enabled
         try:
             futures = [
-                pool.submit(_search_chunk, token, chunk, deadline)
+                pool.submit(_search_chunk, token, chunk, deadline, trace)
                 for chunk in chunks
             ]
             for future in futures:
                 try:
-                    for rule_index, seconds, found in future.result():
+                    triples, events = future.result()
+                    for rule_index, seconds, found in triples:
                         outcomes[rule_index] = (seconds, found)
+                    if events:
+                        self.tracer.add_remote(events)
                 except (OSError, BrokenProcessPool):
                     # A worker died; its chunk reruns serially in
                     # run_tasks.  Pin the rest of the run serial.
@@ -386,6 +449,15 @@ class ParallelSearch:
             self.broken = True
         if not self.broken:
             self.parallel_steps += 1
+        if self.metrics.enabled:
+            self.metrics.inc("pool", "search_tasks_total", len(outcomes),
+                             help="rule searches delivered by the pool")
+            if self.broken:
+                self.metrics.inc(
+                    "pool", "broken_fallbacks_total",
+                    help="pool failures that pinned the run serial",
+                    site="search",
+                )
         return outcomes
 
     # ------------------------------------------------------------------
@@ -433,21 +505,25 @@ class ParallelSearch:
         planned: Dict[int, List[Term]] = {}
         cpu = 0.0
         delivered = False
+        trace = self.tracer.enabled
         try:
             futures = [
                 pool.submit(
                     _apply_chunk,
                     [entry for group in chunk for entry in group],
                     deadline,
+                    trace,
                 )
                 for chunk in chunks
             ]
             for future in futures:
                 try:
-                    seconds, results = future.result()
+                    seconds, results, events = future.result()
                     cpu += seconds
                     for match_index, terms in results:
                         planned[match_index] = terms
+                    if events:
+                        self.tracer.add_remote(events)
                     delivered = True
                 except (OSError, BrokenProcessPool):
                     self.broken = True
@@ -455,6 +531,15 @@ class ParallelSearch:
             self.broken = True
         if delivered and not self.broken:
             self.parallel_apply_steps += 1
+        if self.metrics.enabled:
+            self.metrics.inc("pool", "apply_planned_total", len(planned),
+                             help="pure matches planned by the pool")
+            if self.broken:
+                self.metrics.inc(
+                    "pool", "broken_fallbacks_total",
+                    help="pool failures that pinned the run serial",
+                    site="apply",
+                )
         return planned, cpu
 
 

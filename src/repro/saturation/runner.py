@@ -40,6 +40,8 @@ from ..egraph.egraph import EGraph
 from ..extraction import CostModel, contributing_events, make_extractor
 from ..egraph.pattern import ClassBinding, TermBinding
 from ..egraph.rewrite import Match, Rule
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import CAT_EXTRACT, CAT_PHASE, CAT_STEP, NULL_TRACER, Tracer
 from .ematch import IncrementalMatcher
 from .parallel import ParallelSearch, SearchTask, resolve_workers
 from .schedulers import RuleScheduler, make_scheduler
@@ -216,6 +218,8 @@ class Runner:
         applied_cap: int = 500_000,
         extractor: Union[str, type, None] = None,
         check: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.egraph = egraph
         self.rules = list(rules)
@@ -240,6 +244,13 @@ class Runner:
         # re-application is semantically idempotent, so the bound trades
         # a little rework for bounded memory on enormous runs.
         self.applied_cap = applied_cap
+        # Observability (repro.obs): both default to the shared no-op
+        # forms, so the instrumentation below costs nothing unless a
+        # caller opted in via Limits(trace=..., metrics=True).  Phase
+        # timings are *derived from the tracer's phase spans* — one
+        # clock discipline whether or not the trace is retained.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         # Step-boundary hooks, called as ``hook(runner, step, record)``
         # after each step's record lands (telemetry, tracing, the
         # invariant verifier all attach here).  A hook that raises
@@ -270,7 +281,8 @@ class Runner:
             if self.incremental else None
         )
         searcher = ParallelSearch(
-            egraph, self.rules, self.search_workers, self.apply_workers
+            egraph, self.rules, self.search_workers, self.apply_workers,
+            tracer=self.tracer, metrics=self.metrics,
         )
         contexts: List[object] = [None] * len(self.rules)
         records: List[StepRecord] = []
@@ -302,6 +314,30 @@ class Runner:
             events = contributed.get(rule_stats.name)
             if events:
                 rule_stats.solution_unions = len(events)
+        m = self.metrics
+        if m.enabled:
+            m.set("runner", "stop_reason", 1,
+                  help="why the run stopped (label carries the reason)",
+                  reason=stop_reason)
+            m.set("store", "enodes", egraph.num_nodes,
+                  help="e-nodes in the final graph")
+            m.set("store", "eclasses", egraph.num_classes,
+                  help="canonical e-classes in the final graph")
+            slots = len(egraph._slot_form)
+            m.set("store", "slots", slots,
+                  help="allocated flat-store slots")
+            m.set("store", "slot_occupancy",
+                  egraph.num_nodes / slots if slots else 0.0,
+                  help="live e-nodes per allocated slot")
+            m.set("pool", "search_workers", self.search_workers,
+                  help="configured search-worker processes")
+            m.set("pool", "apply_workers", self.apply_workers,
+                  help="configured apply-worker processes")
+            m.set("pool", "parallel_steps", searcher.parallel_steps,
+                  help="steps whose search phase ran on the pool")
+            m.set("pool", "parallel_apply_steps",
+                  searcher.parallel_apply_steps,
+                  help="steps whose apply phase consumed a worker plan")
         return RunResult(
             records,
             stop_reason,
@@ -332,32 +368,39 @@ class Runner:
         deadline: float,
     ) -> str:
         stop_reason = StopReason.STEP_LIMIT
+        tracer = self.tracer
+        m = self.metrics
         for step in range(1, self.step_limit + 1):
             phases = PhaseTimings()
-            step_start = time.perf_counter()
+            step_span = tracer.span(f"step {step}", cat=CAT_STEP)
+            step_span.__enter__()
             version_before = egraph.version
 
             # --- search -------------------------------------------------
-            if matcher is not None:
-                matcher.begin_step()
-            matches, restricted, timed_out = self._search_step(
-                step, scheduler, matcher, searcher, contexts, applied,
-                stats, deadline, phases,
-            )
-            if (
-                matcher is not None and restricted and not matches
-                and not timed_out
-            ):
-                # A restricted step that finds nothing could be a false
-                # fixpoint; verify with a full scan inside the same step
-                # so step counts match the naive engine's.
-                matcher.force_full_all()
-                matches, _, timed_out = self._search_step(
+            # Phase walls are read off the tracer's phase spans (which
+            # measure whether or not the trace is retained): the spans
+            # are the single clock, PhaseTimings their consumer.
+            with tracer.span("search", cat=CAT_PHASE) as search_span:
+                if matcher is not None:
+                    matcher.begin_step()
+                matches, restricted, timed_out = self._search_step(
                     step, scheduler, matcher, searcher, contexts, applied,
-                    stats, deadline, phases, verify_pass=True,
+                    stats, deadline, phases,
                 )
-                restricted = False
-            phases.search = time.perf_counter() - step_start
+                if (
+                    matcher is not None and restricted and not matches
+                    and not timed_out
+                ):
+                    # A restricted step that finds nothing could be a false
+                    # fixpoint; verify with a full scan inside the same step
+                    # so step counts match the naive engine's.
+                    matcher.force_full_all()
+                    matches, _, timed_out = self._search_step(
+                        step, scheduler, matcher, searcher, contexts, applied,
+                        stats, deadline, phases, verify_pass=True,
+                    )
+                    restricted = False
+            phases.search = search_span.duration
 
             # --- apply --------------------------------------------------
             # Plan: workers precompute result terms for pure appliers
@@ -366,7 +409,8 @@ class Runner:
             # canonical order, splicing in planned terms where present
             # and running impure appliers inline — mutations happen in
             # exactly the serial order either way.
-            apply_start = time.perf_counter()
+            apply_span = tracer.span("apply", cat=CAT_PHASE)
+            apply_span.__enter__()
             planned, plan_cpu = searcher.plan_apply(matches, deadline)
             commit_start = time.perf_counter()
             unions = 0
@@ -391,34 +435,54 @@ class Runner:
                 if egraph.num_nodes > self.node_limit:
                     break
             egraph.origin_tag = None
-            now = time.perf_counter()
-            phases.apply = now - apply_start
+            commit_wall = time.perf_counter() - commit_start
+            apply_span.done()
+            phases.apply = apply_span.duration
             # CPU actually spent applying: worker planning seconds plus
             # the parent's commit wall (== apply wall when serial).
-            phases.apply_cpu = plan_cpu + (now - commit_start)
+            phases.apply_cpu = plan_cpu + commit_wall
 
             # --- rebuild ------------------------------------------------
-            rebuild_start = time.perf_counter()
-            congruence_unions = egraph.rebuild()
-            if unions or congruence_unions:
-                # Some class ids went stale: re-canonicalize the stored
-                # signatures so later merges cannot resurrect matches.
-                # A step with zero unions left the union-find untouched.
-                applied = {_canonicalize_signature(egraph, s) for s in applied}
-            if len(applied) > self.applied_cap:
-                applied.clear()
-            phases.rebuild = time.perf_counter() - rebuild_start
+            with tracer.span("rebuild", cat=CAT_PHASE) as rebuild_span:
+                congruence_unions = egraph.rebuild()
+                if unions or congruence_unions:
+                    # Some class ids went stale: re-canonicalize the stored
+                    # signatures so later merges cannot resurrect matches.
+                    # A step with zero unions left the union-find untouched.
+                    applied = {
+                        _canonicalize_signature(egraph, s) for s in applied
+                    }
+                if len(applied) > self.applied_cap:
+                    applied.clear()
+            phases.rebuild = rebuild_span.duration
 
             # --- record (+ extract) ------------------------------------
-            extract_start = time.perf_counter()
-            record = self._record(
-                step, 0.0, len(matches), unions, root_class, cost_model,
-                extract_each_step, contributed,
+            with tracer.span("extract", cat=CAT_EXTRACT) as extract_span:
+                record = self._record(
+                    step, 0.0, len(matches), unions, root_class, cost_model,
+                    extract_each_step, contributed,
+                )
+            phases.extract = extract_span.duration
+            step_span.set(
+                matches=len(matches), unions=unions, enodes=egraph.num_nodes,
             )
-            phases.extract = time.perf_counter() - extract_start
-            record.seconds = time.perf_counter() - step_start
+            step_span.done()
+            record.seconds = step_span.duration
             record.phases = phases
             records.append(record)
+            if m.enabled:
+                m.inc("runner", "steps_total",
+                      help="saturation steps executed")
+                m.inc("runner", "matches_total", len(matches),
+                      help="matches admitted for application")
+                m.inc("runner", "unions_total", unions,
+                      help="unions performed by rule applications")
+                m.inc("store", "rebuild_repairs_total", congruence_unions,
+                      help="congruence-induced unions during rebuild")
+                m.set_max("store", "peak_enodes", egraph.num_nodes,
+                          help="highest e-node count any step reached")
+                m.observe("runner", "step_seconds", record.seconds,
+                          help="wall seconds per saturation step")
             for hook in self.on_step_end:
                 hook(self, step, record)
 
@@ -495,6 +559,7 @@ class Runner:
         count the same step as banned twice.
         """
         egraph = self.egraph
+        m = self.metrics
         matches: List[Tuple[RuleStats, Rule, Match]] = []
         any_restricted = False
         timed_out = False
@@ -509,6 +574,10 @@ class Runner:
             if not scheduler.should_search(step, rule_index, rule):
                 if not verify_pass:
                     rule_stats.banned_steps += 1
+                    if m.enabled:
+                        m.inc("runner", "banned_steps_total",
+                              help="rule-steps skipped under a backoff ban",
+                              rule=rule_stats.name)
                 if matcher is not None:
                     # The rule missed this step's matches; its next
                     # search must be a full scan.
@@ -551,6 +620,10 @@ class Runner:
             phases.search_cpu += seconds
             rule_stats.searches += 1
             rule_stats.matches_found += len(found)
+            if m.enabled:
+                m.observe("runner", "rule_search_seconds", seconds,
+                          help="per-rule e-matching wall seconds",
+                          rule=rule_stats.name)
             if matcher is not None:
                 matcher.note_searched(rule_index, restrict is not None)
             context = contexts[rule_index]
@@ -572,6 +645,10 @@ class Runner:
                 # Banned: the discarded matches must be re-found once
                 # the ban lifts.
                 rule_stats.bans += 1
+                if m.enabled:
+                    m.inc("runner", "bans_total",
+                          help="backoff bans issued",
+                          rule=rule_stats.name)
                 if matcher is not None:
                     matcher.force_full(rule_index)
                 continue
@@ -604,6 +681,16 @@ class Runner:
             result = extractor.extract(root_class)
             record.best_term = result.term
             record.best_cost = result.cost
+            if self.metrics.enabled:
+                self.metrics.inc(
+                    "extraction", "extractions_total",
+                    help="per-step extractions performed",
+                    extractor=self.extractor_cls.name,
+                )
+                self.metrics.set(
+                    "extraction", "best_cost", float(result.cost),
+                    help="cost of the most recent extracted solution",
+                )
             record.library_calls = library_calls_of(result.term)
             if result.chosen:
                 events = contributing_events(self.egraph, result.chosen)

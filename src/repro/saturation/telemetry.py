@@ -22,6 +22,7 @@ __all__ = [
     "rule_stats_to_dict",
     "rule_stats_from_dict",
     "aggregate_rule_stats",
+    "aggregate_phase_seconds",
 ]
 
 
@@ -153,3 +154,18 @@ def aggregate_rule_stats(
             merged = totals.setdefault(name, RuleStats(name))
             merged.add(RuleStats.from_dict(entry))
     return rule_stats_to_dict(totals)
+
+
+def aggregate_phase_seconds(
+    runs: "list[Optional[Mapping[str, float]]]",
+) -> Dict[str, float]:
+    """Sum serialized per-run ``phase_seconds`` dicts across runs (the
+    ``--rule-profile`` ``aggregate_phase_seconds`` section).  Runs
+    without phase telemetry (``None``, pre-telemetry cache entries)
+    contribute nothing; keys are the union of whatever phases the runs
+    recorded, so dicts written before a phase existed still sum."""
+    totals: Dict[str, float] = {}
+    for phases in runs:
+        for key, value in (phases or {}).items():
+            totals[key] = totals.get(key, 0.0) + float(value)
+    return {key: totals[key] for key in sorted(totals)}

@@ -1,0 +1,121 @@
+"""Metrics-registry unit tests: instruments, snapshots, merging, and
+the Prometheus text rendering."""
+
+import json
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    merge_snapshots,
+    peak_rss_kb,
+    to_prometheus,
+)
+
+
+def test_counter_accumulates_per_label_set():
+    m = MetricsRegistry()
+    m.inc("runner", "bans_total", rule="mul-comm")
+    m.inc("runner", "bans_total", 2, rule="mul-comm")
+    m.inc("runner", "bans_total", rule="add-assoc")
+    snap = m.snapshot()
+    samples = {
+        tuple(sorted(s["labels"].items())): s["value"]
+        for s in snap["families"]["runner"]["bans_total"]["samples"]
+    }
+    assert samples[(("rule", "mul-comm"),)] == 3
+    assert samples[(("rule", "add-assoc"),)] == 1
+
+
+def test_gauge_set_and_set_max():
+    m = MetricsRegistry()
+    m.set("store", "enodes", 100)
+    m.set("store", "enodes", 50)  # plain set overwrites
+    m.set_max("store", "peak_enodes", 100)
+    m.set_max("store", "peak_enodes", 50)  # lower value ignored
+    snap = m.snapshot()["families"]["store"]
+    assert snap["enodes"]["samples"][0]["value"] == 50
+    assert snap["peak_enodes"]["samples"][0]["value"] == 100
+
+
+def test_histogram_buckets_and_sum():
+    m = MetricsRegistry()
+    for value in (0.0005, 0.03, 100.0):
+        m.observe("runner", "step_seconds", value)
+    state = m.snapshot()["families"]["runner"]["step_seconds"]
+    sample = state["samples"][0]["value"]
+    assert sample["count"] == 3
+    assert abs(sample["sum"] - 100.0305) < 1e-9
+    assert sample["counts"][0] == 1          # <= 0.001
+    assert sample["counts"][-1] == 1         # +Inf bucket
+    assert sum(sample["counts"]) == 3
+    assert state["buckets"][0] == 0.001
+
+
+def test_snapshot_round_trips_through_json():
+    m = MetricsRegistry()
+    m.inc("cache", "hits_total", 7)
+    m.observe("runner", "step_seconds", 0.25, kernel="gemv")
+    snap = m.snapshot()
+    assert snap == json.loads(json.dumps(snap))
+    assert snap["schema"] == "repro-metrics/1"
+
+
+def test_snapshot_populates_process_peak_rss():
+    snap = MetricsRegistry().snapshot()
+    value = snap["families"]["process"]["peak_rss_kb"]["samples"][0]["value"]
+    assert value > 0
+    assert peak_rss_kb() >= value * 0.5  # same order of magnitude
+
+
+def test_merge_counters_add_gauges_max_histograms_add():
+    a = MetricsRegistry()
+    a.inc("runner", "unions_total", 5)
+    a.set("store", "enodes", 100)
+    a.observe("runner", "step_seconds", 0.1)
+    b = MetricsRegistry()
+    b.inc("runner", "unions_total", 3)
+    b.set("store", "enodes", 40)
+    b.observe("runner", "step_seconds", 0.2)
+    merged = merge_snapshots([a.snapshot(), b.snapshot(), None])
+    fams = merged["families"]
+    assert fams["runner"]["unions_total"]["samples"][0]["value"] == 8
+    assert fams["store"]["enodes"]["samples"][0]["value"] == 100  # max
+    hist = fams["runner"]["step_seconds"]["samples"][0]["value"]
+    assert hist["count"] == 2
+    assert abs(hist["sum"] - 0.3) < 1e-9
+
+
+def test_null_registry_records_nothing():
+    NULL_METRICS.inc("runner", "steps_total")
+    NULL_METRICS.set("store", "enodes", 10)
+    NULL_METRICS.set_max("store", "peak_enodes", 10)
+    NULL_METRICS.observe("runner", "step_seconds", 1.0)
+    assert NULL_METRICS.families == {}
+    assert not NULL_METRICS.enabled
+
+
+def test_prometheus_text_format():
+    m = MetricsRegistry()
+    m.inc("cache", "hits_total", 4, help="result-cache hits")
+    m.set("store", "enodes", 123, kernel="gemv")
+    m.observe("runner", "step_seconds", 0.03,
+              buckets=(0.01, 0.1), help="per-step wall")
+    text = to_prometheus(m.snapshot())
+    assert "# HELP repro_cache_hits_total result-cache hits" in text
+    assert "# TYPE repro_cache_hits_total counter" in text
+    assert "repro_cache_hits_total 4" in text
+    assert 'repro_store_enodes{kernel="gemv"} 123' in text
+    assert "# TYPE repro_runner_step_seconds histogram" in text
+    # cumulative bucket counts, then the +Inf bucket == _count
+    assert 'repro_runner_step_seconds_bucket{le="0.01"} 0' in text
+    assert 'repro_runner_step_seconds_bucket{le="0.1"} 1' in text
+    assert 'repro_runner_step_seconds_bucket{le="+Inf"} 1' in text
+    assert "repro_runner_step_seconds_sum 0.03" in text
+    assert "repro_runner_step_seconds_count 1" in text
+
+
+def test_prometheus_escapes_label_values():
+    m = MetricsRegistry()
+    m.inc("runner", "bans_total", rule='say "hi"\\now')
+    text = to_prometheus(m.snapshot())
+    assert r'rule="say \"hi\"\\now"' in text

@@ -1,0 +1,177 @@
+"""Tracer unit tests: span protocol, cross-process merging, export."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    CAT_PHASE,
+    CAT_RULE,
+    CAT_STEP,
+    NULL_TRACER,
+    Span,
+    TraceError,
+    Tracer,
+    resolve_tracer,
+)
+
+
+# ---------------------------------------------------------------------------
+# span nesting / closing invariants
+# ---------------------------------------------------------------------------
+
+def test_nested_spans_close_lifo():
+    tracer = Tracer()
+    with tracer.span("step 1", cat=CAT_STEP):
+        with tracer.span("search"):
+            assert tracer.open_depth == 2
+        with tracer.span("apply"):
+            pass
+    assert tracer.open_depth == 0
+    assert [e["name"] for e in tracer.events] == ["search", "apply", "step 1"]
+
+
+def test_out_of_order_close_raises():
+    tracer = Tracer()
+    outer = tracer.span("outer").__enter__()
+    tracer.span("inner").__enter__()
+    with pytest.raises(TraceError, match="inner spans are open"):
+        outer.done()
+
+
+def test_done_is_idempotent_and_requires_enter():
+    tracer = Tracer()
+    span = tracer.span("once")
+    with pytest.raises(TraceError, match="before it was entered"):
+        span.done()
+    span.__enter__()
+    span.done()
+    span.done()  # second close is a no-op
+    assert len(tracer.events) == 1
+
+
+def test_unfinished_spans_are_not_exported():
+    tracer = Tracer()
+    tracer.span("open-forever").__enter__()
+    with tracer.span("closed"):
+        pass
+    names = {e["name"] for e in tracer.export_events()}
+    assert names == {"closed"}
+
+
+def test_span_measures_even_when_disabled():
+    """PhaseTimings consumes span durations whether or not the trace
+    is retained, so a disabled span must still time its region."""
+    span = NULL_TRACER.span("phase")
+    with span:
+        pass
+    assert span.duration >= 0.0
+    assert NULL_TRACER.events == []
+    assert NULL_TRACER.open_depth == 0
+
+
+def test_span_set_attaches_args():
+    tracer = Tracer()
+    with tracer.span("step", cat=CAT_STEP) as span:
+        span.set(matches=3, unions=1)
+    assert tracer.events[-1]["args"] == {"matches": 3, "unions": 1}
+
+
+def test_resolve_tracer_forms():
+    assert resolve_tracer(None) is NULL_TRACER
+    owned = Tracer()
+    assert resolve_tracer(owned) is owned
+    fresh = resolve_tracer("out.json")
+    assert fresh.enabled and fresh is not NULL_TRACER
+
+
+# ---------------------------------------------------------------------------
+# cross-process merging
+# ---------------------------------------------------------------------------
+
+def _remote_event(pid, ts, dur=0.5, name="search:mul-comm"):
+    return {"name": name, "cat": CAT_RULE, "ts": ts, "dur": dur,
+            "pid": pid, "args": {"matches": 1}}
+
+
+def test_add_remote_keeps_worker_pids_and_drops_malformed():
+    tracer = Tracer()
+    tracer.add_remote([
+        _remote_event(pid=4242, ts=tracer.epoch + 0.1),
+        {"name": "broken", "cat": CAT_RULE, "pid": 4242},  # no ts/dur
+    ])
+    assert len(tracer.events) == 1
+    assert tracer.events[0]["pid"] == 4242
+
+
+def test_merged_lanes_have_monotonic_timestamps():
+    """Events from several workers arrive interleaved; the export must
+    lay each pid on its own lane with non-decreasing timestamps."""
+    tracer = Tracer()
+    epoch = tracer.epoch
+    with tracer.span("step 1", cat=CAT_STEP):
+        pass
+    # Interleaved arrival order across two worker pids.
+    tracer.add_remote([
+        _remote_event(7001, epoch + 0.30),
+        _remote_event(7002, epoch + 0.10),
+        _remote_event(7001, epoch + 0.05),
+        _remote_event(7002, epoch + 0.40),
+    ])
+    doc = tracer.chrome_trace()
+    last = {}
+    for event in doc["traceEvents"]:
+        if event.get("ph") != "X":
+            continue
+        lane = event["tid"]
+        assert event["ts"] >= last.get(lane, -1.0), (
+            f"lane {lane} went backwards"
+        )
+        last[lane] = event["ts"]
+    assert set(last) == {tracer.pid, 7001, 7002}
+
+
+def test_worker_lanes_are_named():
+    tracer = Tracer()
+    tracer.add_remote([_remote_event(7001, tracer.epoch + 0.1)])
+    doc = tracer.chrome_trace()
+    thread_names = {
+        e["tid"]: e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "thread_name"
+    }
+    assert thread_names[tracer.pid] == "engine"
+    assert thread_names[7001] == "worker-7001"
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event schema
+# ---------------------------------------------------------------------------
+
+def test_chrome_trace_schema(tmp_path):
+    tracer = Tracer()
+    with tracer.span("step 1", cat=CAT_STEP):
+        with tracer.span("search", cat=CAT_PHASE):
+            pass
+    path = tmp_path / "traces" / "run.json"
+    tracer.write(str(path), session_name="run:probe")
+    doc = json.loads(path.read_text())  # must be valid JSON
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events
+    for event in events:
+        assert event["ph"] in ("X", "M")
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            # complete events: microsecond ts/dur, never negative
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert isinstance(event["name"], str)
+            assert isinstance(event["cat"], str)
+    session = [e for e in events if e.get("cat") == "session"]
+    assert len(session) == 1
+    assert session[0]["name"] == "run:probe"
+    # the synthetic session span covers the whole timeline
+    spans = [e for e in events if e.get("ph") == "X"]
+    assert session[0]["dur"] >= max(e["ts"] + e["dur"] for e in spans) - 1e-3
