@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional
@@ -93,20 +94,28 @@ class ResultCache:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self._results: Dict[str, object] = {}
         self._reports: Dict[str, OptimizationReport] = {}
+        # The serving daemon shares one cache across request threads;
+        # the lock keeps the counter read-modify-writes and the
+        # memory-tier dict updates coherent (disk I/O stays outside —
+        # writes are already atomic-rename).
+        self._lock = threading.Lock()
 
     # -- tier 1: full in-process results --------------------------------
     def get_result(self, key: str) -> Optional[object]:
-        result = self._results.get(key)
-        if result is not None:
-            self.stats.hits += 1
+        with self._lock:
+            result = self._results.get(key)
+            if result is not None:
+                self.stats.hits += 1
         return result
 
     def put_result(self, key: str, result: object) -> None:
-        self._results[key] = result
+        with self._lock:
+            self._results[key] = result
 
     def drop_result(self, key: str) -> None:
-        if self._results.pop(key, None) is not None:
-            self.stats.evictions += 1
+        with self._lock:
+            if self._results.pop(key, None) is not None:
+                self.stats.evictions += 1
 
     # -- reports (tier 1 dict, tier 2 JSON files) -----------------------
     def _path(self, key: str) -> Optional[Path]:
@@ -115,10 +124,11 @@ class ResultCache:
         return self.cache_dir / f"{key}.json"
 
     def get_report(self, key: str, *, disk: bool = True) -> Optional[OptimizationReport]:
-        report = self._reports.get(key)
-        if report is not None:
-            self.stats.hits += 1
-            return report
+        with self._lock:
+            report = self._reports.get(key)
+            if report is not None:
+                self.stats.hits += 1
+                return report
         path = self._path(key) if disk else None
         if path is not None:
             try:
@@ -131,15 +141,17 @@ class ResultCache:
                 report = OptimizationReport.from_json(text)
             except (ValueError, TypeError, KeyError):
                 return None  # corrupt entry: treat as a miss
-            self._reports[key] = report
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
+            with self._lock:
+                self._reports[key] = report
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
             return report
         return None
 
     def put_report(self, key: str, report: OptimizationReport, *, disk: bool = True) -> None:
-        self._reports[key] = report
-        self.stats.stores += 1
+        with self._lock:
+            self._reports[key] = report
+            self.stats.stores += 1
         path = self._path(key) if disk else None
         if path is None:
             return
@@ -156,12 +168,14 @@ class ResultCache:
                 pass
 
     def miss(self) -> None:
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
 
     def clear(self, *, disk: bool = False) -> None:
-        self.stats.evictions += len(self._results) + len(self._reports)
-        self._results.clear()
-        self._reports.clear()
+        with self._lock:
+            self.stats.evictions += len(self._results) + len(self._reports)
+            self._results.clear()
+            self._reports.clear()
         if disk and self.cache_dir is not None:
             for path in self.cache_dir.glob("*.json"):
                 try:

@@ -47,12 +47,66 @@ from __future__ import annotations
 import hashlib
 import os
 from dataclasses import dataclass, replace
-from typing import Mapping, Optional
+from typing import List, Mapping, Optional, Tuple
 
 from ..extraction import EXTRACTOR_NAMES
 from ..saturation.schedulers import SCHEDULER_NAMES
 
-__all__ = ["Limits"]
+__all__ = ["Limits", "Knob", "KNOBS", "CAPPABLE_FIELDS"]
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One configuration knob across its three surfaces.
+
+    Every :class:`Limits` field is settable three ways — as a dataclass
+    field, as a ``REPRO_*`` environment variable, and as a CLI flag —
+    and :data:`KNOBS` is the single source of truth tying them
+    together.  The README configuration table is generated from and
+    audited against this registry (``tools/check_docs.py`` fails CI
+    when the three surfaces drift).
+    """
+
+    field: str  #: Limits dataclass field name
+    env: str  #: REPRO_* environment variable
+    flag: str  #: CLI flag on the main driver
+    default: object  #: the shipped default value
+    summary: str  #: one-line meaning, reused by docs
+
+
+KNOBS: Tuple[Knob, ...] = (
+    Knob("step_limit", "REPRO_STEP_LIMIT", "--steps", 8,
+         "saturation steps per run"),
+    Knob("node_limit", "REPRO_NODE_LIMIT", "--nodes", 12_000,
+         "e-node budget per run"),
+    Knob("time_limit", "REPRO_TIME_LIMIT", "--time-limit", 120.0,
+         "wall-clock cap per run, seconds"),
+    Knob("scheduler", "REPRO_SCHEDULER", "--scheduler", "simple",
+         "rule scheduler: 'simple' or egg-style 'backoff'"),
+    Knob("search_workers", "REPRO_SEARCH_WORKERS", "--search-workers", 1,
+         "parallel e-matching fan-out (1 = serial, byte-identical)"),
+    Knob("rule_profile", "REPRO_RULE_PROFILE", "--prune-from-profile", None,
+         "recorded rule-profile JSON driving pre-run rule pruning"),
+    Knob("extractor", "REPRO_EXTRACTOR", "--extractor", "greedy",
+         "extraction strategy: 'greedy' (tree cost) or 'dag'"),
+    Knob("top_k", "REPRO_TOP_K", "--top-k", 1,
+         "enumerate the K cheapest distinct solutions"),
+    Knob("apply_workers", "REPRO_APPLY_WORKERS", "--apply-workers", 1,
+         "parallel apply-planning fan-out (1 = serial, byte-identical)"),
+    Knob("check", "REPRO_CHECK", "--check", False,
+         "verify e-graph invariants after every step"),
+    Knob("trace", "REPRO_TRACE", "--trace", None,
+         "Chrome-trace JSON output path (Perfetto)"),
+    Knob("metrics", "REPRO_METRICS", "--metrics", False,
+         "snapshot the metrics registry onto reports"),
+)
+
+#: Numeric budget fields a serving tenant can be capped on
+#: (:meth:`Limits.exceeding`; see ``repro.server.admission``).
+CAPPABLE_FIELDS: Tuple[str, ...] = (
+    "step_limit", "node_limit", "time_limit",
+    "search_workers", "apply_workers", "top_k",
+)
 
 
 def _profile_digest(path: str) -> str:
@@ -223,6 +277,28 @@ class Limits:
             trace=data.get("trace") or None,
             metrics=bool(data.get("metrics", False)),
         )
+
+    def exceeding(self, caps: Mapping[str, float]) -> List[str]:
+        """Names of budget fields whose value exceeds ``caps``.
+
+        ``caps`` maps :data:`CAPPABLE_FIELDS` names to their maximum
+        allowed values — the per-tenant budget unit of the serving
+        daemon (``repro.server``).  An unknown cap name raises
+        ``ValueError``: a typo in a ``serve.toml`` tenant section must
+        not silently admit everything.
+        """
+        unknown = sorted(set(caps) - set(CAPPABLE_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown limit cap(s) {unknown}; "
+                f"cappable fields are {list(CAPPABLE_FIELDS)}"
+            )
+        over: List[str] = []
+        for field in CAPPABLE_FIELDS:
+            cap = caps.get(field)
+            if cap is not None and getattr(self, field) > cap:
+                over.append(field)
+        return over
 
     def key(self) -> tuple:
         """Hashable cache-key fragment.

@@ -25,6 +25,7 @@ Typical use::
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from time import perf_counter
 from concurrent.futures import ProcessPoolExecutor
@@ -167,6 +168,62 @@ class Session:
         # session-wide trace (the file is rewritten from the full set
         # each time) instead of clobbering each other.
         self._trace_events: Dict[str, List[dict]] = {}
+        # Warm persistent worker pool (repro serve): created once via
+        # start_pool() and reused across batches, so long-lived callers
+        # stop paying a pool construction + fork per request.  None
+        # means the historical behavior: a transient pool per batch.
+        self._persistent_pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # warm persistent worker pool
+    # ------------------------------------------------------------------
+    def start_pool(self, max_workers: Optional[int] = None) -> bool:
+        """Create (or keep) a warm persistent worker pool.
+
+        Subsequent ``optimize_many`` batches — including single-request
+        batches, the ``repro serve`` job shape — submit to this pool
+        instead of constructing a transient one, so worker processes
+        stay forked and hot across requests.  Idempotent; returns
+        ``False`` (and stays in-process) on platforms without ``fork``,
+        where a long-lived spawn pool could not see runtime-registered
+        targets.  A pool broken mid-batch (OOM-killed worker) is
+        discarded and lazily recreated by the next ``start_pool`` call.
+        """
+        with self._pool_lock:
+            if self._persistent_pool is not None:
+                return True
+            if not _fork_available():
+                return False
+            import multiprocessing
+
+            workers = max_workers if max_workers and max_workers > 0 \
+                else min(os.cpu_count() or 2, 8)
+            self._persistent_pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            return True
+
+    @property
+    def pool_warm(self) -> bool:
+        """Is a persistent worker pool currently running?"""
+        return self._persistent_pool is not None
+
+    def close_pool(self) -> None:
+        """Shut down the warm pool (no-op when none is running)."""
+        with self._pool_lock:
+            pool, self._persistent_pool = self._persistent_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _discard_broken_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a persistent pool that broke mid-batch so the next
+        ``start_pool`` builds a fresh one."""
+        with self._pool_lock:
+            if self._persistent_pool is pool:
+                self._persistent_pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     # target / limits resolution
@@ -630,7 +687,10 @@ class Session:
         # so runtime-registered targets also stay in-process.
         use_pool = (
             parallel
-            and len(payloads) > 1
+            # A warm persistent pool serves even single-request batches
+            # (the `repro serve` job shape); transient pools are only
+            # worth constructing for real batches.
+            and (len(payloads) > 1 or self._persistent_pool is not None)
             and self.registry is target_registry
             and self.kernels is default_kernel_registry
             and (
@@ -700,26 +760,33 @@ class Session:
     ) -> List[Optional[dict]]:
         import multiprocessing
 
-        if max_workers is None or max_workers < 1:
-            max_workers = min(len(payloads), os.cpu_count() or 2, 8)
-        context = None
-        if _fork_available():
-            # Fork inherits runtime-registered targets and the kernel
-            # registry; spawn would only see import-time registrations.
-            context = multiprocessing.get_context("fork")
+        pool = self._persistent_pool
+        owned = pool is None
+        if owned:
+            if max_workers is None or max_workers < 1:
+                max_workers = min(len(payloads), os.cpu_count() or 2, 8)
+            context = None
+            if _fork_available():
+                # Fork inherits runtime-registered targets and the
+                # kernel registry; spawn would only see import-time
+                # registrations.
+                context = multiprocessing.get_context("fork")
+            pool = ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=context
+            )
         dicts: List[Optional[dict]] = [None] * len(payloads)
         futures: List = []
-        with ProcessPoolExecutor(
-            max_workers=max_workers, mp_context=context
-        ) as pool:
+        broken = False
+        try:
             try:
                 for p in payloads:
                     futures.append(pool.submit(_pool_worker, p))
-            except (OSError, BrokenProcessPool):
-                # Pool broke mid-submission: the futures already in
-                # flight are still harvested below; the never-submitted
-                # tail runs in-process after the pool shuts down.
-                pass
+            except (OSError, RuntimeError, BrokenProcessPool):
+                # Pool broke (or was shut down concurrently) mid-
+                # submission: the futures already in flight are still
+                # harvested below; the never-submitted tail runs
+                # in-process after the pool is released.
+                broken = True
             for index, future in enumerate(futures):
                 try:
                     dicts[index] = future.result()
@@ -727,9 +794,17 @@ class Session:
                     # A worker died mid-batch (OOM kill).  Completed
                     # results are kept; only the casualties rerun
                     # in-process (availability over memory caution).
+                    broken = True
                     dicts[index] = _execute_payload(
                         payloads[index], self.registry, self.kernels
                     )
+        finally:
+            if owned:
+                pool.shutdown()
+            elif broken:
+                # A broken warm pool would poison every later batch;
+                # drop it so the owner's next start_pool() re-warms.
+                self._discard_broken_pool(pool)
         for index in range(len(futures), len(payloads)):
             dicts[index] = _execute_payload(
                 payloads[index], self.registry, self.kernels

@@ -31,7 +31,53 @@ __all__ = [
     "shapes_to_spec",
     "spec_to_shapes",
     "report_cache_key",
+    "report_fingerprint",
+    "VOLATILE_REPORT_FIELDS",
+    "VOLATILE_LIMIT_FIELDS",
 ]
+
+#: Report fields that vary run-to-run without the *result* changing:
+#: wall-clock measurements, cache provenance, and observability
+#: snapshots.  Everything else — solution, cost, library calls, node
+#: and step counts, provenance, candidates — is deterministic.
+VOLATILE_REPORT_FIELDS = ("seconds", "cache_hit", "phase_seconds", "metrics")
+
+#: Limits fields excluded from cache keys because they never change
+#: what a run computes (parallel search/apply are byte-identical to
+#: serial; check/trace/metrics only observe).  They are scrubbed from
+#: fingerprints for the same reason.
+VOLATILE_LIMIT_FIELDS = ("search_workers", "apply_workers", "check",
+                         "trace", "metrics")
+
+
+def report_fingerprint(report: "OptimizationReport | Mapping") -> str:
+    """Canonical JSON of a report's *deterministic* content.
+
+    Two reports with equal fingerprints describe byte-identical
+    optimization results: the one-shot :class:`~repro.api.Session`
+    path and the ``repro serve`` daemon must agree on this string for
+    the same request (the service-equivalence guarantee asserted by
+    ``tests/server/`` and the CI smoke test).  Volatile fields —
+    timings, cache provenance, observability snapshots, and the
+    per-rule ``search_seconds`` inside ``rule_stats`` — are scrubbed;
+    everything else participates byte-for-byte.
+    """
+    data = (report.to_dict() if isinstance(report, OptimizationReport)
+            else dict(report))
+    for field_name in VOLATILE_REPORT_FIELDS:
+        data.pop(field_name, None)
+    limits = data.get("limits")
+    if isinstance(limits, Mapping):
+        data["limits"] = {k: v for k, v in limits.items()
+                          if k not in VOLATILE_LIMIT_FIELDS}
+    stats = data.get("rule_stats")
+    if isinstance(stats, Mapping):
+        data["rule_stats"] = {
+            rule: {k: v for k, v in entry.items() if k != "search_seconds"}
+            if isinstance(entry, Mapping) else entry
+            for rule, entry in stats.items()
+        }
+    return json.dumps(data, sort_keys=True)
 
 
 def shapes_to_spec(shapes: Optional[Mapping[str, Shape]]) -> Optional[Dict[str, Any]]:

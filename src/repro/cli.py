@@ -17,6 +17,9 @@ Examples::
     python -m repro check-rules              # static rule-soundness analysis
     python -m repro check-rules --ruleset blas --json
     python -m repro check-egraph --kernel dot  # per-step invariant sweep
+    python -m repro serve --port 8135        # optimization-as-a-service daemon
+    python -m repro serve --config serve.toml  # declarative deployment
+    python -m repro gemv --remote http://host:8135  # batch via the daemon
 
 Limits default to the unified :class:`repro.api.Limits` profile and
 honour ``REPRO_STEP_LIMIT`` / ``REPRO_NODE_LIMIT`` /
@@ -161,6 +164,18 @@ def _parser() -> argparse.ArgumentParser:
                              "and write the merged snapshot here in the "
                              "Prometheus text format (default: "
                              "REPRO_METRICS; off)")
+    parser.add_argument("--remote", metavar="URL", default=None,
+                        help="send requests to a running `repro serve` "
+                             "daemon instead of saturating in-process; "
+                             "explicit limit flags are embedded in each "
+                             "request so remote reports reproduce local "
+                             "ones byte-for-byte")
+    parser.add_argument("--tenant", default=None,
+                        help="tenant name sent as X-Repro-Tenant with "
+                             "--remote")
+    parser.add_argument("--token", default=None,
+                        help="bearer token sent as Authorization with "
+                             "--remote")
     parser.add_argument("--run", action="store_true",
                         help="execute and time the extracted solutions")
     parser.add_argument("--budget", type=float, default=0.25,
@@ -445,12 +460,83 @@ def _check_egraph_main(argv: List[str]) -> int:
     return 1 if has_errors(findings) else 0
 
 
+def _serve_main(argv: List[str]) -> int:
+    """``repro serve``: run the optimization-as-a-service daemon."""
+    from .server import ConfigError, OptimizationServer, ServeConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Long-lived HTTP/JSON optimization daemon: "
+                    "POST /v1/optimize, GET /v1/jobs/<id>, "
+                    "GET /v1/healthz, GET /v1/metrics "
+                    "(wire protocol: docs/SERVER.md)",
+    )
+    parser.add_argument("--config", type=Path, default=None, metavar="TOML",
+                        help="serve.toml with targets, limits, tenant "
+                             "budgets, and worker counts (flags below "
+                             "override it)")
+    parser.add_argument("--host", default=None,
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="TCP port; 0 picks an ephemeral port "
+                             "(default 8135)")
+    parser.add_argument("--workers", type=_positive_int, default=None,
+                        metavar="N",
+                        help="queue worker threads = concurrent "
+                             "saturations (default 2)")
+    parser.add_argument("--pool-workers", type=int, default=None,
+                        metavar="N",
+                        help="warm persistent fork-pool size; 0 runs "
+                             "jobs in-process (default 2)")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    try:
+        config = (ServeConfig.load(args.config) if args.config
+                  else ServeConfig())
+        from dataclasses import replace as dc_replace
+
+        overrides = {}
+        if args.host is not None:
+            overrides["host"] = args.host
+        if args.port is not None:
+            overrides["port"] = args.port
+        if args.workers is not None:
+            overrides["queue_workers"] = args.workers
+        if args.pool_workers is not None:
+            overrides["pool_workers"] = args.pool_workers
+        if overrides:
+            config = dc_replace(config, **overrides)
+        server = OptimizationServer(config)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    server.verbose = not args.quiet
+    server.start()
+    # The announce line is part of the contract: tests and the CI
+    # smoke script bind --port 0 and parse the ephemeral port here.
+    print(f"repro serve: listening on {server.url} "
+          f"(queue workers {config.queue_workers}, "
+          f"pool workers {config.pool_workers}, "
+          f"tenants {len(config.tenants)})", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "check-rules":
         return _check_rules_main(argv[1:])
     if argv and argv[0] == "check-egraph":
         return _check_egraph_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     args = _parser().parse_args(argv)
     kernel_names = args.kernels or registry.names()
     try:
@@ -469,7 +555,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace=str(args.trace) if args.trace else None,
         metrics=True if args.metrics else None,
     )
-    session = Session(limits, cache_dir=args.cache_dir)
+    if args.remote:
+        if args.trace or args.prune_from_profile:
+            print("error: --trace and --prune-from-profile name "
+                  "server-side file paths and are not available with "
+                  "--remote", file=sys.stderr)
+            return 2
+        if args.cache_dir:
+            print("note: --cache-dir is ignored with --remote "
+                  "(the daemon owns the result cache)", file=sys.stderr)
+        from .server.client import RemoteSession
+
+        session = RemoteSession(args.remote, limits=limits,
+                                tenant=args.tenant, token=args.token)
+    else:
+        session = Session(limits, cache_dir=args.cache_dir)
     all_reports: List = []
     if args.run and args.jobs != 1:
         print("note: --run executes solutions in-process; ignoring -j",
@@ -535,7 +635,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.quiet:
             print(f"provenance written to {args.provenance}")
     if args.metrics is not None:
-        _write_metrics(args.metrics, session, all_reports)
+        if args.remote:
+            # The daemon owns the engine/cache counters; snapshot its
+            # Prometheus exposition instead of merging local reports.
+            args.metrics.parent.mkdir(parents=True, exist_ok=True)
+            args.metrics.write_text(session.metrics_text())
+        else:
+            _write_metrics(args.metrics, session, all_reports)
         if not args.quiet:
             print(f"metrics written to {args.metrics}")
     if args.trace is not None and not args.quiet:

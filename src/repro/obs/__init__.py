@@ -16,6 +16,7 @@ excluded from cache keys (observation never changes results).
 """
 
 from .metrics import (
+    CONTENT_TYPE_LATEST,
     NULL_METRICS,
     MetricsRegistry,
     merge_snapshots,
@@ -35,4 +36,5 @@ __all__ = [
     "merge_snapshots",
     "to_prometheus",
     "peak_rss_kb",
+    "CONTENT_TYPE_LATEST",
 ]

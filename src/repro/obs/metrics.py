@@ -32,9 +32,14 @@ __all__ = [
     "merge_snapshots",
     "to_prometheus",
     "peak_rss_kb",
+    "CONTENT_TYPE_LATEST",
 ]
 
 SNAPSHOT_SCHEMA = "repro-metrics/1"
+
+#: The Prometheus text exposition content type, served by the
+#: ``repro serve`` daemon's ``GET /v1/metrics`` endpoint.
+CONTENT_TYPE_LATEST = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Default histogram buckets: seconds-scale, log-spaced — covers a
 #: per-rule search (sub-ms) up to a whole saturation step (minutes).

@@ -1,0 +1,46 @@
+"""``repro.server`` — optimization as a long-lived service.
+
+The daemon behind ``repro serve``: a stdlib ``ThreadingHTTPServer``
+wrapping one shared :class:`~repro.api.session.Session` (warm
+persistent worker pool, shared two-tier result cache) behind an async
+job queue with per-tenant admission control, configured declaratively
+from a ``serve.toml``.
+
+Layers, bottom up:
+
+* :mod:`~repro.server.config` — :class:`ServeConfig` /
+  :class:`TenantConfig`, the serve.toml schema;
+* :mod:`~repro.server.admission` — token buckets, tenant identity,
+  per-request budget caps, structured 4xx rejections;
+* :mod:`~repro.server.queue` — jobs and the worker threads that
+  execute them through the shared session;
+* :mod:`~repro.server.app` — the HTTP surface (``/v1/optimize``,
+  ``/v1/jobs``, ``/v1/healthz``, ``/v1/metrics``);
+* :mod:`~repro.server.client` — :class:`RemoteSession`, the thin
+  client the batch CLI (``--remote``) and tests use;
+* :mod:`~repro.server.testing` — an in-process live server for tests.
+
+Wire protocol reference: ``docs/SERVER.md``.
+"""
+
+from .admission import AdmissionController, AdmissionError, TokenBucket
+from .app import SERVER_VERSION, OptimizationServer
+from .client import RemoteError, RemoteSession
+from .config import ConfigError, ServeConfig, TenantConfig
+from .queue import Job, JobQueue, QueueFull
+
+__all__ = [
+    "OptimizationServer",
+    "SERVER_VERSION",
+    "ServeConfig",
+    "TenantConfig",
+    "ConfigError",
+    "AdmissionController",
+    "AdmissionError",
+    "TokenBucket",
+    "JobQueue",
+    "Job",
+    "QueueFull",
+    "RemoteSession",
+    "RemoteError",
+]

@@ -1,0 +1,221 @@
+"""Admission control: who may run what, and how often.
+
+Every ``POST /v1/optimize`` passes three gates before it reaches the
+job queue:
+
+1. **Identity** — the tenant is resolved from ``Authorization:
+   Bearer <token>`` or the ``X-Repro-Tenant`` header; unknown tokens
+   are 401, disabled anonymous access is 401, a tenant header that
+   does not match the presented token is 403.
+2. **Rate** — one token bucket per tenant (rate requests/second,
+   burst capacity); an empty bucket is a structured 429 with
+   ``retry_after_seconds`` (also sent as the ``Retry-After`` header).
+   Concurrency is capped the same way (``max_active_jobs``).
+3. **Budget** — the request's fully-resolved
+   :class:`~repro.api.limits.Limits` must not exceed the tenant's
+   caps (:data:`~repro.api.limits.CAPPABLE_FIELDS`); an over-budget
+   request is a structured 413 naming every violated field, its
+   requested value, and the cap.  Targets outside the tenant's (or
+   server's) allow list are 403.
+
+Every rejection is an :class:`AdmissionError` carrying the documented
+wire shape (see ``docs/SERVER.md``)::
+
+    {"error": {"status": 429, "code": "rate_limited",
+               "message": "...", "detail": {...}}}
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..api.limits import Limits
+from .config import ANONYMOUS_TENANT, ServeConfig, TenantConfig
+
+__all__ = ["AdmissionError", "TokenBucket", "AdmissionController"]
+
+
+class AdmissionError(Exception):
+    """A structured admission rejection (maps 1:1 to the wire shape)."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after: Optional[float] = None,
+        detail: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+        self.detail = dict(detail) if detail else None
+
+    def to_dict(self) -> dict:
+        error: Dict[str, Any] = {
+            "status": self.status,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.retry_after is not None:
+            error["retry_after_seconds"] = round(self.retry_after, 3)
+        if self.detail:
+            error["detail"] = self.detail
+        return {"error": error}
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity refilled at ``rate``
+    tokens/second.  The clock is injectable so tests never sleep."""
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> Optional[float]:
+        """Take ``tokens`` if available.
+
+        Returns ``None`` on success, else the seconds until enough
+        tokens will have refilled (the 429 ``Retry-After`` value).
+        """
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._refilled) * self.rate
+            )
+            self._refilled = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return None
+            return (tokens - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Per-tenant identity, rate, and budget enforcement."""
+
+    def __init__(self, config: ServeConfig,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._tokens: Dict[str, TenantConfig] = {
+            tenant.token: tenant
+            for tenant in config.tenants.values()
+            if tenant.token is not None
+        }
+        self._lock = threading.Lock()
+
+    # -- identity -------------------------------------------------------
+    def authenticate(self, headers: Mapping[str, str]) -> TenantConfig:
+        """Resolve the requesting tenant from HTTP headers."""
+        auth = headers.get("Authorization", "")
+        name = headers.get("X-Repro-Tenant")
+        if auth.startswith("Bearer "):
+            token = auth[len("Bearer "):].strip()
+            tenant = self._tokens.get(token)
+            if tenant is None:
+                raise AdmissionError(401, "unknown_token",
+                                     "bearer token matches no tenant")
+            if name is not None and name != tenant.name:
+                raise AdmissionError(
+                    403, "tenant_mismatch",
+                    f"token belongs to tenant {tenant.name!r}, "
+                    f"not {name!r}",
+                )
+            return tenant
+        if name is not None:
+            tenant = self.config.tenants.get(name)
+            if tenant is None:
+                raise AdmissionError(401, "unknown_tenant",
+                                     f"no tenant named {name!r}")
+            if tenant.token is not None:
+                raise AdmissionError(
+                    401, "token_required",
+                    f"tenant {name!r} requires Authorization: Bearer",
+                )
+            return tenant
+        if not self.config.allow_anonymous:
+            raise AdmissionError(401, "anonymous_forbidden",
+                                 "this server requires a tenant identity")
+        return self.config.anonymous
+
+    # -- rate + concurrency ---------------------------------------------
+    def _bucket(self, tenant: TenantConfig) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant.name)
+            if bucket is None:
+                bucket = TokenBucket(tenant.rate, tenant.burst, self._clock)
+                self._buckets[tenant.name] = bucket
+            return bucket
+
+    def check_rate(self, tenant: TenantConfig) -> None:
+        retry_after = self._bucket(tenant).try_acquire()
+        if retry_after is not None:
+            raise AdmissionError(
+                429, "rate_limited",
+                f"tenant {tenant.name!r} exceeded "
+                f"{tenant.rate:g} requests/second (burst {tenant.burst})",
+                retry_after=retry_after,
+            )
+
+    def check_concurrency(self, tenant: TenantConfig, active: int) -> None:
+        if active >= tenant.max_active_jobs:
+            raise AdmissionError(
+                429, "too_many_jobs",
+                f"tenant {tenant.name!r} already has {active} active "
+                f"job(s); cap is {tenant.max_active_jobs}",
+                retry_after=1.0,
+                detail={"active_jobs": active,
+                        "max_active_jobs": tenant.max_active_jobs},
+            )
+
+    # -- budget ---------------------------------------------------------
+    def check_target(self, tenant: TenantConfig, target: str) -> None:
+        allowed = (tenant.targets if tenant.targets is not None
+                   else self.config.allowed_targets)
+        if allowed is not None and target not in allowed:
+            raise AdmissionError(
+                403, "target_forbidden",
+                f"target {target!r} is not served for tenant "
+                f"{tenant.name!r}",
+                detail={"target": target, "allowed": list(allowed)},
+            )
+
+    def check_budget(self, tenant: TenantConfig, limits: Limits) -> None:
+        over = limits.exceeding(tenant.caps)
+        if over:
+            raise AdmissionError(
+                413, "over_budget",
+                f"request limits exceed tenant {tenant.name!r} caps: "
+                + ", ".join(over),
+                detail={
+                    "violations": {
+                        field: {"requested": getattr(limits, field),
+                                "cap": tenant.caps[field]}
+                        for field in over
+                    }
+                },
+            )
+
+    def admit(self, tenant: TenantConfig, target: str, limits: Limits,
+              active_jobs: int) -> None:
+        """All gates for one request, cheapest first."""
+        self.check_rate(tenant)
+        self.check_concurrency(tenant, active_jobs)
+        self.check_target(tenant, target)
+        self.check_budget(tenant, limits)
+
+
+# Re-exported for the docs' sake: the anonymous tenant's name is part
+# of the wire contract (it appears in job listings and metrics labels).
+ANONYMOUS = ANONYMOUS_TENANT

@@ -1,0 +1,258 @@
+"""The async job queue behind ``POST /v1/optimize``.
+
+A submission becomes a :class:`Job` — id, tenant, request, fully
+resolved limits, and a status that walks ``queued → running →
+done | failed``.  Jobs wait in a bounded FIFO; ``queue_workers``
+consumer threads pull them and execute through the **shared**
+:class:`~repro.api.session.Session`, which means every job sees the
+same two-tier result cache (repeat requests across tenants are cache
+hits, observable in ``CacheStats``) and, when the session's warm
+persistent pool is running, saturates in an already-forked worker
+process instead of re-forking per request.
+
+Job ids are unguessable capability tokens (``secrets.token_hex``):
+whoever holds the id may poll it.  Completed jobs are retained for
+polling up to ``retain_jobs``; beyond that the oldest finished jobs
+are dropped (a poll for a dropped id is a 404, documented in
+``docs/SERVER.md``).
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import secrets
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..api.limits import Limits
+from ..api.session import Session
+from ..api.types import OptimizationReport, OptimizationRequest
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+
+__all__ = ["Job", "JobQueue", "QueueFull",
+           "QUEUED", "RUNNING", "DONE", "FAILED"]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class QueueFull(Exception):
+    """The pending-job queue is at ``max_queue`` capacity."""
+
+
+@dataclass
+class Job:
+    """One optimization request's lifecycle inside the daemon."""
+
+    id: str
+    tenant: str
+    request: OptimizationRequest
+    limits: Limits
+    status: str = QUEUED
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    report: Optional[OptimizationReport] = None
+    error: Optional[str] = None
+
+    def to_dict(self, *, include_report: bool = True) -> dict:
+        """The wire form served by ``GET /v1/jobs/<id>``."""
+        data: Dict[str, Any] = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "status": self.status,
+            "kernel": self.request.display_name,
+            "target": self.request.target,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        if include_report and self.report is not None:
+            data["report"] = self.report.to_dict()
+        return data
+
+
+class JobQueue:
+    """Bounded FIFO + worker threads over one shared session."""
+
+    def __init__(
+        self,
+        session: Session,
+        *,
+        workers: int = 2,
+        pool_workers: int = 0,
+        max_queue: int = 64,
+        retain_jobs: int = 1024,
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
+        self.session = session
+        self.workers = max(1, workers)
+        self.pool_workers = max(0, pool_workers)
+        self.retain_jobs = max(1, retain_jobs)
+        self.metrics = metrics
+        self._pending: "_queue.Queue[Optional[str]]" = _queue.Queue(
+            maxsize=max_queue
+        )
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []  # insertion order, for retention
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        if self.pool_workers > 0:
+            # Warm the persistent fork pool up front: the first request
+            # should not pay the pool construction either.
+            self.session.start_pool(self.pool_workers)
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if not self._running:
+            return
+        self._running = False
+        for _ in self._threads:
+            try:
+                self._pending.put_nowait(None)  # wake + exit sentinel
+            except _queue.Full:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        self.session.close_pool()
+
+    # -- submission / lookup --------------------------------------------
+    def submit(self, tenant: str, request: OptimizationRequest,
+               limits: Limits) -> Job:
+        """Enqueue one admitted request; raises :class:`QueueFull`."""
+        job = Job(
+            id=secrets.token_hex(8),
+            tenant=tenant,
+            request=request,
+            limits=limits,
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._prune_locked()
+        try:
+            self._pending.put_nowait(job.id)
+        except _queue.Full:
+            with self._lock:
+                self._jobs.pop(job.id, None)
+                try:
+                    self._order.remove(job.id)
+                except ValueError:
+                    pass
+            raise QueueFull(
+                f"job queue is full ({self._pending.maxsize} pending)"
+            ) from None
+        self.metrics.inc("server", "jobs_submitted_total",
+                         help="jobs accepted into the queue",
+                         tenant=tenant)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Job]:
+        with self._lock:
+            jobs = [self._jobs[job_id] for job_id in self._order
+                    if job_id in self._jobs]
+        if tenant is not None:
+            jobs = [job for job in jobs if job.tenant == tenant]
+        return jobs
+
+    def active_count(self, tenant: str) -> int:
+        """Queued-or-running jobs for one tenant (the concurrency gate)."""
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values()
+                if job.tenant == tenant and job.status in (QUEUED, RUNNING)
+            )
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+            for job in self._jobs.values():
+                counts[job.status] = counts.get(job.status, 0) + 1
+            return counts
+
+    def depth(self) -> int:
+        return self._pending.qsize()
+
+    def _prune_locked(self) -> None:
+        """Drop the oldest *finished* jobs beyond the retention cap."""
+        excess = len(self._jobs) - self.retain_jobs
+        if excess <= 0:
+            return
+        kept: List[str] = []
+        for job_id in self._order:
+            job = self._jobs.get(job_id)
+            if job is None:
+                continue
+            if excess > 0 and job.status in (DONE, FAILED):
+                del self._jobs[job_id]
+                excess -= 1
+            else:
+                kept.append(job_id)
+        self._order = kept
+
+    # -- execution ------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._pending.get()
+            if job_id is None:  # shutdown sentinel
+                return
+            job = self.get(job_id)
+            if job is None:
+                continue
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        job.status = RUNNING
+        job.started = time.time()
+        if self.pool_workers > 0:
+            # Lazily re-warm after a broken pool was discarded
+            # mid-batch; a no-op while the pool is healthy.
+            self.session.start_pool(self.pool_workers)
+        try:
+            reports = self.session.optimize_many(
+                [job.request], parallel=self.pool_workers > 0
+            )
+            report = reports[0]
+            job.report = report
+            if report.ok:
+                job.status = DONE
+            else:
+                job.status = FAILED
+                job.error = report.error
+        except Exception as exc:  # the daemon must survive any job
+            job.status = FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+        job.finished = time.time()
+        self.metrics.inc("server", "jobs_completed_total",
+                         help="jobs that reached a terminal status",
+                         tenant=job.tenant, status=job.status)
+        if job.started is not None:
+            self.metrics.observe(
+                "server", "job_seconds", job.finished - job.started,
+                help="job execution wall time", tenant=job.tenant,
+            )

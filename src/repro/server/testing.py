@@ -1,0 +1,41 @@
+"""Test harness for the daemon: an in-process live server.
+
+The pytest suites (``tests/server/``) and any downstream project can
+stand up a real HTTP daemon — actual sockets, actual threads, the
+exact production request path — inside the test process::
+
+    from repro.server.testing import serving
+
+    with serving() as server:          # ephemeral port on 127.0.0.1
+        client = RemoteSession(server.url)
+        report = client.report(("dot", "blas"))
+
+``tests/server/conftest.py`` wraps this in the ``live_server`` /
+``remote`` fixtures.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..api.session import Session
+from .app import OptimizationServer
+from .config import ServeConfig
+
+__all__ = ["serving"]
+
+
+@contextmanager
+def serving(config: Optional[ServeConfig] = None,
+            session: Optional[Session] = None
+            ) -> Iterator[OptimizationServer]:
+    """A running daemon on an ephemeral port, torn down on exit."""
+    if config is None:
+        config = ServeConfig(host="127.0.0.1", port=0)
+    server = OptimizationServer(config, session=session)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()

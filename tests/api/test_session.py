@@ -181,6 +181,27 @@ class TestOptimizeMany:
         assert all(r.ok for r in reports)
         assert [r.kernel for r in reports] == [k for k, _ in PAIRS]
 
+    def test_persistent_pool_survives_batches(self):
+        from repro.saturation.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        session = Session(FAST)
+        assert not session.pool_warm
+        assert session.start_pool(2)
+        assert session.pool_warm
+        try:
+            # Single-request batches route through the warm pool too
+            # (the `repro serve` job path) and the pool stays up.
+            first = session.optimize_many([("memset", "blas")])
+            second = session.optimize_many([("vsum", "blas")])
+            assert first[0].ok and second[0].ok
+            assert session.pool_warm
+            assert session.start_pool(2)  # idempotent while warm
+        finally:
+            session.close_pool()
+        assert not session.pool_warm
+
     def test_worker_errors_become_error_reports(self):
         payload = {
             "target": "blas",

@@ -1,0 +1,31 @@
+"""Shared fixtures for the daemon suite.
+
+Every server here runs with the tiny saturation profile (3 steps,
+2000 nodes) so a full request round-trip costs ~0.3s instead of the
+default budget's ~10s.
+"""
+
+import pytest
+
+from repro.api.limits import Limits
+from repro.server import RemoteSession, ServeConfig
+from repro.server.testing import serving
+
+#: Small enough to keep each saturation well under a second, big
+#: enough that kernels still find non-trivial solutions.
+TINY = Limits(step_limit=3, node_limit=2000, time_limit=30.0)
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    """One real daemon per test module: ephemeral port, warm pool."""
+    config = ServeConfig(host="127.0.0.1", port=0, limits=TINY,
+                         queue_workers=4, pool_workers=2)
+    with serving(config) as server:
+        yield server
+
+
+@pytest.fixture
+def remote(live_server):
+    """A thin client on the module's daemon, embedding TINY limits."""
+    return RemoteSession(live_server.url, limits=TINY)

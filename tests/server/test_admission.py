@@ -1,0 +1,172 @@
+"""Admission control: token buckets, identity, budgets
+(repro.server.admission) — all with a fake clock, no sleeping."""
+
+import pytest
+
+from repro.api.limits import Limits
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionError,
+    TokenBucket,
+)
+from repro.server.config import ServeConfig, TenantConfig
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.try_acquire() is None
+
+    def test_capacity_does_not_overfill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is not None
+
+
+def controller(**kwargs) -> AdmissionController:
+    clock = kwargs.pop("clock", FakeClock())
+    config = ServeConfig(
+        tenants={
+            "ci": TenantConfig(name="ci", token="ci-secret", rate=100.0,
+                               caps={"step_limit": 4}, targets=("blas",)),
+            "open": TenantConfig(name="open", rate=100.0),
+        },
+        **kwargs,
+    )
+    return AdmissionController(config, clock=clock)
+
+
+def err(callable_, *args):
+    with pytest.raises(AdmissionError) as info:
+        callable_(*args)
+    return info.value
+
+
+class TestAuthenticate:
+    def test_anonymous_default(self):
+        tenant = controller().authenticate({})
+        assert tenant.name == "anonymous"
+
+    def test_anonymous_forbidden(self):
+        exc = err(controller(allow_anonymous=False).authenticate, {})
+        assert (exc.status, exc.code) == (401, "anonymous_forbidden")
+
+    def test_bearer_token(self):
+        tenant = controller().authenticate(
+            {"Authorization": "Bearer ci-secret"})
+        assert tenant.name == "ci"
+
+    def test_unknown_token(self):
+        exc = err(controller().authenticate, {"Authorization": "Bearer no"})
+        assert (exc.status, exc.code) == (401, "unknown_token")
+
+    def test_token_and_matching_header(self):
+        tenant = controller().authenticate(
+            {"Authorization": "Bearer ci-secret", "X-Repro-Tenant": "ci"})
+        assert tenant.name == "ci"
+
+    def test_tenant_mismatch(self):
+        exc = err(controller().authenticate,
+                  {"Authorization": "Bearer ci-secret",
+                   "X-Repro-Tenant": "open"})
+        assert (exc.status, exc.code) == (403, "tenant_mismatch")
+
+    def test_tokenless_tenant_by_header(self):
+        tenant = controller().authenticate({"X-Repro-Tenant": "open"})
+        assert tenant.name == "open"
+
+    def test_unknown_tenant_header(self):
+        exc = err(controller().authenticate, {"X-Repro-Tenant": "ghost"})
+        assert (exc.status, exc.code) == (401, "unknown_tenant")
+
+    def test_token_required(self):
+        exc = err(controller().authenticate, {"X-Repro-Tenant": "ci"})
+        assert (exc.status, exc.code) == (401, "token_required")
+
+
+class TestGates:
+    def test_rate_limited_shape(self):
+        clock = FakeClock()
+        config = ServeConfig(anonymous=TenantConfig(
+            name="anonymous", rate=1.0, burst=1))
+        control = AdmissionController(config, clock=clock)
+        tenant = control.authenticate({})
+        control.check_rate(tenant)
+        exc = err(control.check_rate, tenant)
+        assert (exc.status, exc.code) == (429, "rate_limited")
+        assert exc.retry_after == pytest.approx(1.0)
+        wire = exc.to_dict()["error"]
+        assert wire["status"] == 429 and wire["code"] == "rate_limited"
+        assert wire["retry_after_seconds"] == pytest.approx(1.0)
+
+    def test_concurrency_cap(self):
+        control = controller()
+        tenant = control.config.tenants["open"]
+        control.check_concurrency(tenant, tenant.max_active_jobs - 1)
+        exc = err(control.check_concurrency, tenant, tenant.max_active_jobs)
+        assert (exc.status, exc.code) == (429, "too_many_jobs")
+        assert exc.detail == {
+            "active_jobs": tenant.max_active_jobs,
+            "max_active_jobs": tenant.max_active_jobs,
+        }
+
+    def test_over_budget_names_every_violation(self):
+        control = controller()
+        tenant = control.config.tenants["ci"]
+        control.check_budget(tenant, Limits(step_limit=4))
+        exc = err(control.check_budget, tenant, Limits(step_limit=9))
+        assert (exc.status, exc.code) == (413, "over_budget")
+        assert exc.detail["violations"] == {
+            "step_limit": {"requested": 9, "cap": 4},
+        }
+
+    def test_target_allow_lists(self):
+        control = controller(allowed_targets=("blas", "pytorch"))
+        ci = control.config.tenants["ci"]
+        control.check_target(ci, "blas")
+        exc = err(control.check_target, ci, "pytorch")  # tenant list wins
+        assert (exc.status, exc.code) == (403, "target_forbidden")
+        assert exc.detail == {"target": "pytorch", "allowed": ["blas"]}
+        # A tenant without its own list falls back to the server's.
+        anonymous = control.authenticate({})
+        control.check_target(anonymous, "pytorch")
+
+    def test_admit_checks_rate_first(self):
+        clock = FakeClock()
+        config = ServeConfig(anonymous=TenantConfig(
+            name="anonymous", rate=1.0, burst=1, caps={"step_limit": 2}))
+        control = AdmissionController(config, clock=clock)
+        tenant = control.authenticate({})
+        control.admit(tenant, "blas", Limits(step_limit=2), active_jobs=0)
+        # Over budget AND over rate: the cheap gate answers.
+        exc = err(control.admit, tenant, "blas", Limits(step_limit=99), 0)
+        assert exc.code == "rate_limited"
+        clock.advance(2.0)
+        exc = err(control.admit, tenant, "blas", Limits(step_limit=99), 0)
+        assert exc.code == "over_budget"

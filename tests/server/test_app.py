@@ -1,0 +1,209 @@
+"""The HTTP surface, driven socket-free through
+``OptimizationServer.handle_request`` (plus JobQueue unit tests)."""
+
+import json
+import time
+
+import pytest
+
+from repro.api.limits import Limits
+from repro.api.types import OptimizationRequest
+from repro.obs.metrics import CONTENT_TYPE_LATEST
+from repro.server import (
+    OptimizationServer,
+    QueueFull,
+    SERVER_VERSION,
+    ServeConfig,
+)
+from repro.server.queue import DONE, JobQueue
+
+TINY = Limits(step_limit=3, node_limit=2000, time_limit=30.0)
+
+
+@pytest.fixture(scope="module")
+def app():
+    """A server with live queue workers but no HTTP listener thread."""
+    config = ServeConfig(host="127.0.0.1", port=0, limits=TINY,
+                         queue_workers=2, pool_workers=0,
+                         max_body_bytes=20_000)
+    server = OptimizationServer(config)
+    server.queue.start()
+    yield server
+    server.stop()
+
+
+def call(app, method, path, body=None, headers=None):
+    """One request through the wire router; JSON in, parsed JSON out."""
+    payload = (json.dumps(body).encode("utf-8") if isinstance(body, dict)
+               else (body or b""))
+    status, ctype, data, extra = app.handle_request(
+        method, path, headers or {}, payload)
+    parsed = (json.loads(data) if ctype.startswith("application/json")
+              else data.decode("utf-8"))
+    return status, parsed, extra
+
+
+def wait_done(app, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, answer, _ = call(app, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        if answer["job"]["status"] in ("done", "failed"):
+            return answer["job"]
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+class TestRouting:
+    def test_healthz(self, app):
+        status, answer, _ = call(app, "GET", "/v1/healthz")
+        assert status == 200
+        assert answer["status"] == "ok"
+        assert answer["version"] == SERVER_VERSION
+        assert answer["pool"] == {"workers": 0, "warm": False}
+        assert set(answer["jobs"]) == {"queued", "running", "done", "failed"}
+        assert "blas" in answer["targets"]
+        assert set(answer["cache"]) >= {"hits", "misses", "runs"}
+
+    def test_trailing_slash_is_normalized(self, app):
+        status, answer, _ = call(app, "GET", "/v1/healthz/")
+        assert status == 200 and answer["status"] == "ok"
+
+    def test_unknown_route_404(self, app):
+        status, answer, _ = call(app, "GET", "/v1/nope")
+        assert status == 404
+        assert answer["error"]["code"] == "not_found"
+        assert answer["error"]["status"] == 404
+
+    def test_wrong_method_405(self, app):
+        status, answer, _ = call(app, "POST", "/v1/healthz")
+        assert status == 405
+        assert answer["error"]["code"] == "method_not_allowed"
+
+    def test_targets_endpoint(self, app):
+        status, answer, _ = call(app, "GET", "/v1/targets")
+        assert status == 200
+        assert "blas" in answer["targets"]
+
+    def test_metrics_exposition(self, app):
+        status, ctype, data, _ = app.handle_request(
+            "GET", "/v1/metrics", {}, b"")
+        assert status == 200
+        assert ctype == CONTENT_TYPE_LATEST
+        text = data.decode("utf-8")
+        assert "http_requests_total" in text
+        assert "repro_cache" in text
+        assert "queue_depth" in text
+
+
+class TestPostOptimize:
+    def test_bad_json(self, app):
+        status, answer, _ = call(app, "POST", "/v1/optimize", b"{nope")
+        assert status == 400
+        assert answer["error"]["code"] == "bad_json"
+
+    def test_non_object_body(self, app):
+        status, answer, _ = call(app, "POST", "/v1/optimize", b"[1, 2]")
+        assert status == 400
+        assert answer["error"]["code"] == "bad_request"
+
+    @pytest.mark.parametrize("knob", ["trace", "rule_profile"])
+    def test_path_knobs_forbidden(self, app, knob):
+        status, answer, _ = call(
+            app, "POST", "/v1/optimize",
+            {"kernel": "vsum", "target": "blas", knob: "/tmp/x"})
+        assert status == 400
+        assert answer["error"]["code"] == "path_knob_forbidden"
+
+    def test_unknown_target(self, app):
+        status, answer, _ = call(app, "POST", "/v1/optimize",
+                                 {"kernel": "vsum", "target": "cuda"})
+        assert status == 400
+        assert answer["error"]["code"] == "unknown_target"
+
+    def test_unknown_kernel(self, app):
+        status, answer, _ = call(app, "POST", "/v1/optimize",
+                                 {"kernel": "ghost", "target": "blas"})
+        assert status == 400
+        assert answer["error"]["code"] == "unknown_kernel"
+
+    def test_body_too_large(self, app):
+        padding = "x" * (app.config.max_body_bytes + 1)
+        status, answer, _ = call(app, "POST", "/v1/optimize",
+                                 padding.encode("utf-8"))
+        assert status == 413
+        assert answer["error"]["code"] == "body_too_large"
+
+    def test_job_lifecycle(self, app):
+        status, answer, extra = call(app, "POST", "/v1/optimize",
+                                     {"kernel": "vsum", "target": "blas"})
+        assert status == 202
+        job = answer["job"]
+        assert job["status"] in ("queued", "running", "done")
+        assert job["tenant"] == "anonymous"
+        assert (job["kernel"], job["target"]) == ("vsum", "blas")
+        assert "report" not in job
+        assert extra["Location"] == f"/v1/jobs/{job['id']}"
+
+        finished = wait_done(app, job["id"])
+        assert finished["status"] == "done"
+        assert finished["report"]["error"] is None
+        assert finished["report"]["kernel"] == "vsum"
+        assert finished["started"] is not None
+        assert finished["finished"] >= finished["started"]
+
+        status, listing, _ = call(app, "GET", "/v1/jobs?tenant=anonymous")
+        assert status == 200
+        assert job["id"] in [entry["id"] for entry in listing["jobs"]]
+
+    def test_unknown_job_404(self, app):
+        status, answer, _ = call(app, "GET", "/v1/jobs/deadbeef")
+        assert status == 404
+        assert answer["error"]["code"] == "unknown_job"
+
+    def test_internal_errors_are_wrapped(self, app, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(app.queue, "submit", boom)
+        status, answer, _ = call(app, "POST", "/v1/optimize",
+                                 {"kernel": "vsum", "target": "blas"})
+        assert status == 500
+        assert answer["error"]["code"] == "internal_error"
+        assert "kaboom" in answer["error"]["message"]
+
+
+class TestAllowedTargets:
+    def test_served_targets_filtered(self):
+        config = ServeConfig(host="127.0.0.1", port=0, limits=TINY,
+                             allowed_targets=("blas",))
+        server = OptimizationServer(config)
+        try:
+            status, answer, _ = call(server, "GET", "/v1/targets")
+            assert status == 200 and answer["targets"] == ["blas"]
+        finally:
+            server.stop()
+
+
+class TestJobQueue:
+    def request(self):
+        return OptimizationRequest(kernel="vsum", target="blas")
+
+    def test_queue_full(self, app):
+        q = JobQueue(app.session, workers=1, max_queue=1)
+        q.submit("t", self.request(), TINY)
+        with pytest.raises(QueueFull):
+            q.submit("t", self.request(), TINY)
+        assert len(q.jobs()) == 1  # the rejected job left no ghost entry
+
+    def test_retention_drops_oldest_finished(self, app):
+        q = JobQueue(app.session, workers=1, max_queue=16, retain_jobs=2)
+        old = [q.submit("t", self.request(), TINY) for _ in range(3)]
+        for job in old:
+            job.status = DONE
+        fresh = q.submit("t", self.request(), TINY)
+        kept = {job.id for job in q.jobs()}
+        assert fresh.id in kept
+        assert old[0].id not in kept  # oldest finished dropped first
+        assert q.get(old[0].id) is None
+        assert len(kept) == 2

@@ -1,0 +1,97 @@
+"""RemoteSession and the ``--remote`` CLI path against a live daemon."""
+
+import pytest
+
+from repro.api.limits import Limits
+from repro.api.session import Session
+from repro.api.types import OptimizationReport, report_fingerprint
+from repro.server.client import RemoteError, RemoteSession
+
+TINY = Limits(step_limit=3, node_limit=2000, time_limit=30.0)
+
+
+class TestRemoteSession:
+    def test_report_round_trip(self, remote):
+        report = remote.report(("vsum", "blas"))
+        assert isinstance(report, OptimizationReport)
+        assert report.ok and report.kernel == "vsum"
+        assert report.steps <= TINY.step_limit
+
+    def test_service_equals_one_shot_session(self, remote):
+        """The tentpole contract: the daemon's report is byte-identical
+        (modulo the documented volatile fields) to the in-process one."""
+        via_service = remote.report(("dot", "blas"))
+        one_shot = Session(TINY).report(("dot", "blas"))
+        assert report_fingerprint(via_service) == report_fingerprint(one_shot)
+
+    def test_optimize_many_preserves_order_and_degrades_errors(self, remote):
+        reports = remote.optimize_many(
+            [("vsum", "blas"), ("ghost", "blas"), ("dot", "blas")])
+        assert [r.kernel for r in reports] == ["vsum", "ghost", "dot"]
+        assert reports[0].ok and reports[2].ok
+        assert not reports[1].ok
+        assert "unknown_kernel" in reports[1].error
+
+    def test_submit_then_wait(self, remote):
+        job_id = remote.submit(("vsum", "blas"))
+        job = remote.job(job_id)
+        assert job["id"] == job_id
+        report = remote.wait(job_id, timeout=30.0)
+        assert report.ok
+
+    def test_submit_rejection_raises(self, remote):
+        with pytest.raises(RemoteError) as info:
+            remote.submit(("ghost", "blas"))
+        assert info.value.status == 400
+        assert info.value.code == "unknown_kernel"
+
+    def test_introspection(self, remote):
+        health = remote.healthz()
+        assert health["status"] == "ok"
+        assert health["pool"]["warm"] is True
+        assert "blas" in remote.target_names()
+        assert "http_requests_total" in remote.metrics_text()
+
+    def test_local_target_resolution(self, remote):
+        assert remote.target("blas").name == "blas"
+
+    def test_unreachable_daemon(self):
+        client = RemoteSession("http://127.0.0.1:9", timeout=1.0)
+        with pytest.raises(RemoteError) as info:
+            client.healthz()
+        assert info.value.code == "unreachable"
+        # The Session-shaped surface degrades instead of raising.
+        report = client.report(("vsum", "blas"))
+        assert not report.ok and "unreachable" in report.error
+
+
+class TestRemoteCLI:
+    def test_remote_run_matches_local_csv(self, live_server, tmp_path):
+        from repro.cli import main
+
+        flags = ["vsum", "dot", "-t", "blas", "-q",
+                 "--steps", "3", "--nodes", "2000", "--time-limit", "30"]
+        assert main(flags + ["--remote", live_server.url,
+                             "--out", str(tmp_path / "remote")]) == 0
+        assert main(flags + ["--out", str(tmp_path / "local")]) == 0
+        remote_csv = (tmp_path / "remote" / "blas-overview.csv").read_text()
+        local_csv = (tmp_path / "local" / "blas-overview.csv").read_text()
+        assert remote_csv == local_csv
+
+    def test_remote_rejects_path_flags(self, live_server, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["vsum", "-q", "--remote", live_server.url,
+                     "--trace", str(tmp_path / "trace.json")])
+        assert code == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_remote_metrics_snapshot(self, live_server, tmp_path):
+        from repro.cli import main
+
+        metrics = tmp_path / "metrics.prom"
+        assert main(["vsum", "-t", "blas", "-q",
+                     "--steps", "3", "--nodes", "2000", "--time-limit", "30",
+                     "--remote", live_server.url,
+                     "--metrics", str(metrics)]) == 0
+        assert "repro_cache" in metrics.read_text()

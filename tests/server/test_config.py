@@ -1,0 +1,140 @@
+"""serve.toml parsing and validation (repro.server.config)."""
+
+import pytest
+
+from repro.api.limits import Limits
+from repro.server.config import (
+    ANONYMOUS_TENANT,
+    ConfigError,
+    ServeConfig,
+    TenantConfig,
+)
+
+FULL = {
+    "server": {"host": "0.0.0.0", "port": 9000, "queue_workers": 4,
+               "pool_workers": 0, "max_queue": 8, "retain_jobs": 16},
+    "limits": {"step_limit": 3, "node_limit": 2000, "scheduler": "backoff"},
+    "admission": {"allow_anonymous": False, "max_body_bytes": 4096,
+                  "rate": 2.0, "burst": 4, "max_active_jobs": 2},
+    "targets": {"allow": ["blas"]},
+    "tenants": {
+        "ci": {"token": "ci-secret", "rate": 5.0, "burst": 10,
+               "max_active_jobs": 4, "targets": ["blas"],
+               "caps": {"step_limit": 8, "node_limit": 12000}},
+        "research": {},
+    },
+}
+
+
+class TestFromDict:
+    def test_defaults(self):
+        config = ServeConfig.from_dict({})
+        assert config.host == "127.0.0.1"
+        assert config.port == 8135
+        assert config.queue_workers == 2
+        assert config.allow_anonymous is True
+        assert config.limits is None
+        assert config.tenants == {}
+        assert config.anonymous.name == ANONYMOUS_TENANT
+
+    def test_full_document(self):
+        config = ServeConfig.from_dict(FULL)
+        assert (config.host, config.port) == ("0.0.0.0", 9000)
+        assert config.queue_workers == 4 and config.pool_workers == 0
+        assert config.max_queue == 8 and config.retain_jobs == 16
+        assert config.allow_anonymous is False
+        assert config.max_body_bytes == 4096
+        assert config.allowed_targets == ("blas",)
+        assert config.anonymous.rate == 2.0 and config.anonymous.burst == 4
+        assert set(config.tenants) == {"ci", "research"}
+        ci = config.tenants["ci"]
+        assert ci.token == "ci-secret"
+        assert ci.caps == {"step_limit": 8, "node_limit": 12000}
+        assert ci.targets == ("blas",)
+        assert config.tenants["research"].token is None
+
+    def test_limits_section_overlays_env_defaults(self):
+        config = ServeConfig.from_dict({"limits": {"step_limit": 3}})
+        assert isinstance(config.limits, Limits)
+        assert config.limits.step_limit == 3
+        # Unset fields keep the environment defaults.
+        assert config.limits.node_limit == Limits.from_env().node_limit
+        assert config.resolved_limits() is config.limits
+
+    def test_resolved_limits_without_section(self):
+        assert ServeConfig.from_dict({}).resolved_limits() == Limits.from_env()
+
+    @pytest.mark.parametrize("document, fragment", [
+        ({"serverr": {}}, "[<root>]"),
+        ({"server": {"prot": 1}}, "[server]"),
+        ({"limits": {"step_limt": 3}}, "[limits]"),
+        ({"admission": {"anon": True}}, "[admission]"),
+        ({"targets": {"allowed": []}}, "[targets]"),
+        ({"tenants": {"ci": {"tokens": "x"}}}, "[tenants.ci]"),
+    ])
+    def test_unknown_keys_rejected(self, document, fragment):
+        with pytest.raises(ConfigError, match="unknown key"):
+            ServeConfig.from_dict(document)
+
+    def test_anonymous_tenant_name_reserved(self):
+        with pytest.raises(ConfigError, match="reserved"):
+            ServeConfig.from_dict({"tenants": {ANONYMOUS_TENANT: {}}})
+
+    def test_tenant_table_must_be_table(self):
+        with pytest.raises(ConfigError, match="must be a table"):
+            ServeConfig.from_dict({"tenants": {"ci": "nope"}})
+
+    def test_bad_limits_value(self):
+        with pytest.raises(ConfigError, match="invalid .limits."):
+            ServeConfig.from_dict({"limits": {"scheduler": "nope"}})
+
+
+class TestValidation:
+    def test_unknown_cap_field(self):
+        with pytest.raises(ConfigError, match="unknown cap"):
+            TenantConfig(name="ci", caps={"step_limits": 8})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": 0.0}, {"rate": -1.0}, {"burst": 0}, {"max_active_jobs": 0},
+    ])
+    def test_bad_tenant_budget(self, kwargs):
+        with pytest.raises(ConfigError):
+            TenantConfig(name="ci", **kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"queue_workers": 0}, {"pool_workers": -1},
+        {"max_queue": 0}, {"max_body_bytes": 0},
+    ])
+    def test_bad_server_knobs(self, kwargs):
+        with pytest.raises(ConfigError):
+            ServeConfig(**kwargs)
+
+
+class TestLoad:
+    def test_load_toml(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "serve.toml"
+        path.write_text(
+            '[server]\nport = 9000\nqueue_workers = 3\n'
+            '[limits]\nstep_limit = 3\n'
+            '[admission]\nallow_anonymous = false\n'
+            '[tenants.ci]\ntoken = "s"\n'
+            '[tenants.ci.caps]\nstep_limit = 4\n'
+        )
+        config = ServeConfig.load(path)
+        assert config.port == 9000 and config.queue_workers == 3
+        assert config.limits.step_limit == 3
+        assert config.allow_anonymous is False
+        assert config.tenants["ci"].caps == {"step_limit": 4}
+
+    def test_load_missing_file(self, tmp_path):
+        pytest.importorskip("tomllib")
+        with pytest.raises(ConfigError, match="cannot read"):
+            ServeConfig.load(tmp_path / "absent.toml")
+
+    def test_load_invalid_toml(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "serve.toml"
+        path.write_text("[server\nport=")
+        with pytest.raises(ConfigError, match="invalid TOML"):
+            ServeConfig.load(path)

@@ -1,0 +1,151 @@
+"""Concurrent multi-tenant serving: shared cache, distinct budgets,
+documented rejections — the acceptance scenario of the serve PR."""
+
+import threading
+
+import pytest
+
+from repro.api.limits import Limits
+from repro.server import (
+    RemoteSession,
+    RemoteError,
+    ServeConfig,
+    TenantConfig,
+)
+from repro.server.testing import serving
+
+TINY = Limits(step_limit=3, node_limit=2000, time_limit=30.0)
+
+KERNELS = ["vsum", "dot", "memset", "axpy", "gemv", "atax", "mvt", "gesummv"]
+
+
+@pytest.fixture(scope="module")
+def farm():
+    """A daemon with 8 tokenless tenants, 8 queue workers, warm pool."""
+    tenants = {
+        f"team{i}": TenantConfig(name=f"team{i}", rate=100.0, burst=50)
+        for i in range(8)
+    }
+    config = ServeConfig(host="127.0.0.1", port=0, limits=TINY,
+                         queue_workers=8, pool_workers=2, tenants=tenants)
+    with serving(config) as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def strict():
+    """A daemon that rejects: no anonymous, capped/slow/narrow tenants."""
+    config = ServeConfig(
+        host="127.0.0.1", port=0, limits=TINY,
+        queue_workers=1, pool_workers=0, allow_anonymous=False,
+        tenants={
+            "capped": TenantConfig(name="capped", rate=100.0,
+                                   caps={"step_limit": 4,
+                                         "node_limit": 4000}),
+            "slow": TenantConfig(name="slow", rate=1.0, burst=1),
+            "narrow": TenantConfig(name="narrow", rate=100.0,
+                                   targets=("blas",)),
+        },
+    )
+    with serving(config) as server:
+        yield server
+
+
+def client(server, tenant, limits=TINY):
+    return RemoteSession(server.url, limits=limits, tenant=tenant)
+
+
+class TestCacheSharing:
+    def test_tenants_share_one_result_cache(self, farm):
+        """Warm once, then 8 tenants ask in parallel: one saturation
+        total, every answer a cache hit, observable in CacheStats."""
+        warm = client(farm, "team0").report(("vsum", "blas"))
+        assert warm.ok
+        runs_after_warm = farm.session.runs
+        hits_before = farm.session.stats["hits"]
+
+        reports = [None] * 8
+
+        def ask(index):
+            reports[index] = client(farm, f"team{index}").report(
+                ("vsum", "blas"))
+
+        threads = [threading.Thread(target=ask, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+
+        assert all(report is not None and report.ok for report in reports)
+        assert all(report.cache_hit for report in reports)
+        # Not one extra saturation ran: every tenant hit the shared cache.
+        assert farm.session.runs == runs_after_warm
+        assert farm.session.stats["hits"] >= hits_before + 8
+        from repro.api.types import report_fingerprint
+
+        assert len({report_fingerprint(report)
+                    for report in reports}) == 1
+
+
+class TestConcurrentClients:
+    def test_eight_parallel_distinct_requests(self, farm):
+        """≥8 concurrent POST clients with distinct work all complete
+        on the warm pool (the PR's acceptance criterion)."""
+        assert farm.session.pool_warm
+        reports = [None] * len(KERNELS)
+
+        def ask(index):
+            reports[index] = client(farm, f"team{index}").report(
+                (KERNELS[index], "blas"))
+
+        threads = [threading.Thread(target=ask, args=(i,))
+                   for i in range(len(KERNELS))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+
+        assert all(report is not None for report in reports)
+        assert all(report.ok for report in reports), \
+            [report.error for report in reports if not report.ok]
+        assert [report.kernel for report in reports] == KERNELS
+        assert farm.session.pool_warm  # still warm after the burst
+
+
+class TestRejections:
+    def test_anonymous_forbidden(self, strict):
+        with pytest.raises(RemoteError) as info:
+            RemoteSession(strict.url, limits=TINY).submit(("vsum", "blas"))
+        assert info.value.status == 401
+        assert info.value.code == "anonymous_forbidden"
+
+    def test_over_budget_shape(self, strict):
+        greedy = client(strict, "capped",
+                        limits=Limits(step_limit=8, node_limit=2000,
+                                      time_limit=30.0))
+        with pytest.raises(RemoteError) as info:
+            greedy.submit(("vsum", "blas"))
+        error = info.value
+        assert (error.status, error.code) == (413, "over_budget")
+        assert error.detail["violations"] == {
+            "step_limit": {"requested": 8, "cap": 4},
+        }
+        # Within budget goes through.
+        assert client(strict, "capped").report(("vsum", "blas")).ok
+
+    def test_rate_limited_carries_retry_after(self, strict):
+        hasty = client(strict, "slow")
+        first = hasty.submit(("vsum", "blas"))
+        assert first
+        with pytest.raises(RemoteError) as info:
+            hasty.submit(("vsum", "blas"))
+        error = info.value
+        assert (error.status, error.code) == (429, "rate_limited")
+        assert error.retry_after is not None and error.retry_after > 0
+
+    def test_target_forbidden(self, strict):
+        with pytest.raises(RemoteError) as info:
+            client(strict, "narrow").submit(("vsum", "pytorch"))
+        error = info.value
+        assert (error.status, error.code) == (403, "target_forbidden")
+        assert error.detail == {"target": "pytorch", "allowed": ["blas"]}

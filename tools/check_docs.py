@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""CI docs gate: fail when the documentation drifts from the code.
+
+Checks, in order:
+
+1. The README "Configuration" table matches ``repro.api.limits.KNOBS``
+   exactly — one row per knob with the same env var, CLI flag, and
+   default; no extra or missing rows.
+2. ``KNOBS`` itself covers every ``Limits`` dataclass field (so a new
+   knob cannot be added without registering it for the docs).
+3. Every ``REPRO_*`` environment variable referenced anywhere under
+   ``src/`` is mentioned in the README.
+4. Every relative markdown link in README.md, CONTRIBUTING.md, and
+   docs/*.md points at a file that exists.
+
+Run from the repository root: ``PYTHONPATH=src python tools/check_docs.py``
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api.limits import KNOBS, Limits  # noqa: E402
+
+DOC_FILES = [ROOT / "README.md", ROOT / "CONTRIBUTING.md",
+             *sorted((ROOT / "docs").glob("*.md"))]
+
+#: | `field` | `ENV` | `--flag` | `default` | meaning |
+ROW = re.compile(
+    r"^\|\s*`(?P<field>\w+)`\s*"
+    r"\|\s*`(?P<env>REPRO_\w+)`\s*"
+    r"\|\s*`(?P<flag>--[\w-]+)`\s*"
+    r"\|\s*`(?P<default>[^`]*)`\s*\|"
+)
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+
+
+def check_knob_table(problems: list) -> None:
+    readme = (ROOT / "README.md").read_text()
+    rows = {}
+    for line in readme.splitlines():
+        match = ROW.match(line.strip())
+        if match:
+            rows[match.group("field")] = match
+    for knob in KNOBS:
+        row = rows.pop(knob.field, None)
+        if row is None:
+            problems.append(
+                f"README config table: no row for Limits field "
+                f"{knob.field!r} (env {knob.env}, flag {knob.flag})"
+            )
+            continue
+        for attribute, want in (("env", knob.env), ("flag", knob.flag),
+                                ("default", str(knob.default))):
+            got = row.group(attribute)
+            if got != want:
+                problems.append(
+                    f"README config table: {knob.field!r} documents "
+                    f"{attribute} `{got}` but the code says `{want}`"
+                )
+    for extra in rows:
+        problems.append(
+            f"README config table: row {extra!r} matches no Limits knob"
+        )
+
+
+def check_knobs_cover_limits(problems: list) -> None:
+    fields = {f.name for f in dataclasses.fields(Limits)}
+    registered = {knob.field for knob in KNOBS}
+    for missing in sorted(fields - registered):
+        problems.append(
+            f"Limits field {missing!r} is not registered in "
+            "repro.api.limits.KNOBS (docs cannot audit it)"
+        )
+    for ghost in sorted(registered - fields):
+        problems.append(
+            f"KNOBS entry {ghost!r} names no Limits field"
+        )
+
+
+def check_env_vars_documented(problems: list) -> None:
+    used = set()
+    for path in (ROOT / "src").rglob("*.py"):
+        used.update(re.findall(r"REPRO_[A-Z_]+", path.read_text()))
+    readme = (ROOT / "README.md").read_text()
+    for var in sorted(used):
+        if var not in readme:
+            problems.append(
+                f"environment variable {var} is used under src/ "
+                "but never mentioned in README.md"
+            )
+
+
+def check_links(problems: list) -> None:
+    for doc in DOC_FILES:
+        if not doc.exists():
+            continue
+        for target in LINK.findall(doc.read_text()):
+            if re.match(r"^[a-z]+://", target) or target.startswith("mailto:"):
+                continue
+            resolved = (doc.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(ROOT)}: dead link -> {target}"
+                )
+
+
+def main() -> int:
+    problems: list = []
+    check_knob_table(problems)
+    check_knobs_cover_limits(problems)
+    check_env_vars_documented(problems)
+    check_links(problems)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("check_docs: README knob table, env vars, and links all agree "
+          "with the code")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

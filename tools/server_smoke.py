@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""CI smoke test for the ``repro serve`` daemon.
+
+Starts the daemon as a real subprocess on an ephemeral port, drives
+the batch CLI through it (``--remote``), runs the same batch
+in-process, and asserts the CSV artifacts are byte-identical — the
+service-equals-one-shot contract from docs/SERVER.md — then checks
+the health and metrics endpoints.
+
+Run from the repository root:
+``PYTHONPATH=src python tools/server_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Tiny saturation profile: ~0.3s per kernel instead of ~10s.
+ENV = {
+    **os.environ,
+    "PYTHONPATH": str(ROOT / "src"),
+    "REPRO_STEP_LIMIT": "3",
+    "REPRO_NODE_LIMIT": "2500",
+    "REPRO_TIME_LIMIT": "30",
+}
+
+KERNELS = ["vsum", "dot"]
+
+
+def fail(message: str) -> "None":
+    print(f"server_smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def wait_for_announce(daemon, log_path: Path, timeout: float = 30.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if daemon.poll() is not None:
+            fail(f"daemon exited early:\n{log_path.read_text()}")
+        match = re.search(r"listening on (http://[0-9.]+:\d+)",
+                          log_path.read_text())
+        if match:
+            return match.group(1)
+        time.sleep(0.2)
+    fail(f"no announce line within {timeout}s:\n{log_path.read_text()}")
+
+
+def run_cli(arguments, cwd: Path) -> None:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *arguments],
+        env=ENV, cwd=cwd, capture_output=True, text=True, timeout=300,
+    )
+    if result.returncode != 0:
+        fail(f"repro {' '.join(arguments)} exited "
+             f"{result.returncode}:\n{result.stderr}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as raw:
+        work = Path(raw)
+        log_path = work / "serve.log"
+        with open(log_path, "w") as log:
+            daemon = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--port", "0", "-q"],
+                env=ENV, cwd=work, stdout=log, stderr=subprocess.STDOUT,
+            )
+        try:
+            url = wait_for_announce(daemon, log_path)
+            print(f"server_smoke: daemon at {url}")
+
+            run_cli([*KERNELS, "-t", "blas", "-q",
+                     "--remote", url, "--out", str(work / "remote")], work)
+            run_cli([*KERNELS, "-t", "blas", "-q",
+                     "--out", str(work / "local")], work)
+
+            remote_csv = (work / "remote" / "blas-overview.csv").read_bytes()
+            local_csv = (work / "local" / "blas-overview.csv").read_bytes()
+            if remote_csv != local_csv:
+                fail("remote and local blas-overview.csv differ:\n"
+                     f"--- remote ---\n{remote_csv.decode()}\n"
+                     f"--- local ----\n{local_csv.decode()}")
+            print("server_smoke: remote CSV is byte-identical to local")
+
+            with urllib.request.urlopen(f"{url}/v1/healthz", timeout=10) as r:
+                health = json.load(r)
+            if health["status"] != "ok":
+                fail(f"healthz status {health['status']!r}")
+            if health["jobs"]["done"] < len(KERNELS):
+                fail(f"expected >= {len(KERNELS)} done jobs, "
+                     f"got {health['jobs']}")
+            if health["pool"]["workers"] > 0 and not health["pool"]["warm"]:
+                fail("pool workers configured but pool is not warm")
+
+            with urllib.request.urlopen(f"{url}/v1/metrics", timeout=10) as r:
+                metrics = r.read().decode("utf-8")
+            for needle in ("http_requests_total", "jobs_completed_total",
+                           "repro_cache"):
+                if needle not in metrics:
+                    fail(f"/v1/metrics is missing {needle!r}")
+            print("server_smoke: healthz and metrics look sane")
+        finally:
+            daemon.terminate()
+            try:
+                daemon.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+    print("server_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
