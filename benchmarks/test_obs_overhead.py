@@ -20,7 +20,8 @@ import json
 from pathlib import Path
 from time import perf_counter
 
-from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.obs import NULL_EVENTS, NULL_METRICS, NULL_TRACER
+from repro.obs.events import EventLog
 
 BASELINE_PATH = Path(__file__).parent / "baseline.json"
 
@@ -33,6 +34,11 @@ MAX_OVERHEAD_FRACTION = 0.02
 SPANS_PER_RUN = 100          # step + phase + request/extract spans
 GUARDS_PER_RUN = 20_000      # tracer.enabled / metrics.enabled checks
 METRIC_CALLS_PER_RUN = 5_000  # disabled inc/set/observe calls reached
+#: Structured events per served request (accepted + job.started +
+#: completed + http.request, rounded way up).  The serve layer emits
+#: into an *enabled* ring, so the budgeted op is the real ring append,
+#: not just the disabled fast path.
+EVENTS_PER_RUN = 20
 
 
 def _per_op(callable_, iterations: int = 20_000) -> float:
@@ -59,6 +65,18 @@ def _guard() -> bool:
     return NULL_TRACER.enabled or NULL_METRICS.enabled
 
 
+def _null_event() -> None:
+    NULL_EVENTS.emit("request.completed", tenant="t", status="done")
+
+
+_RING = EventLog(ring_size=512)
+
+
+def _ring_event() -> None:
+    _RING.emit("request.completed", tenant="t", status="done",
+               trace_id="0123456789abcdef", total_seconds=0.5)
+
+
 def test_disabled_instrumentation_overhead_under_two_percent():
     baseline = json.loads(BASELINE_PATH.read_text())
     fastest_wall = min(
@@ -69,15 +87,20 @@ def test_disabled_instrumentation_overhead_under_two_percent():
     span_cost = _per_op(_null_span)
     metric_cost = _per_op(_null_metric)
     guard_cost = _per_op(_guard)
+    null_event_cost = _per_op(_null_event)
+    ring_event_cost = _per_op(_ring_event)
     total = (
         SPANS_PER_RUN * span_cost
         + METRIC_CALLS_PER_RUN * metric_cost
         + GUARDS_PER_RUN * guard_cost
+        + EVENTS_PER_RUN * (null_event_cost + ring_event_cost)
     )
     assert total < budget, (
         f"disabled observability would cost {total * 1e3:.2f} ms per run "
         f"(span {span_cost * 1e6:.2f}us, metric {metric_cost * 1e6:.2f}us, "
-        f"guard {guard_cost * 1e9:.0f}ns) — over {budget * 1e3:.1f} ms "
+        f"guard {guard_cost * 1e9:.0f}ns, "
+        f"event {ring_event_cost * 1e6:.2f}us) — over "
+        f"{budget * 1e3:.1f} ms "
         f"(2% of the fastest pinned wall {fastest_wall:.1f}s)"
     )
 
@@ -90,6 +113,8 @@ def test_null_singletons_retain_nothing():
         pass
     NULL_METRICS.inc("probe", "calls_total")
     NULL_METRICS.observe("probe", "seconds", 0.5)
+    NULL_EVENTS.emit("probe", probed=True)
     assert NULL_TRACER.events == []
     assert NULL_TRACER.open_depth == 0
     assert NULL_METRICS.families == {}
+    assert len(NULL_EVENTS) == 0 and NULL_EVENTS.emitted == 0

@@ -32,7 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace as dc_replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from typing import TYPE_CHECKING
 
@@ -95,7 +95,8 @@ def _execute_payload(payload: dict, registry: TargetRegistry,
             kwargs["trace"] = tracer
         started = perf_counter()
         result = _pipeline_optimize_term(
-            term, target, shapes, kernel_name=name, **kwargs
+            term, target, shapes, kernel_name=name,
+            trace_id=payload.get("trace_id"), **kwargs
         )
         seconds = perf_counter() - started
         data = OptimizationReport.from_result(result, limits, seconds).to_dict()
@@ -166,8 +167,11 @@ class Session:
         # Accumulated span events per trace output path: successive
         # optimize_many calls that target the same path extend one
         # session-wide trace (the file is rewritten from the full set
-        # each time) instead of clobbering each other.
+        # each time) instead of clobbering each other.  Guarded by a
+        # lock: the serve daemon drives one shared session from several
+        # queue worker threads.
         self._trace_events: Dict[str, List[dict]] = {}
+        self._trace_lock = threading.Lock()
         # Warm persistent worker pool (repro serve): created once via
         # start_pool() and reused across batches, so long-lived callers
         # stop paying a pool construction + fork per request.  None
@@ -671,6 +675,10 @@ class Session:
         # process-local binding, and another process may have bound a
         # different definition to it under the same cache directory.
         payload["durable"] = request.target in BUILTIN_TARGETS
+        if request.trace_id:
+            # Correlation id for the serve layer; rides next to the
+            # limits (not inside them) so it can never touch cache keys.
+            payload["trace_id"] = request.trace_id
         return payload
 
     def _execute_batch(
@@ -731,7 +739,8 @@ class Session:
             events = (data or {}).pop("_trace", None)
             path = (payload.get("limits") or {}).get("trace")
             if events and path:
-                self._trace_events.setdefault(path, []).extend(events)
+                with self._trace_lock:
+                    self._trace_events.setdefault(path, []).extend(events)
             reports.append(OptimizationReport.from_dict(data))
         return reports
 
@@ -746,7 +755,10 @@ class Session:
         from ..obs.trace import Tracer
 
         for path in dict.fromkeys(paths):
-            accumulated = self._trace_events.setdefault(path, [])
+            with self._trace_lock:
+                accumulated = list(
+                    self._trace_events.setdefault(path, [])
+                )
             tracer = Tracer()
             if accumulated:
                 # The merged timeline starts at the earliest shipped
@@ -754,6 +766,37 @@ class Session:
                 tracer.epoch = min(e["ts"] for e in accumulated)
                 tracer.add_remote(accumulated)
             tracer.write(path, session_name="session")
+
+    def finish_trace(
+        self,
+        path: str,
+        extra_events: Sequence[dict] = (),
+        *,
+        session_name: str = "session",
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Finalize one trace path: merge ``extra_events`` (e.g. the
+        serve daemon's queue-wait/run spans) into whatever the runs
+        accumulated there, rewrite the file, and **release** the
+        accumulated events.
+
+        ``_write_trace_files`` keeps events around so successive CLI
+        batches extend one session-wide trace; the serve layer uses one
+        path per request, so retaining them would leak a request's
+        spans forever.  Returns ``path``.
+        """
+        from ..obs.trace import Tracer
+
+        path = str(path)
+        with self._trace_lock:
+            events = self._trace_events.pop(path, [])
+        events = events + list(extra_events)
+        tracer = Tracer()
+        if events:
+            tracer.epoch = min(e["ts"] for e in events)
+            tracer.add_remote(events)
+        tracer.write(path, session_name=session_name, metadata=metadata)
+        return path
 
     def _execute_pool(
         self, payloads: List[dict], max_workers: Optional[int]

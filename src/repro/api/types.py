@@ -137,6 +137,11 @@ class OptimizationRequest:
     check: Optional[bool] = None  # verify e-graph invariants per step
     trace: Optional[str] = None  # Chrome-trace JSON output path
     metrics: Optional[bool] = None  # populate the metrics registry
+    #: Correlation id stamped on this request's spans (the serve layer
+    #: mints one per HTTP request and overrides whatever the client
+    #: sent).  Purely observational: excluded from cache keys and
+    #: fingerprints like every other obs knob.
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (self.kernel is None) == (self.term is None):

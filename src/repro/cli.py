@@ -20,6 +20,7 @@ Examples::
     python -m repro serve --port 8135        # optimization-as-a-service daemon
     python -m repro serve --config serve.toml  # declarative deployment
     python -m repro gemv --remote http://host:8135  # batch via the daemon
+    python -m repro top http://host:8135     # live daemon console
 
 Limits default to the unified :class:`repro.api.Limits` profile and
 honour ``REPRO_STEP_LIMIT`` / ``REPRO_NODE_LIMIT`` /
@@ -39,7 +40,7 @@ import math
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .analysis.reporting import (
     SolutionRow,
@@ -529,6 +530,178 @@ def _serve_main(argv: List[str]) -> int:
     return 0
 
 
+def _counter_by_labels(snapshot: dict, family: str, name: str) -> Dict[tuple, float]:
+    """``(sorted label items) → value`` for one counter metric."""
+    metric = ((snapshot.get("families") or {}).get(family) or {}).get(name)
+    if not metric:
+        return {}
+    return {
+        tuple(sorted((sample.get("labels") or {}).items())): sample["value"]
+        for sample in metric.get("samples", ())
+    }
+
+
+def _histogram_by_tenant(snapshot: dict, family: str,
+                         name: str) -> Dict[str, tuple]:
+    """``tenant → (buckets, state)`` for one histogram metric."""
+    metric = ((snapshot.get("families") or {}).get(family) or {}).get(name)
+    if not metric:
+        return {}
+    buckets = list(metric.get("buckets") or ())
+    out: Dict[str, tuple] = {}
+    for sample in metric.get("samples", ()):
+        labels = sample.get("labels") or {}
+        out[str(labels.get("tenant", ""))] = (buckets, sample["value"])
+    return out
+
+
+def _quantile_cell(hists: Dict[str, tuple], tenant: str, q: float) -> str:
+    from .obs.metrics import histogram_quantile
+
+    entry = hists.get(tenant)
+    if entry is None:
+        return "-"
+    estimate = histogram_quantile(entry[0], entry[1], q)
+    return f"{estimate:.3f}s" if estimate is not None else "-"
+
+
+def _render_top(url: str, health: dict, snapshot: dict,
+                requests: Optional[List[dict]], limit: int) -> str:
+    """One refresh of the ``repro top`` console, as plain text.
+
+    Pure (data in, string out) so tests can drive it with canned
+    payloads; the polling loop below owns the terminal.
+    """
+    lines: List[str] = []
+    uptime = float(health.get("uptime_seconds", 0.0))
+    lines.append(
+        f"repro top — {url}   up {uptime:.0f}s   "
+        f"{health.get('version', '?')} "
+        f"(v{health.get('package_version', '?')})"
+    )
+    jobs = health.get("jobs") or {}
+    pool = health.get("pool") or {}
+    lines.append(
+        f"queue depth {health.get('queue_depth', 0)} | jobs: "
+        f"{jobs.get('queued', 0)} queued, {jobs.get('running', 0)} running, "
+        f"{jobs.get('done', 0)} done, {jobs.get('failed', 0)} failed | "
+        f"pool: {pool.get('workers', 0)} workers "
+        f"({'warm' if pool.get('warm') else 'cold'})"
+    )
+    cache = health.get("cache") or {}
+    hits = int(cache.get("hits", 0))
+    misses = int(cache.get("misses", 0))
+    total = hits + misses
+    rate = f"{100.0 * hits / total:.1f}%" if total else "n/a"
+    obs = health.get("observability") or {}
+    lines.append(
+        f"cache: {hits} hits / {misses} misses (hit rate {rate}) | "
+        f"events emitted: {obs.get('events_emitted', 0)}"
+    )
+    lines.append("")
+
+    submitted = _counter_by_labels(snapshot, "server", "jobs_submitted_total")
+    completed = _counter_by_labels(snapshot, "server", "jobs_completed_total")
+    run_hist = _histogram_by_tenant(snapshot, "server", "job_seconds")
+    e2e_hist = _histogram_by_tenant(snapshot, "server", "e2e_seconds")
+    wait_hist = _histogram_by_tenant(snapshot, "server", "queue_wait_seconds")
+    tenants = sorted(
+        {dict(key).get("tenant", "") for key in submitted}
+        | {dict(key).get("tenant", "") for key in completed}
+    )
+    header = (f"{'tenant':<14} {'rps':>7} {'done':>6} {'fail':>6} "
+              f"{'p50 wait':>9} {'p50 run':>9} {'p95 run':>9} "
+              f"{'p50 e2e':>9} {'p95 e2e':>9}")
+    lines.append(header)
+    if not tenants:
+        lines.append("  (no jobs submitted yet)")
+    for tenant in tenants:
+        total_submitted = submitted.get((("tenant", tenant),), 0.0)
+        rps = total_submitted / uptime if uptime > 0 else 0.0
+        done = completed.get((("status", "done"), ("tenant", tenant)), 0)
+        failed = completed.get((("status", "failed"), ("tenant", tenant)), 0)
+        lines.append(
+            f"{tenant:<14} {rps:>7.2f} {int(done):>6} {int(failed):>6} "
+            f"{_quantile_cell(wait_hist, tenant, 0.5):>9} "
+            f"{_quantile_cell(run_hist, tenant, 0.5):>9} "
+            f"{_quantile_cell(run_hist, tenant, 0.95):>9} "
+            f"{_quantile_cell(e2e_hist, tenant, 0.5):>9} "
+            f"{_quantile_cell(e2e_hist, tenant, 0.95):>9}"
+        )
+    lines.append("")
+    if requests is None:
+        lines.append("recent requests: (debug endpoint unavailable — "
+                     "pass --token for observability.debug_token)")
+    else:
+        lines.append(f"recent requests (newest first, showing "
+                     f"{min(limit, len(requests))}):")
+        lines.append(f"  {'trace_id':<18} {'tenant':<12} "
+                     f"{'kernel/target':<22} {'outcome':<9} {'total':>8} "
+                     f"stop_reason")
+        for entry in requests[:limit]:
+            kt = f"{entry.get('kernel', '?')}/{entry.get('target', '?')}"
+            total_s = entry.get("total_seconds")
+            total_text = f"{total_s:.3f}s" if total_s is not None else "-"
+            lines.append(
+                f"  {str(entry.get('trace_id', '-')):<18} "
+                f"{str(entry.get('tenant', '-')):<12} {kt:<22} "
+                f"{str(entry.get('outcome', '-')):<9} {total_text:>8} "
+                f"{entry.get('stop_reason') or entry.get('code') or '-'}"
+            )
+    return "\n".join(lines)
+
+
+def _top_main(argv: List[str]) -> int:
+    """``repro top``: live console over a running daemon."""
+    from .server import RemoteError, RemoteSession
+
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Poll a repro serve daemon's /v1/metrics and "
+                    "/v1/debug/requests and render queue depth, "
+                    "per-tenant latency quantiles, cache hit rate, and "
+                    "the request flight recorder.",
+    )
+    parser.add_argument("url", help="daemon base URL, e.g. "
+                                    "http://127.0.0.1:8135")
+    parser.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                        help="refresh period (default 2s)")
+    parser.add_argument("--once", action="store_true",
+                        help="render one frame and exit (no screen "
+                             "clearing; scripts and tests)")
+    parser.add_argument("-n", type=_positive_int, default=10, metavar="N",
+                        help="recent requests to show (default 10)")
+    parser.add_argument("--tenant", default=None,
+                        help="filter the flight recorder to one tenant")
+    parser.add_argument("--token", default=None,
+                        help="bearer token (tenant auth and/or "
+                             "observability.debug_token)")
+    args = parser.parse_args(argv)
+
+    client = RemoteSession(args.url, token=args.token)
+    while True:
+        try:
+            health = client.healthz()
+            snapshot = client.metrics_json()
+        except RemoteError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        try:
+            requests = client.debug_requests(n=args.n, tenant=args.tenant)
+        except RemoteError:
+            requests = None  # debug auth required (or endpoint disabled)
+        frame = _render_top(args.url, health, snapshot, requests, args.n)
+        if args.once:
+            print(frame)
+            return 0
+        # Clear + home, then the frame — a flicker-free poor man's top.
+        print(f"\x1b[2J\x1b[H{frame}", flush=True)
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "check-rules":
@@ -537,6 +710,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _check_egraph_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
     args = _parser().parse_args(argv)
     kernel_names = args.kernels or registry.names()
     try:

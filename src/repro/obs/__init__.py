@@ -8,17 +8,30 @@ instrumented unconditionally:
   cross-process merging of worker-side spans onto per-pid lanes;
 * :mod:`repro.obs.metrics` — a registry of labeled counters, gauges,
   and histograms, snapshot onto ``OptimizationReport.metrics`` and
-  exportable as Prometheus text.
+  exportable as Prometheus text;
+* :mod:`repro.obs.events` — a structured event log (ring buffer +
+  JSONL sink, schema ``repro-events/1``) and a request flight
+  recorder, both built for the serve layer's request lifecycle.
 
 Enable via ``Limits(trace=..., metrics=True)``, ``REPRO_TRACE`` /
 ``REPRO_METRICS``, or the CLI's ``--trace`` / ``--metrics``; both are
-excluded from cache keys (observation never changes results).
+excluded from cache keys (observation never changes results).  The
+serve daemon's event log is configured by the ``[observability]``
+table in serve.toml (see docs/OBSERVABILITY.md).
 """
 
+from .events import (
+    EVENTS_SCHEMA,
+    NULL_EVENTS,
+    EventLog,
+    FlightRecorder,
+    format_event,
+)
 from .metrics import (
     CONTENT_TYPE_LATEST,
     NULL_METRICS,
     MetricsRegistry,
+    histogram_quantile,
     merge_snapshots,
     peak_rss_kb,
     to_prometheus,
@@ -35,6 +48,12 @@ __all__ = [
     "NULL_METRICS",
     "merge_snapshots",
     "to_prometheus",
+    "histogram_quantile",
     "peak_rss_kb",
     "CONTENT_TYPE_LATEST",
+    "EventLog",
+    "NULL_EVENTS",
+    "FlightRecorder",
+    "EVENTS_SCHEMA",
+    "format_event",
 ]

@@ -1,0 +1,217 @@
+"""Structured event log and request flight recorder for the serve layer.
+
+The serve daemon used to narrate itself with printf-style stderr lines
+— no timestamps, no tenant, no machine-readable shape.  This module
+replaces that with two small, thread-safe instruments:
+
+* :class:`EventLog` — an append-only stream of structured events
+  (schema ``repro-events/1``).  Every event is a flat JSON object with
+  a wall-clock timestamp, an event kind (``request.accepted``,
+  ``job.started``, ``pool.restarted``, …) and kind-specific fields.
+  The newest ``ring_size`` events are kept in an in-process ring
+  buffer (queryable via :meth:`EventLog.tail`), and each event is
+  optionally appended to a JSONL sink file as it is emitted — one
+  JSON object per line, flushed per event, so ``tail -f`` and crash
+  forensics both work.
+* :class:`FlightRecorder` — the last N optimize requests as mutable
+  records (trace id, tenant, kernel/target, timings, outcome), served
+  by ``GET /v1/debug/requests``.  Records are created at admission
+  and completed asynchronously by the job queue; all mutation goes
+  through the recorder so readers always see a consistent copy.
+
+Like the tracer and metrics registry, the event log has a no-op
+disabled form (:data:`NULL_EVENTS`): ``emit`` returns immediately, so
+call sites never need guarding.  The enabled ring-only path is a dict
+build plus a deque append — cheap enough that per-request emission
+stays inside the obs overhead budget
+(``benchmarks/test_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+__all__ = [
+    "EVENTS_SCHEMA",
+    "EventLog",
+    "NULL_EVENTS",
+    "FlightRecorder",
+    "format_event",
+]
+
+#: Schema tag stamped on every event line (see docs/OBSERVABILITY.md).
+EVENTS_SCHEMA = "repro-events/1"
+
+
+def format_event(event: Dict[str, Any]) -> str:
+    """One event as a human-readable single line (the verbose-stderr
+    rendering): ISO timestamp, kind, then ``key=value`` pairs."""
+    ts = time.strftime("%H:%M:%S", time.localtime(event.get("ts", 0.0)))
+    kind = event.get("event", "?")
+    fields = " ".join(
+        f"{key}={event[key]}"
+        for key in sorted(event)
+        if key not in ("schema", "ts", "event")
+    )
+    return f"{ts} {kind} {fields}".rstrip()
+
+
+class EventLog:
+    """Thread-safe structured event stream: ring buffer + JSONL sink.
+
+    ``ring_size`` bounds in-process memory (oldest events fall off);
+    the optional ``sink`` path is opened in append mode and receives
+    every event as one JSON line, flushed immediately.  ``echo``
+    (callable taking the event dict) mirrors events elsewhere — the
+    server wires it to its verbose-stderr printer.
+    """
+
+    def __init__(self, ring_size: int = 512,
+                 sink: Optional[str] = None, *,
+                 enabled: bool = True,
+                 echo: Optional[Callable[[Dict[str, Any]], None]] = None,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.enabled = enabled
+        self.ring_size = int(ring_size)
+        self.sink = str(sink) if sink else None
+        self.emitted = 0
+        self.echo = echo
+        self._clock = clock
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=max(1, self.ring_size))
+        self._lock = threading.Lock()
+        self._handle = None
+        if self.sink and enabled:
+            from pathlib import Path
+
+            target = Path(self.sink)
+            if target.parent != Path("."):
+                target.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.sink, "a", encoding="utf-8")
+
+    # -- emission -------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> Optional[Dict[str, Any]]:
+        """Record one event; ``None``-valued fields are dropped.
+
+        Returns the event dict (or ``None`` when disabled).
+        """
+        if not self.enabled:
+            return None
+        event: Dict[str, Any] = {
+            "schema": EVENTS_SCHEMA,
+            "ts": round(self._clock(), 6),
+            "event": kind,
+        }
+        for key, value in fields.items():
+            if value is not None:
+                event[key] = value
+        with self._lock:
+            self.emitted += 1
+            self._ring.append(event)
+            if self._handle is not None:
+                try:
+                    self._handle.write(
+                        json.dumps(event, sort_keys=True, default=str) + "\n"
+                    )
+                    self._handle.flush()
+                except (OSError, ValueError):
+                    self._handle = None  # sink gone: keep the ring alive
+        if self.echo is not None:
+            self.echo(event)
+        return event
+
+    # -- querying -------------------------------------------------------
+
+    def tail(self, n: Optional[int] = None, *,
+             event: Optional[str] = None,
+             tenant: Optional[str] = None,
+             trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The newest ``n`` ring events matching the filters, in
+        chronological order (newest last).  ``n=None`` returns every
+        retained match."""
+        with self._lock:
+            items = list(self._ring)
+        if event is not None:
+            items = [e for e in items if e.get("event") == event]
+        if tenant is not None:
+            items = [e for e in items if e.get("tenant") == tenant]
+        if trace_id is not None:
+            items = [e for e in items if e.get("trace_id") == trace_id]
+        if n is not None:
+            items = items[-max(0, int(n)):]
+        return [dict(e) for e in items]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def close(self) -> None:
+        """Close the JSONL sink (ring queries keep working)."""
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+
+#: The shared disabled event log: ``emit`` is a no-op returning None.
+NULL_EVENTS = EventLog(enabled=False)
+
+
+class FlightRecorder:
+    """The last ``capacity`` optimize requests, newest first.
+
+    :meth:`record` creates a record at admission time and returns it;
+    the job queue completes it later via :meth:`update` (both take the
+    recorder lock, and :meth:`requests` copies under the same lock, so
+    readers never observe a half-written record).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = max(1, int(capacity))
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def record(self, **fields: Any) -> Dict[str, Any]:
+        """Append a new request record (``None`` fields dropped) and
+        return it for later :meth:`update` calls."""
+        entry = {k: v for k, v in fields.items() if v is not None}
+        with self._lock:
+            self._ring.append(entry)
+        return entry
+
+    def update(self, entry: Dict[str, Any], **fields: Any) -> None:
+        """Merge completion fields into a record under the lock."""
+        with self._lock:
+            entry.update({k: v for k, v in fields.items() if v is not None})
+
+    def discard(self, entry: Dict[str, Any]) -> None:
+        """Drop a record that turned out not to be admitted after all
+        (e.g. the queue was full after the record was created)."""
+        with self._lock:
+            try:
+                self._ring.remove(entry)
+            except ValueError:
+                pass  # already wrapped out of the ring
+
+    def requests(self, n: Optional[int] = None, *,
+                 tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Copies of the newest ``n`` records, newest first."""
+        with self._lock:
+            items = [dict(e) for e in self._ring]
+        items.reverse()
+        if tenant is not None:
+            items = [e for e in items if e.get("tenant") == tenant]
+        if n is not None:
+            items = items[: max(0, int(n))]
+        return items
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)

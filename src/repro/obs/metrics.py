@@ -31,6 +31,7 @@ __all__ = [
     "NULL_METRICS",
     "merge_snapshots",
     "to_prometheus",
+    "histogram_quantile",
     "peak_rss_kb",
     "CONTENT_TYPE_LATEST",
 ]
@@ -243,6 +244,40 @@ def merge_snapshots(snapshots: List[Optional[Mapping]]) -> dict:
     return registry.snapshot()
 
 
+def histogram_quantile(buckets: List[float], state: Mapping,
+                       q: float) -> Optional[float]:
+    """Estimate the ``q`` quantile of a histogram sample state.
+
+    Same estimator as PromQL's ``histogram_quantile``: find the bucket
+    the target rank falls into, then interpolate linearly within it.
+    ``state`` is the per-sample histogram dict (``counts``/``count``,
+    with per-bucket — not cumulative — counts and a final +Inf slot).
+    Ranks landing in the +Inf bucket return the highest finite bound
+    (the estimate is a floor, not a fabricated value); an empty
+    histogram returns ``None``.
+    """
+    total = state.get("count", 0)
+    counts = state.get("counts") or []
+    if total <= 0 or not counts:
+        return None
+    rank = max(0.0, min(1.0, q)) * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count > 0:
+            if index >= len(buckets):  # the +Inf bucket
+                return float(buckets[-1]) if buckets else None
+            lower = buckets[index - 1] if index > 0 else 0.0
+            upper = buckets[index]
+            return lower + (upper - lower) * ((rank - previous) / count)
+    return float(buckets[-1]) if buckets else None
+
+
+#: Quantiles summarized as gauges next to each histogram's buckets.
+SUMMARY_QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
+
+
 def _format_labels(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""
@@ -260,7 +295,14 @@ def _merge_label_str(labels: Mapping[str, str], extra: Dict[str, str]) -> str:
 
 
 def to_prometheus(snapshot: Mapping, prefix: str = "repro") -> str:
-    """Render a snapshot in the Prometheus text exposition format."""
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Each histogram additionally gets ``_p50``/``_p90``/``_p99`` gauge
+    summaries computed from its buckets
+    (:func:`histogram_quantile`), so per-tenant latency is readable
+    straight off a ``curl`` without a Prometheus server evaluating
+    ``histogram_quantile()`` for you.
+    """
     lines: List[str] = []
     for family, metrics in (snapshot.get("families") or {}).items():
         for name, data in metrics.items():
@@ -269,11 +311,13 @@ def to_prometheus(snapshot: Mapping, prefix: str = "repro") -> str:
             if data.get("help"):
                 lines.append(f"# HELP {full} {data['help']}")
             lines.append(f"# TYPE {full} {kind}")
+            quantile_lines: Dict[str, List[str]] = {}
             for sample in data.get("samples", ()):
                 labels = sample.get("labels") or {}
                 value = sample.get("value")
                 if kind == "histogram":
-                    bounds = list(data.get("buckets") or ()) + [math.inf]
+                    buckets = list(data.get("buckets") or ())
+                    bounds = buckets + [math.inf]
                     cumulative = 0
                     for bound, count in zip(bounds, value["counts"]):
                         cumulative += count
@@ -289,8 +333,19 @@ def to_prometheus(snapshot: Mapping, prefix: str = "repro") -> str:
                     lines.append(
                         f"{full}_count{_format_labels(labels)} {value['count']}"
                     )
+                    for q, suffix in SUMMARY_QUANTILES:
+                        estimate = histogram_quantile(buckets, value, q)
+                        if estimate is None:
+                            continue
+                        quantile_lines.setdefault(suffix, []).append(
+                            f"{full}_{suffix}{_format_labels(labels)}"
+                            f" {estimate:g}"
+                        )
                 else:
                     lines.append(
                         f"{full}{_format_labels(labels)} {value:g}"
                     )
+            for suffix, samples in quantile_lines.items():
+                lines.append(f"# TYPE {full}_{suffix} gauge")
+                lines.extend(samples)
     return "\n".join(lines) + "\n"

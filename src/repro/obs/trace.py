@@ -62,6 +62,7 @@ CAT_PHASE = "phase"
 CAT_RULE = "rule"
 CAT_EXTRACT = "extract"
 CAT_POOL = "pool"
+CAT_SERVER = "server"
 
 
 class TraceError(RuntimeError):
@@ -202,7 +203,8 @@ class Tracer:
     def _lane_name(self, pid: int) -> str:
         return "engine" if pid == self.pid else f"worker-{pid}"
 
-    def chrome_trace(self, session_name: str = "session") -> Dict[str, Any]:
+    def chrome_trace(self, session_name: str = "session",
+                     metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """The trace as a Chrome trace-event JSON object.
 
         Lanes (Chrome ``tid``) are pids; events within a lane are
@@ -246,16 +248,25 @@ class Tracer:
             "pid": 1, "tid": self.pid,
         })
         trace_events.extend(entries)
-        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        trace: Dict[str, Any] = {
+            "traceEvents": trace_events, "displayTimeUnit": "ms",
+        }
+        if metadata:
+            # Chrome's free-form top-level metadata slot: the serve
+            # layer stamps the request's trace_id here so a saved
+            # trace file is self-identifying.
+            trace["otherData"] = dict(metadata)
+        return trace
 
-    def write(self, path: str, session_name: str = "session") -> None:
+    def write(self, path: str, session_name: str = "session",
+              metadata: Optional[Dict[str, Any]] = None) -> None:
         """Write the Chrome trace JSON to ``path`` (parents created)."""
         from pathlib import Path
 
         target = Path(path)
         if target.parent != Path("."):
             target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(self.chrome_trace(session_name)))
+        target.write_text(json.dumps(self.chrome_trace(session_name, metadata)))
 
 
 #: The shared disabled tracer: spans measure, nothing is retained.

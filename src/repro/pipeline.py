@@ -9,7 +9,7 @@ paper's tables II/III and figures 4–6 are built from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from .api.limits import Limits
 from .egraph.analysis import ShapeAnalysis
@@ -105,6 +105,7 @@ def optimize_term(
     trace: Union[None, str, Tracer] = DEFAULT_LIMITS["trace"],
     metrics: bool = DEFAULT_LIMITS["metrics"],
     kernel_name: str = "<term>",
+    trace_id: Optional[str] = None,
 ) -> OptimizationResult:
     """Optimize a bare IR term for ``target``.
 
@@ -154,9 +155,16 @@ def optimize_term(
         tracer=tracer,
         metrics=registry,
     )
+    request_args: Dict[str, Any] = {
+        "kernel": kernel_name, "target": target.name,
+    }
+    if trace_id:
+        # Serve-layer correlation id: lands on the request span so a
+        # merged daemon trace and the event log key to the same id.
+        request_args["trace_id"] = trace_id
     with tracer.span(
         f"saturate:{kernel_name}/{target.name}", cat=CAT_REQUEST,
-        kernel=kernel_name, target=target.name,
+        **request_args,
     ):
         run = runner.run(root, cost_model=target.cost_model)
     candidates: tuple = ()

@@ -15,7 +15,10 @@ Layers, bottom up:
 * :mod:`~repro.server.queue` — jobs and the worker threads that
   execute them through the shared session;
 * :mod:`~repro.server.app` — the HTTP surface (``/v1/optimize``,
-  ``/v1/jobs``, ``/v1/healthz``, ``/v1/metrics``);
+  ``/v1/jobs``, ``/v1/healthz``, ``/v1/metrics``,
+  ``/v1/debug/requests``), with a per-request trace id on every
+  response (``X-Repro-Trace-Id``) and a structured event log
+  (``repro-events/1``) replacing ad-hoc stderr logging;
 * :mod:`~repro.server.client` — :class:`RemoteSession`, the thin
   client the batch CLI (``--remote``) and tests use;
 * :mod:`~repro.server.testing` — an in-process live server for tests.
@@ -24,16 +27,23 @@ Wire protocol reference: ``docs/SERVER.md``.
 """
 
 from .admission import AdmissionController, AdmissionError, TokenBucket
-from .app import SERVER_VERSION, OptimizationServer
+from .app import SERVER_VERSION, TRACE_ID_HEADER, OptimizationServer
 from .client import RemoteError, RemoteSession
-from .config import ConfigError, ServeConfig, TenantConfig
+from .config import (
+    ConfigError,
+    ObservabilityConfig,
+    ServeConfig,
+    TenantConfig,
+)
 from .queue import Job, JobQueue, QueueFull
 
 __all__ = [
     "OptimizationServer",
     "SERVER_VERSION",
+    "TRACE_ID_HEADER",
     "ServeConfig",
     "TenantConfig",
+    "ObservabilityConfig",
     "ConfigError",
     "AdmissionController",
     "AdmissionError",

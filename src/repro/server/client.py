@@ -79,6 +79,9 @@ class RemoteSession:
         self.token = token
         self.timeout = timeout
         self.poll_interval = poll_interval
+        #: ``X-Repro-Trace-Id`` from the most recent response (every
+        #: daemon response carries one — including errors).
+        self.last_trace_id: Optional[str] = None
 
     # -- HTTP plumbing --------------------------------------------------
     def _headers(self) -> Dict[str, str]:
@@ -101,7 +104,14 @@ class RemoteSession:
             with urlrequest.urlopen(req, timeout=30.0) as response:
                 text = response.read().decode("utf-8")
                 ctype = response.headers.get("Content-Type", "")
+                self.last_trace_id = response.headers.get(
+                    "X-Repro-Trace-Id", self.last_trace_id
+                )
         except urlerror.HTTPError as exc:
+            if exc.headers is not None:
+                self.last_trace_id = exc.headers.get(
+                    "X-Repro-Trace-Id", self.last_trace_id
+                )
             raise self._remote_error(exc) from None
         except urlerror.URLError as exc:
             raise RemoteError(0, "unreachable",
@@ -135,6 +145,26 @@ class RemoteSession:
         result = self._call("GET", "/v1/metrics")
         assert isinstance(result, str)
         return result
+
+    def metrics_json(self) -> dict:
+        """The raw ``repro-metrics/1`` snapshot (``?format=json``)."""
+        result = self._call("GET", "/v1/metrics?format=json")
+        assert isinstance(result, dict)
+        return result
+
+    def debug_requests(self, n: Optional[int] = None,
+                       tenant: Optional[str] = None) -> List[dict]:
+        """The daemon's request flight recorder, newest first."""
+        params = []
+        if n is not None:
+            params.append(f"n={int(n)}")
+        if tenant is not None:
+            from urllib.parse import quote
+
+            params.append(f"tenant={quote(tenant)}")
+        suffix = ("?" + "&".join(params)) if params else ""
+        result = self._call("GET", "/v1/debug/requests" + suffix)
+        return list(result["requests"])
 
     def target_names(self) -> List[str]:
         result = self._call("GET", "/v1/targets")

@@ -34,6 +34,13 @@ Example (the annotated reference copy lives in ``docs/SERVER.md``)::
     [targets]
     allow = ["blas", "pytorch"]
 
+    [observability]
+    event_log = "/var/log/repro/events.jsonl"  # JSONL sink
+    ring_size = 512         # in-process event ring
+    flight_recorder = 256   # GET /v1/debug/requests depth
+    trace_dir = "/var/log/repro/traces"  # per-request Chrome traces
+    debug_token = "ops-secret"  # Bearer auth for /v1/debug/*
+
     [tenants.ci]
     token = "ci-secret"
     rate = 5.0
@@ -55,13 +62,31 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..api.limits import CAPPABLE_FIELDS, Limits
 
-__all__ = ["ConfigError", "TenantConfig", "ServeConfig", "ANONYMOUS_TENANT"]
+__all__ = ["ConfigError", "TenantConfig", "ObservabilityConfig",
+           "ServeConfig", "ANONYMOUS_TENANT", "SERVE_TOML_KEYS"]
 
 ANONYMOUS_TENANT = "anonymous"
 
 _LIMIT_KEYS = ("step_limit", "node_limit", "time_limit", "scheduler",
                "search_workers", "rule_profile", "extractor", "top_k",
                "apply_workers", "check", "trace", "metrics")
+
+#: Every serve.toml section and its allowed keys — the single source
+#: the strict validation below *and* the ``tools/check_docs.py`` audit
+#: (each key must appear in docs/SERVER.md) both read.  ``tenants.*``
+#: covers each ``[tenants.<name>]`` table.
+SERVE_TOML_KEYS: Dict[str, Tuple[str, ...]] = {
+    "server": ("host", "port", "queue_workers", "pool_workers",
+               "max_queue", "retain_jobs", "cache_dir"),
+    "limits": _LIMIT_KEYS,
+    "admission": ("allow_anonymous", "max_body_bytes", "rate", "burst",
+                  "max_active_jobs", "caps"),
+    "targets": ("allow",),
+    "observability": ("event_log", "ring_size", "flight_recorder",
+                      "trace_dir", "debug_token"),
+    "tenants.*": ("token", "rate", "burst", "max_active_jobs", "caps",
+                  "targets"),
+}
 
 
 class ConfigError(ValueError):
@@ -123,10 +148,7 @@ class TenantConfig:
 
     @classmethod
     def from_dict(cls, name: str, data: Mapping[str, Any]) -> "TenantConfig":
-        _require_keys(
-            f"tenants.{name}", data,
-            ("token", "rate", "burst", "max_active_jobs", "caps", "targets"),
-        )
+        _require_keys(f"tenants.{name}", data, SERVE_TOML_KEYS["tenants.*"])
         targets = data.get("targets")
         return cls(
             name=name,
@@ -137,6 +159,55 @@ class TenantConfig:
                                          cls.max_active_jobs)),
             caps=dict(data.get("caps", {})),
             targets=tuple(targets) if targets is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """The ``[observability]`` table: serve-layer tracing and events.
+
+    All optional — the daemon runs fully instrumented either way; this
+    table only decides what leaves the process (JSONL sink, per-request
+    trace files) and who may read the debug endpoints.
+    """
+
+    #: JSONL sink for the structured event log (``repro-events/1``);
+    #: ``None`` keeps events in the in-process ring only.
+    event_log: Optional[str] = None
+    #: In-process event ring size (newest-N retained).
+    ring_size: int = 512
+    #: Flight-recorder depth: how many recent optimize requests
+    #: ``GET /v1/debug/requests`` can report.
+    flight_recorder: int = 256
+    #: Directory for per-request merged Chrome traces
+    #: (``<trace_dir>/<trace_id>.trace.json``); ``None`` disables
+    #: per-request trace capture.
+    trace_dir: Optional[str] = None
+    #: Bearer token required by ``/v1/debug/*``; ``None`` leaves the
+    #: debug endpoints open (loopback/dev deployments).
+    debug_token: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.ring_size < 1:
+            raise ConfigError(
+                f"observability.ring_size must be >= 1, got {self.ring_size}"
+            )
+        if self.flight_recorder < 1:
+            raise ConfigError(
+                "observability.flight_recorder must be >= 1, "
+                f"got {self.flight_recorder}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ObservabilityConfig":
+        _require_keys("observability", data, SERVE_TOML_KEYS["observability"])
+        return cls(
+            event_log=data.get("event_log"),
+            ring_size=int(data.get("ring_size", cls.ring_size)),
+            flight_recorder=int(data.get("flight_recorder",
+                                         cls.flight_recorder)),
+            trace_dir=data.get("trace_dir"),
+            debug_token=data.get("debug_token"),
         )
 
 
@@ -176,6 +247,10 @@ class ServeConfig:
     allowed_targets: Optional[Tuple[str, ...]] = None
     #: Named tenants (name → config).
     tenants: Mapping[str, TenantConfig] = field(default_factory=dict)
+    #: Serve-layer observability (event log, flight recorder, traces).
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
 
     def __post_init__(self) -> None:
         if self.queue_workers < 1:
@@ -221,17 +296,17 @@ class ServeConfig:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ServeConfig":
         _require_keys("<root>", data,
-                      ("server", "limits", "admission", "targets", "tenants"))
+                      ("server", "limits", "admission", "targets",
+                       "observability", "tenants"))
         server = dict(data.get("server", {}))
-        _require_keys("server", server,
-                      ("host", "port", "queue_workers", "pool_workers",
-                       "max_queue", "retain_jobs", "cache_dir"))
+        _require_keys("server", server, SERVE_TOML_KEYS["server"])
         admission = dict(data.get("admission", {}))
-        _require_keys("admission", admission,
-                      ("allow_anonymous", "max_body_bytes", "rate", "burst",
-                       "max_active_jobs", "caps"))
+        _require_keys("admission", admission, SERVE_TOML_KEYS["admission"])
         targets_section = dict(data.get("targets", {}))
-        _require_keys("targets", targets_section, ("allow",))
+        _require_keys("targets", targets_section, SERVE_TOML_KEYS["targets"])
+        observability = ObservabilityConfig.from_dict(
+            dict(data.get("observability", {}))
+        )
 
         limits_section = dict(data.get("limits", {}))
         _require_keys("limits", limits_section, _LIMIT_KEYS)
@@ -279,4 +354,5 @@ class ServeConfig:
             anonymous=anonymous,
             allowed_targets=tuple(allow) if allow is not None else None,
             tenants=tenants,
+            observability=observability,
         )

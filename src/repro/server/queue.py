@@ -10,6 +10,16 @@ hits, observable in ``CacheStats``) and, when the session's warm
 persistent pool is running, saturates in an already-forked worker
 process instead of re-forking per request.
 
+The queue is also where the serve layer's observability comes
+together per request: each job carries the request's ``trace_id``;
+execution emits structured events (``job.started``, ``pool.restarted``,
+``cache.evicted``, and the terminal ``request.completed``), observes
+per-tenant latency histograms (queue-wait / run / end-to-end),
+completes the job's flight-recorder entry, and — when a ``trace_dir``
+is configured — merges the daemon-side queue-wait/run spans with the
+engine and fork-pool worker spans the session accumulated into one
+Chrome trace per request (``<trace_dir>/<trace_id>.trace.json``).
+
 Job ids are unguessable capability tokens (``secrets.token_hex``):
 whoever holds the id may poll it.  Completed jobs are retained for
 polling up to ``retain_jobs``; beyond that the oldest finished jobs
@@ -24,12 +34,17 @@ import secrets
 import threading
 import time
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
+from pathlib import Path
+from time import perf_counter
 from typing import Any, Dict, List, Optional
 
 from ..api.limits import Limits
 from ..api.session import Session
 from ..api.types import OptimizationReport, OptimizationRequest
+from ..obs.events import NULL_EVENTS, EventLog, FlightRecorder
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import CAT_SERVER, Tracer
 
 __all__ = ["Job", "JobQueue", "QueueFull",
            "QUEUED", "RUNNING", "DONE", "FAILED"]
@@ -58,6 +73,14 @@ class Job:
     finished: Optional[float] = None
     report: Optional[OptimizationReport] = None
     error: Optional[str] = None
+    #: The HTTP request's correlation id (also stamped on every span
+    #: and event this job produces); empty for direct queue callers.
+    trace_id: str = ""
+    #: ``perf_counter`` at submission — queue-wait and end-to-end
+    #: latency are measured on the monotonic clock, not wall time.
+    created_pc: float = field(default_factory=perf_counter)
+    #: This request's flight-recorder entry, completed at job end.
+    record: Optional[Dict[str, Any]] = None
 
     def to_dict(self, *, include_report: bool = True) -> dict:
         """The wire form served by ``GET /v1/jobs/<id>``."""
@@ -71,6 +94,8 @@ class Job:
             "started": self.started,
             "finished": self.finished,
         }
+        if self.trace_id:
+            data["trace_id"] = self.trace_id
         if self.error is not None:
             data["error"] = self.error
         if include_report and self.report is not None:
@@ -90,12 +115,18 @@ class JobQueue:
         max_queue: int = 64,
         retain_jobs: int = 1024,
         metrics: MetricsRegistry = NULL_METRICS,
+        events: EventLog = NULL_EVENTS,
+        recorder: Optional[FlightRecorder] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         self.session = session
         self.workers = max(1, workers)
         self.pool_workers = max(0, pool_workers)
         self.retain_jobs = max(1, retain_jobs)
         self.metrics = metrics
+        self.events = events
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        self.trace_dir = str(trace_dir) if trace_dir else None
         self._pending: "_queue.Queue[Optional[str]]" = _queue.Queue(
             maxsize=max_queue
         )
@@ -104,6 +135,10 @@ class JobQueue:
         self._lock = threading.Lock()
         self._threads: List[threading.Thread] = []
         self._running = False
+        # Did the warm pool ever come up?  Distinguishes the lazy
+        # re-warm after a broken pool (a pool.restarted event) from the
+        # initial warm-up in start().
+        self._pool_ever_warm = False
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -114,6 +149,9 @@ class JobQueue:
             # Warm the persistent fork pool up front: the first request
             # should not pay the pool construction either.
             self.session.start_pool(self.pool_workers)
+            if self.session.pool_warm:
+                self._pool_ever_warm = True
+                self.events.emit("pool.warm", workers=self.pool_workers)
         for index in range(self.workers):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -139,14 +177,19 @@ class JobQueue:
 
     # -- submission / lookup --------------------------------------------
     def submit(self, tenant: str, request: OptimizationRequest,
-               limits: Limits) -> Job:
+               limits: Limits, *, trace_id: str = "",
+               record: Optional[Dict[str, Any]] = None) -> Job:
         """Enqueue one admitted request; raises :class:`QueueFull`."""
         job = Job(
             id=secrets.token_hex(8),
             tenant=tenant,
             request=request,
             limits=limits,
+            trace_id=trace_id,
+            record=record,
         )
+        if record is not None:
+            self.recorder.update(record, job=job.id)
         with self._lock:
             self._jobs[job.id] = job
             self._order.append(job.id)
@@ -229,13 +272,42 @@ class JobQueue:
     def _execute(self, job: Job) -> None:
         job.status = RUNNING
         job.started = time.time()
+        started_pc = perf_counter()
         if self.pool_workers > 0:
             # Lazily re-warm after a broken pool was discarded
             # mid-batch; a no-op while the pool is healthy.
+            was_warm = self.session.pool_warm
             self.session.start_pool(self.pool_workers)
+            if self.session.pool_warm and not was_warm:
+                if self._pool_ever_warm:
+                    self.events.emit("pool.restarted",
+                                     trace_id=job.trace_id or None,
+                                     workers=self.pool_workers)
+                    self.metrics.inc("server", "pool_restarts_total",
+                                     help="warm fork pools rebuilt after "
+                                          "a broken pool was discarded")
+                self._pool_ever_warm = True
+        self.events.emit("job.started", job=job.id, tenant=job.tenant,
+                         trace_id=job.trace_id or None,
+                         kernel=job.request.display_name,
+                         target=job.request.target)
+        request = job.request
+        trace_path: Optional[str] = None
+        if self.trace_dir and job.trace_id:
+            # Per-request merged Chrome trace.  The trace knob is
+            # volatile (excluded from cache keys and fingerprints), so
+            # setting it server-side preserves the byte-identity
+            # contract with one-shot runs.
+            trace_path = str(
+                Path(self.trace_dir) / f"{job.trace_id}.trace.json"
+            )
+            request = dc_replace(request, trace=trace_path)
+        if job.trace_id and request.trace_id != job.trace_id:
+            request = dc_replace(request, trace_id=job.trace_id)
+        evictions_before = self.session.cache.stats.evictions
         try:
             reports = self.session.optimize_many(
-                [job.request], parallel=self.pool_workers > 0
+                [request], parallel=self.pool_workers > 0
             )
             report = reports[0]
             job.report = report
@@ -248,11 +320,97 @@ class JobQueue:
             job.status = FAILED
             job.error = f"{type(exc).__name__}: {exc}"
         job.finished = time.time()
+        finished_pc = perf_counter()
+        queue_wait = max(0.0, started_pc - job.created_pc)
+        run_seconds = max(0.0, finished_pc - started_pc)
+        total_seconds = max(0.0, finished_pc - job.created_pc)
+        evicted = self.session.cache.stats.evictions - evictions_before
+        if evicted > 0:
+            self.events.emit("cache.evicted", count=evicted,
+                             trace_id=job.trace_id or None)
+        self._finish_observation(
+            job, queue_wait, run_seconds, total_seconds, trace_path,
+        )
+
+    def _finish_observation(self, job: Job, queue_wait: float,
+                            run_seconds: float, total_seconds: float,
+                            trace_path: Optional[str]) -> None:
+        """Metrics, events, flight record, and the merged trace for one
+        finished job."""
+        report = job.report
+        stop_reason = report.stop_reason if report is not None else None
+        cache_hit = report.cache_hit if report is not None else None
         self.metrics.inc("server", "jobs_completed_total",
                          help="jobs that reached a terminal status",
                          tenant=job.tenant, status=job.status)
-        if job.started is not None:
-            self.metrics.observe(
-                "server", "job_seconds", job.finished - job.started,
-                help="job execution wall time", tenant=job.tenant,
+        self.metrics.observe(
+            "server", "queue_wait_seconds", queue_wait,
+            help="submission-to-start latency", tenant=job.tenant,
+        )
+        self.metrics.observe(
+            "server", "job_seconds", run_seconds,
+            help="job execution wall time", tenant=job.tenant,
+        )
+        self.metrics.observe(
+            "server", "e2e_seconds", total_seconds,
+            help="submission-to-completion latency", tenant=job.tenant,
+        )
+        # Exactly one request.completed per accepted request — the
+        # rejected path emits its own (with the 4xx code) in app.py.
+        self.events.emit(
+            "request.completed", trace_id=job.trace_id or None,
+            tenant=job.tenant, job=job.id,
+            kernel=job.request.display_name, target=job.request.target,
+            status=job.status, stop_reason=stop_reason or None,
+            cache_hit=cache_hit, error=job.error,
+            queue_wait_seconds=round(queue_wait, 6),
+            run_seconds=round(run_seconds, 6),
+            total_seconds=round(total_seconds, 6),
+        )
+        if job.record is not None:
+            self.recorder.update(
+                job.record, outcome=job.status,
+                stop_reason=stop_reason or None, cache_hit=cache_hit,
+                error=job.error,
+                queue_wait_seconds=round(queue_wait, 6),
+                run_seconds=round(run_seconds, 6),
+                total_seconds=round(total_seconds, 6),
+                trace_path=trace_path, finished=job.finished,
             )
+        if trace_path is not None:
+            self._write_request_trace(
+                job, queue_wait, run_seconds, trace_path,
+            )
+
+    def _write_request_trace(self, job: Job, queue_wait: float,
+                             run_seconds: float, trace_path: str) -> None:
+        """Merge the daemon-side spans with whatever the session
+        accumulated for this request's trace path and write the file.
+
+        The daemon lane gets the full request span plus queue-wait and
+        run sub-spans; the session contributes the engine spans (and,
+        under the fork pool, each worker pid's lane) it harvested from
+        ``optimize_many`` — one file tells the whole story of one
+        request, across processes.
+        """
+        tracer = Tracer()
+        started_pc = job.created_pc + queue_wait
+        tracer.add_complete(
+            f"request:{job.request.display_name}/{job.request.target}",
+            CAT_SERVER, job.created_pc, queue_wait + run_seconds,
+            trace_id=job.trace_id, tenant=job.tenant, job=job.id,
+            status=job.status,
+        )
+        tracer.add_complete("queue_wait", CAT_SERVER, job.created_pc,
+                            queue_wait, trace_id=job.trace_id)
+        tracer.add_complete("run", CAT_SERVER, started_pc, run_seconds,
+                            trace_id=job.trace_id)
+        try:
+            self.session.finish_trace(
+                trace_path, tracer.export_events(),
+                session_name=f"request:{job.trace_id}",
+                metadata={"trace_id": job.trace_id, "tenant": job.tenant},
+            )
+        except OSError:
+            # Trace capture must never take a request down with it.
+            pass

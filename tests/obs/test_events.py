@@ -1,0 +1,167 @@
+"""The structured event log (``repro-events/1``) and flight recorder."""
+
+import json
+import threading
+
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EventLog,
+    FlightRecorder,
+    NULL_EVENTS,
+    format_event,
+)
+
+
+class TestEventLog:
+    def test_emit_returns_stamped_event(self):
+        log = EventLog(ring_size=8)
+        event = log.emit("request.accepted", tenant="acme", job="j1")
+        assert event["schema"] == EVENTS_SCHEMA
+        assert event["event"] == "request.accepted"
+        assert event["tenant"] == "acme" and event["job"] == "j1"
+        assert isinstance(event["ts"], float)
+        assert log.emitted == 1
+
+    def test_none_fields_are_dropped(self):
+        log = EventLog(ring_size=8)
+        event = log.emit("job.started", tenant="acme", error=None)
+        assert "error" not in event
+
+    def test_ring_wraparound_keeps_newest(self):
+        log = EventLog(ring_size=5)
+        for index in range(12):
+            log.emit("tick", n=index)
+        assert len(log) == 5
+        assert [e["n"] for e in log.tail()] == [7, 8, 9, 10, 11]
+        assert log.emitted == 12  # the counter survives the wrap
+
+    def test_tail_filters_and_limits(self):
+        log = EventLog(ring_size=32)
+        log.emit("request.accepted", tenant="a", trace_id="t1")
+        log.emit("request.accepted", tenant="b", trace_id="t2")
+        log.emit("request.completed", tenant="a", trace_id="t1")
+        assert len(log.tail(event="request.accepted")) == 2
+        assert [e["event"] for e in log.tail(tenant="a")] == [
+            "request.accepted", "request.completed"]
+        assert len(log.tail(trace_id="t2")) == 1
+        assert [e["trace_id"] for e in log.tail(1, tenant="a")] == ["t1"]
+        assert log.tail(1)[0]["event"] == "request.completed"
+
+    def test_jsonl_sink(self, tmp_path):
+        sink = tmp_path / "sub" / "events.jsonl"  # parent is created
+        log = EventLog(ring_size=4, sink=str(sink))
+        log.emit("server.started", port=1234)
+        log.emit("server.stopped")
+        log.close()
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        assert all(e["schema"] == EVENTS_SCHEMA for e in events)
+        assert events[0]["event"] == "server.started"
+        assert events[0]["port"] == 1234
+
+    def test_sink_appends_across_instances(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        for generation in range(2):
+            log = EventLog(sink=str(sink))
+            log.emit("server.started", generation=generation)
+            log.close()
+        lines = sink.read_text().splitlines()
+        assert [json.loads(line)["generation"] for line in lines] == [0, 1]
+
+    def test_ring_survives_sink_death(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        log = EventLog(sink=str(sink))
+        log.emit("one")
+        log._handle.close()  # simulate the sink dying under us
+        log.emit("two")  # must not raise
+        assert [e["event"] for e in log.tail()] == ["one", "two"]
+
+    def test_null_events_is_inert(self):
+        assert NULL_EVENTS.emit("anything", key="value") is None
+        assert NULL_EVENTS.tail() == []
+        assert len(NULL_EVENTS) == 0
+
+    def test_echo_receives_events(self):
+        seen = []
+        log = EventLog(ring_size=4, echo=seen.append)
+        log.emit("server.log", message="hello")
+        assert seen and seen[0]["message"] == "hello"
+
+    def test_concurrent_emit(self):
+        log = EventLog(ring_size=4096)
+
+        def hammer(worker):
+            for index in range(200):
+                log.emit("tick", worker=worker, n=index)
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert log.emitted == 800
+        assert len(log) == 800
+
+
+class TestFormatEvent:
+    def test_renders_kind_and_fields(self):
+        line = format_event({"schema": EVENTS_SCHEMA, "ts": 0.0,
+                             "event": "request.completed",
+                             "tenant": "acme", "status": "done"})
+        assert "request.completed" in line
+        assert "tenant=acme" in line and "status=done" in line
+        assert "schema=" not in line  # header fields are not repeated
+
+    def test_no_trailing_space_without_fields(self):
+        line = format_event({"schema": EVENTS_SCHEMA, "ts": 0.0,
+                             "event": "server.stopped"})
+        assert line == line.rstrip()
+        assert line.endswith("server.stopped")
+
+
+class TestFlightRecorder:
+    def test_record_then_update(self):
+        recorder = FlightRecorder(capacity=8)
+        entry = recorder.record(trace_id="t1", tenant="acme", status=202,
+                                outcome="queued")
+        recorder.update(entry, outcome="done", total_seconds=0.5,
+                        error=None)
+        (seen,) = recorder.requests()
+        assert seen["outcome"] == "done"
+        assert seen["total_seconds"] == 0.5
+        assert "error" not in seen  # None updates are dropped
+
+    def test_newest_first_and_capacity(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(7):
+            recorder.record(trace_id=f"t{index}")
+        assert len(recorder) == 3
+        assert [e["trace_id"] for e in recorder.requests()] == [
+            "t6", "t5", "t4"]
+
+    def test_tenant_filter_and_n(self):
+        recorder = FlightRecorder(capacity=16)
+        for index in range(4):
+            recorder.record(trace_id=f"t{index}",
+                            tenant="a" if index % 2 == 0 else "b")
+        assert [e["trace_id"] for e in recorder.requests(tenant="a")] == [
+            "t2", "t0"]
+        assert len(recorder.requests(1, tenant="a")) == 1
+
+    def test_discard_removes_the_entry(self):
+        recorder = FlightRecorder(capacity=8)
+        keep = recorder.record(trace_id="keep")
+        drop = recorder.record(trace_id="drop")
+        recorder.discard(drop)
+        assert [e["trace_id"] for e in recorder.requests()] == ["keep"]
+        recorder.discard(drop)  # idempotent
+        assert keep in [dict(e) for e in recorder.requests()]
+
+    def test_requests_returns_copies(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record(trace_id="t1")
+        snapshot = recorder.requests()[0]
+        snapshot["mutated"] = True
+        assert "mutated" not in recorder.requests()[0]

@@ -119,3 +119,59 @@ def test_prometheus_escapes_label_values():
     m.inc("runner", "bans_total", rule='say "hi"\\now')
     text = to_prometheus(m.snapshot())
     assert r'rule="say \"hi\"\\now"' in text
+
+
+def test_histogram_quantile_interpolates():
+    from repro.obs.metrics import histogram_quantile
+
+    m = MetricsRegistry()
+    # 10 observations spread evenly inside the (0.0, 1.0] bucket.
+    for i in range(10):
+        m.observe("server", "lat", 0.05 + i * 0.1, buckets=(1.0, 2.0))
+    (sample,) = m.snapshot()["families"]["server"]["lat"]["samples"]
+    state = sample["value"]
+    # Linear interpolation within the bucket: p50 → halfway up.
+    assert histogram_quantile([1.0, 2.0], state, 0.5) == 0.5
+    assert histogram_quantile([1.0, 2.0], state, 1.0) == 1.0
+    assert histogram_quantile([1.0, 2.0], state, 0.0) == 0.0
+
+
+def test_histogram_quantile_edge_cases():
+    from repro.obs.metrics import histogram_quantile
+
+    # Empty state → None (no data to estimate from).
+    assert histogram_quantile([1.0], {"count": 0, "counts": []}, 0.5) is None
+    # Everything landed in +Inf: clamp to the highest finite bound.
+    state = {"count": 3, "counts": [0, 0, 3], "sum": 99.0}
+    assert histogram_quantile([1.0, 2.0], state, 0.5) == 2.0
+    # q is clamped into [0, 1].
+    state = {"count": 4, "counts": [4, 0, 0], "sum": 1.0}
+    assert histogram_quantile([1.0, 2.0], state, 7.5) == 1.0
+
+
+def test_prometheus_summary_quantile_gauges():
+    m = MetricsRegistry()
+    for value in (0.02, 0.04, 0.06, 0.08, 5.0):
+        m.observe("server", "e2e_seconds", value,
+                  buckets=(0.1, 1.0, 10.0), tenant="acme")
+    text = to_prometheus(m.snapshot())
+    assert "# TYPE repro_server_e2e_seconds_p50 gauge" in text
+    assert 'repro_server_e2e_seconds_p50{tenant="acme"}' in text
+    assert 'repro_server_e2e_seconds_p90{tenant="acme"}' in text
+    assert 'repro_server_e2e_seconds_p99{tenant="acme"}' in text
+    # p50 falls inside the first bucket, p99 inside the last.
+    p50 = [l for l in text.splitlines() if "_p50{" in l][0]
+    p99 = [l for l in text.splitlines() if "_p99{" in l][0]
+    assert float(p50.rsplit(" ", 1)[1]) <= 0.1
+    assert 1.0 < float(p99.rsplit(" ", 1)[1]) <= 10.0
+
+
+def test_prometheus_no_quantiles_for_empty_histograms():
+    m = MetricsRegistry()
+    m.observe("server", "lat", 0.5)
+    snapshot = m.snapshot()
+    # Zero out the counts: a merged snapshot can carry empty samples.
+    sample = snapshot["families"]["server"]["lat"]["samples"][0]
+    sample["value"] = {"counts": [], "count": 0, "sum": 0.0}
+    text = to_prometheus(snapshot)
+    assert "_p50" not in text

@@ -1,0 +1,442 @@
+"""The serve-layer observability stack: trace propagation, the
+structured event log, the flight recorder, and the debug endpoints —
+driven socket-free through ``OptimizationServer.handle_request``."""
+
+import json
+import time
+
+import pytest
+
+from repro.api.limits import Limits
+from repro.api.session import Session
+from repro.api.types import OptimizationReport, OptimizationRequest
+from repro.server import (
+    ObservabilityConfig,
+    OptimizationServer,
+    ServeConfig,
+    TRACE_ID_HEADER,
+)
+from repro.server.queue import JobQueue
+
+TINY = Limits(step_limit=3, node_limit=2000, time_limit=30.0)
+
+
+def call(app, method, path, body=None, headers=None):
+    payload = (json.dumps(body).encode("utf-8") if isinstance(body, dict)
+               else (body or b""))
+    status, ctype, data, extra = app.handle_request(
+        method, path, headers or {}, payload)
+    parsed = (json.loads(data) if ctype.startswith("application/json")
+              else data.decode("utf-8"))
+    return status, parsed, extra
+
+
+def wait_done(app, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, answer, _ = call(app, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        if answer["job"]["status"] in ("done", "failed"):
+            return answer["job"]
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+def wait_event(app, kind, timeout=30.0, **filters):
+    """Poll the event ring until an event of ``kind`` matches."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        events = app.events.tail(event=kind, **filters)
+        if events:
+            return events[-1]
+        time.sleep(0.02)
+    raise AssertionError(f"no {kind} event within {timeout}s")
+
+
+@pytest.fixture()
+def app(tmp_path):
+    """A fully instrumented server (event sink, trace dir, no HTTP
+    listener), function-scoped so each test reads a clean ring."""
+    config = ServeConfig(
+        host="127.0.0.1", port=0, limits=TINY,
+        queue_workers=2, pool_workers=0,
+        observability=ObservabilityConfig(
+            event_log=str(tmp_path / "events.jsonl"),
+            ring_size=64,
+            flight_recorder=16,
+            trace_dir=str(tmp_path / "traces"),
+        ),
+    )
+    server = OptimizationServer(config)
+    server.queue.start()
+    yield server
+    server.stop()
+
+
+class TestTracePropagation:
+    def test_every_response_carries_a_trace_id(self, app):
+        for method, path in (("GET", "/v1/healthz"),
+                             ("GET", "/v1/metrics"),
+                             ("GET", "/v1/nope"),          # 404
+                             ("POST", "/v1/healthz"),      # 405
+                             ("POST", "/v1/optimize")):    # 400 bad_json
+            _, _, extra = call(app, method, path)
+            assert extra.get(TRACE_ID_HEADER), (method, path)
+
+    def test_client_supplied_id_is_honored(self, app):
+        _, _, extra = call(app, "GET", "/v1/healthz",
+                           headers={TRACE_ID_HEADER: "my-trace.01"})
+        assert extra[TRACE_ID_HEADER] == "my-trace.01"
+
+    def test_malformed_supplied_id_is_replaced(self, app):
+        for bad in ("", "ab", "x" * 65, "sp ace", "semi;colon"):
+            _, _, extra = call(app, "GET", "/v1/healthz",
+                               headers={TRACE_ID_HEADER: bad})
+            minted = extra[TRACE_ID_HEADER]
+            assert minted != bad and len(minted) == 16
+
+    def test_minted_ids_are_unique(self, app):
+        ids = {call(app, "GET", "/v1/healthz")[2][TRACE_ID_HEADER]
+               for _ in range(20)}
+        assert len(ids) == 20
+
+    def test_trace_id_flows_into_job_and_trace_file(self, app, tmp_path):
+        status, answer, extra = call(
+            app, "POST", "/v1/optimize",
+            {"kernel": "dot", "target": "blas"},
+            headers={TRACE_ID_HEADER: "e2e-trace-1"})
+        assert status == 202
+        assert extra[TRACE_ID_HEADER] == "e2e-trace-1"
+        assert answer["job"]["trace_id"] == "e2e-trace-1"
+        job = wait_done(app, answer["job"]["id"])
+        assert job["status"] == "done"
+        completed = wait_event(app, "request.completed",
+                               trace_id="e2e-trace-1")
+        trace_file = tmp_path / "traces" / "e2e-trace-1.trace.json"
+        assert trace_file.exists()
+        trace = json.loads(trace_file.read_text())
+        assert trace["otherData"]["trace_id"] == "e2e-trace-1"
+        names = [e.get("name", "") for e in trace["traceEvents"]]
+        assert "queue_wait" in names and "run" in names
+        assert any(n.startswith("request:dot/blas") for n in names)
+        # The engine's own spans merged into the same file.
+        assert any(n.startswith("saturate:") for n in names)
+        assert completed["status"] == "done"
+
+
+class TestEventLifecycle:
+    def test_accepted_job_emits_the_full_event_chain(self, app):
+        status, answer, extra = call(app, "POST", "/v1/optimize",
+                                     {"kernel": "vsum", "target": "blas"})
+        assert status == 202
+        trace_id = extra[TRACE_ID_HEADER]
+        wait_done(app, answer["job"]["id"])
+        completed = wait_event(app, "request.completed", trace_id=trace_id)
+        kinds = [e["event"] for e in app.events.tail(trace_id=trace_id)]
+        assert "job.started" in kinds
+        assert kinds.count("request.completed") == 1  # exactly one
+        accepted = app.events.tail(event="request.accepted",
+                                   trace_id=trace_id)
+        assert accepted and accepted[0]["tenant"] == "anonymous"
+        assert completed["tenant"] == "anonymous"
+        assert completed["kernel"] == "vsum"
+        assert completed["status"] == "done"
+        assert completed["total_seconds"] >= completed["run_seconds"]
+
+    def test_rejection_still_emits_completed_with_4xx(self, app):
+        status, answer, extra = call(
+            app, "POST", "/v1/optimize",
+            {"kernel": "dot", "target": "no-such-target"})
+        assert status == 400
+        trace_id = extra[TRACE_ID_HEADER]
+        events = app.events.tail(trace_id=trace_id)
+        kinds = [e["event"] for e in events]
+        assert "request.rejected" in kinds
+        assert kinds.count("request.completed") == 1
+        completed = [e for e in events
+                     if e["event"] == "request.completed"][0]
+        assert completed["status"] == 400
+        assert completed["code"] == "unknown_target"
+        assert completed["outcome"] == "rejected"
+        assert completed["kernel"] == "dot"
+
+    def test_server_log_is_structured(self, app):
+        app.log("socket says ouch")
+        (event,) = app.events.tail(event="server.log")
+        assert event["message"] == "socket says ouch"
+
+    def test_server_started_event_reaches_the_sink(self, app, tmp_path):
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[0]["event"] == "server.started"
+        assert events[0]["schema"] == "repro-events/1"
+
+    def test_http_request_event_per_response(self, app):
+        _, _, extra = call(app, "GET", "/v1/healthz")
+        event = wait_event(app, "http.request",
+                           trace_id=extra[TRACE_ID_HEADER])
+        assert event["route"] == "/v1/healthz"
+        assert event["status"] == 200
+        assert event["duration_ms"] >= 0
+
+
+class TestFlightRecorderEndpoint:
+    def test_debug_requests_shows_the_request(self, app):
+        status, answer, extra = call(app, "POST", "/v1/optimize",
+                                     {"kernel": "dot", "target": "blas"})
+        assert status == 202
+        trace_id = extra[TRACE_ID_HEADER]
+        wait_done(app, answer["job"]["id"])
+        wait_event(app, "request.completed", trace_id=trace_id)
+        status, answer, _ = call(app, "GET", "/v1/debug/requests")
+        assert status == 200
+        assert answer["capacity"] == 16
+        entry = next(e for e in answer["requests"]
+                     if e["trace_id"] == trace_id)
+        assert entry["tenant"] == "anonymous"
+        assert entry["outcome"] == "done"
+        assert entry["job"] == json.loads(json.dumps(entry["job"]))
+        assert entry["total_seconds"] >= entry["run_seconds"] >= 0
+        assert entry["trace_path"].endswith(f"{trace_id}.trace.json")
+
+    def test_rejected_request_is_recorded(self, app):
+        _, _, extra = call(app, "POST", "/v1/optimize", b"not json")
+        trace_id = extra[TRACE_ID_HEADER]
+        _, answer, _ = call(app, "GET", "/v1/debug/requests")
+        entry = next(e for e in answer["requests"]
+                     if e["trace_id"] == trace_id)
+        assert entry["outcome"] == "rejected"
+        assert entry["status"] == 400 and entry["code"] == "bad_json"
+
+    def test_n_and_tenant_filters(self, app):
+        for _ in range(3):
+            call(app, "POST", "/v1/optimize", b"not json")
+        status, answer, _ = call(app, "GET", "/v1/debug/requests?n=2")
+        assert status == 200 and answer["count"] == 2
+        status, answer, _ = call(app, "GET",
+                                 "/v1/debug/requests?tenant=nobody")
+        assert status == 200 and answer["requests"] == []
+        status, answer, _ = call(app, "GET", "/v1/debug/requests?n=frog")
+        assert status == 400
+        assert answer["error"]["code"] == "bad_request"
+
+    def test_queue_full_unadmits_the_record(self, tmp_path):
+        """A 429 must not leave a stale 'queued' flight record behind."""
+        config = ServeConfig(
+            host="127.0.0.1", port=0, limits=TINY,
+            queue_workers=1, pool_workers=0, max_queue=1,
+            observability=ObservabilityConfig(flight_recorder=16),
+        )
+        server = OptimizationServer(config)  # queue workers NOT started
+        try:
+            statuses = []
+            for _ in range(4):
+                status, _, _ = call(server, "POST", "/v1/optimize",
+                                    {"kernel": "dot", "target": "blas"})
+                statuses.append(status)
+            assert 429 in statuses
+            records = server.recorder.requests()
+            rejected = [e for e in records if e["outcome"] == "rejected"]
+            assert all(e["code"] == "queue_full" for e in rejected)
+            # Accepted records = the 202s; no orphaned 'queued' extras.
+            assert len(records) == len(statuses)
+        finally:
+            server.stop()
+
+
+class TestDebugAuth:
+    @pytest.fixture()
+    def guarded(self):
+        config = ServeConfig(
+            host="127.0.0.1", port=0, limits=TINY, pool_workers=0,
+            observability=ObservabilityConfig(debug_token="sesame"),
+        )
+        server = OptimizationServer(config)
+        yield server
+        server.stop()
+
+    def test_missing_token_is_403(self, guarded):
+        status, answer, extra = call(guarded, "GET", "/v1/debug/requests")
+        assert status == 403
+        assert answer["error"]["code"] == "debug_forbidden"
+        assert extra[TRACE_ID_HEADER]  # even the 403 carries the id
+
+    def test_wrong_token_is_403(self, guarded):
+        status, _, _ = call(guarded, "GET", "/v1/debug/requests",
+                            headers={"Authorization": "Bearer wrong"})
+        assert status == 403
+
+    def test_bearer_token_opens_the_door(self, guarded):
+        status, answer, _ = call(
+            guarded, "GET", "/v1/debug/requests",
+            headers={"Authorization": "Bearer sesame"})
+        assert status == 200 and answer["requests"] == []
+
+    def test_healthz_echoes_debug_auth_flag(self, guarded):
+        _, answer, _ = call(guarded, "GET", "/v1/healthz")
+        assert answer["observability"]["debug_auth"] is True
+
+
+class TestIntrospectionSurfaces:
+    def test_healthz_observability_echo(self, app, tmp_path):
+        _, answer, _ = call(app, "GET", "/v1/healthz")
+        obs = answer["observability"]
+        assert obs["event_log"] == str(tmp_path / "events.jsonl")
+        assert obs["ring_size"] == 64
+        assert obs["flight_recorder"] == 16
+        assert obs["trace_dir"] == str(tmp_path / "traces")
+        assert obs["debug_auth"] is False
+        assert obs["events_emitted"] >= 1  # server.started at minimum
+        assert isinstance(answer["package_version"], str)
+        assert answer["started_at"] <= time.time()
+        assert answer["uptime_seconds"] >= 0
+
+    def test_metrics_json_snapshot(self, app):
+        status, answer, extra = call(app, "GET",
+                                     "/v1/metrics?format=json")
+        assert status == 200
+        assert answer["schema"] == "repro-metrics/1"
+        assert "server" in answer["families"]
+        assert extra[TRACE_ID_HEADER]
+
+    def test_tenant_latency_histograms_populate(self, app):
+        status, answer, _ = call(app, "POST", "/v1/optimize",
+                                 {"kernel": "dot", "target": "blas"})
+        assert status == 202
+        wait_done(app, answer["job"]["id"])
+        _, snapshot, _ = call(app, "GET", "/v1/metrics?format=json")
+        server_family = snapshot["families"]["server"]
+        for name in ("queue_wait_seconds", "job_seconds", "e2e_seconds"):
+            metric = server_family[name]
+            assert metric["kind"] == "histogram"
+            (sample,) = [s for s in metric["samples"]
+                         if s["labels"].get("tenant") == "anonymous"]
+            assert sample["value"]["count"] >= 1
+        completed = server_family["jobs_completed_total"]
+        assert any(s["labels"] == {"status": "done", "tenant": "anonymous"}
+                   for s in completed["samples"])
+
+    def test_ring_wraparound_under_load(self, tmp_path):
+        config = ServeConfig(
+            host="127.0.0.1", port=0, limits=TINY, pool_workers=0,
+            observability=ObservabilityConfig(ring_size=8),
+        )
+        server = OptimizationServer(config)
+        try:
+            for _ in range(20):
+                call(server, "GET", "/v1/healthz")
+            assert len(server.events) == 8
+            assert server.events.emitted >= 21
+            # The retained eight are the newest eight.
+            assert all(e["event"] == "http.request"
+                       for e in server.events.tail())
+        finally:
+            server.stop()
+
+
+class TestFailurePathTraces:
+    def _stub_queue(self, session, tmp_path, **kwargs):
+        from repro.obs.events import EventLog, FlightRecorder
+
+        return JobQueue(
+            session, workers=1, events=EventLog(ring_size=64),
+            recorder=FlightRecorder(16),
+            trace_dir=str(tmp_path), **kwargs,
+        )
+
+    def test_failed_job_still_writes_a_merged_trace(self, tmp_path,
+                                                    monkeypatch):
+        """Satellite (d): a job that dies mid-flight must still produce
+        the completed event, the flight record, and a trace file with
+        the daemon spans."""
+        session = Session(TINY)
+        queue = self._stub_queue(session, tmp_path)
+
+        def boom(requests, parallel=True, max_workers=None):
+            raise RuntimeError("pool exploded mid-batch")
+
+        monkeypatch.setattr(session, "optimize_many", boom)
+        record = queue.recorder.record(trace_id="fail-1", tenant="acme",
+                                       status=202, outcome="queued")
+        request = OptimizationRequest(kernel="dot", target="blas")
+        job = queue.submit("acme", request, TINY,
+                           trace_id="fail-1", record=record)
+        queue.start()
+        deadline = time.monotonic() + 10
+        while job.status not in ("done", "failed"):
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        queue.stop()
+        assert job.status == "failed"
+        completed = queue.events.tail(event="request.completed")
+        assert len(completed) == 1
+        assert completed[0]["status"] == "failed"
+        assert "pool exploded" in completed[0]["error"]
+        (entry,) = queue.recorder.requests()
+        assert entry["outcome"] == "failed"
+        trace = json.loads((tmp_path / "fail-1.trace.json").read_text())
+        names = [e.get("name", "") for e in trace["traceEvents"]]
+        assert "queue_wait" in names and "run" in names
+
+    def test_pool_restart_event_after_broken_pool(self, tmp_path):
+        """A cold pool mid-run (broken-pool fallback) emits
+        pool.restarted when the lazy re-warm brings it back."""
+
+        class FakePool:
+            def __init__(self):
+                self.warm_calls = 0
+                self.pool_warm = False
+
+            def start_pool(self, workers):
+                self.warm_calls += 1
+                self.pool_warm = True
+
+        class FakeStats:
+            evictions = 0
+
+        class FakeCache:
+            stats = FakeStats()
+
+        class FakeSession(FakePool):
+            cache = FakeCache()
+
+            def optimize_many(self, requests, parallel=True,
+                              max_workers=None):
+                report = OptimizationReport(
+                    kernel="dot", target="blas", limits={},
+                    solution=None, solution_summary="s",
+                    stop_reason="saturated")
+                return [report for _ in requests]
+
+            def finish_trace(self, path, events, **kwargs):
+                return path
+
+            def close_pool(self):
+                self.pool_warm = False
+
+        from repro.obs.events import EventLog
+
+        session = FakeSession()
+        queue = JobQueue(session, workers=1, pool_workers=2,
+                         events=EventLog(ring_size=64))
+        queue.start()
+        try:
+            assert queue.events.tail(event="pool.warm")
+            request = OptimizationRequest(kernel="dot", target="blas")
+
+            def run_one():
+                job = queue.submit("t", request, TINY)
+                deadline = time.monotonic() + 5
+                while job.status == "queued" or job.status == "running":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                return job
+
+            run_one()
+            assert not queue.events.tail(event="pool.restarted")
+            session.pool_warm = False  # the pool broke mid-batch
+            run_one()
+            (event,) = queue.events.tail(event="pool.restarted")
+            assert event["workers"] == 2
+        finally:
+            queue.stop()

@@ -98,6 +98,35 @@ def check_env_vars_documented(problems: list) -> None:
             )
 
 
+def check_serve_toml_documented(problems: list) -> None:
+    """Every serve.toml key the server accepts (the
+    ``SERVE_TOML_KEYS`` registry — [server], [limits], [admission],
+    [observability], [tenants.*]) must appear in docs/SERVER.md, so an
+    operator reading the docs sees the full configuration surface."""
+    from repro.server.config import SERVE_TOML_KEYS  # noqa: E402
+
+    server_md = (ROOT / "docs" / "SERVER.md")
+    if not server_md.exists():
+        problems.append("docs/SERVER.md is missing")
+        return
+    text = server_md.read_text()
+    for section, keys in SERVE_TOML_KEYS.items():
+        # Wildcard sections ([tenants.*]) match any concrete instance.
+        header = (f"[{section.split('.', 1)[0]}." if "*" in section
+                  else f"[{section}]")
+        if header not in text:
+            problems.append(
+                f"docs/SERVER.md: serve.toml section [{section}] is "
+                "accepted by the server but never documented"
+            )
+        for key in keys:
+            if f"`{key}`" not in text and f"{key} =" not in text:
+                problems.append(
+                    f"docs/SERVER.md: serve.toml key {section}.{key} is "
+                    "accepted by the server but never documented"
+                )
+
+
 def check_links(problems: list) -> None:
     for doc in DOC_FILES:
         if not doc.exists():
@@ -117,6 +146,7 @@ def main() -> int:
     check_knob_table(problems)
     check_knobs_cover_limits(problems)
     check_env_vars_documented(problems)
+    check_serve_toml_documented(problems)
     check_links(problems)
     if problems:
         print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)

@@ -1,14 +1,22 @@
 #!/usr/bin/env python
 """CI smoke test for the ``repro serve`` daemon.
 
-Starts the daemon as a real subprocess on an ephemeral port, drives
-the batch CLI through it (``--remote``), runs the same batch
-in-process, and asserts the CSV artifacts are byte-identical — the
+Starts the daemon as a real subprocess on an ephemeral port (with a
+serve.toml enabling the full observability stack), drives the batch
+CLI through it (``--remote``), runs the same batch in-process, and
+asserts the CSV artifacts are byte-identical — the
 service-equals-one-shot contract from docs/SERVER.md — then checks
-the health and metrics endpoints.
+the health and metrics endpoints and the observability contract from
+docs/OBSERVABILITY.md: a trace id on every response, a JSONL event
+log with exactly one ``request.completed`` per optimize request, the
+``/v1/debug/requests`` flight recorder, and a merged per-request
+Chrome trace whose lanes span the daemon and a fork-pool worker pid.
 
 Run from the repository root:
 ``PYTHONPATH=src python tools/server_smoke.py``
+
+Set ``REPRO_SMOKE_ARTIFACTS=<dir>`` to keep the event log and the
+merged trace after the run (CI uploads them as artifacts).
 """
 
 from __future__ import annotations
@@ -36,10 +44,24 @@ ENV = {
 
 KERNELS = ["vsum", "dot"]
 
+SMOKE_TRACE_ID = "smoke-trace-0001"
+
 
 def fail(message: str) -> "None":
     print(f"server_smoke: FAIL: {message}", file=sys.stderr)
     raise SystemExit(1)
+
+
+def http(url: str, data: bytes = None, headers: dict = None):
+    """One request → (status, parsed JSON body, response headers)."""
+    request = urllib.request.Request(url, data=data,
+                                     headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        text = response.read().decode("utf-8")
+        ctype = response.headers.get("Content-Type", "")
+        body = (json.loads(text) if ctype.startswith("application/json")
+                else text)
+        return response.status, body, dict(response.headers)
 
 
 def wait_for_announce(daemon, log_path: Path, timeout: float = 30.0) -> str:
@@ -65,13 +87,123 @@ def run_cli(arguments, cwd: Path) -> None:
              f"{result.returncode}:\n{result.stderr}")
 
 
+def check_observability(url: str, work: Path, health: dict) -> None:
+    """The docs/OBSERVABILITY.md contract, end to end."""
+    event_log = work / "events.jsonl"
+    trace_dir = work / "traces"
+
+    # Every response carries a trace id; a well-formed supplied one is
+    # honored.
+    for endpoint in ("/v1/healthz", "/v1/metrics", "/v1/targets"):
+        _, _, headers = http(url + endpoint)
+        if not headers.get("X-Repro-Trace-Id"):
+            fail(f"{endpoint} response has no X-Repro-Trace-Id header")
+    # A kernel the CSV batch did NOT run, so this request actually
+    # saturates (a cache hit would skip the engine and leave no
+    # worker lane to assert on).
+    status, answer, headers = http(
+        url + "/v1/optimize",
+        data=json.dumps({"kernel": "memset", "target": "blas"}).encode(),
+        headers={"Content-Type": "application/json",
+                 "X-Repro-Trace-Id": SMOKE_TRACE_ID})
+    if status != 202:
+        fail(f"traced optimize answered {status}")
+    if headers.get("X-Repro-Trace-Id") != SMOKE_TRACE_ID:
+        fail(f"supplied trace id not echoed: {headers!r}")
+    job_id = answer["job"]["id"]
+    deadline = time.monotonic() + 60
+    while True:
+        _, answer, _ = http(f"{url}/v1/jobs/{job_id}")
+        if answer["job"]["status"] in ("done", "failed"):
+            break
+        if time.monotonic() > deadline:
+            fail("traced job did not finish in 60s")
+        time.sleep(0.1)
+    if answer["job"]["status"] != "done":
+        fail(f"traced job failed: {answer['job'].get('error')}")
+    print("server_smoke: trace id echoed on every response")
+
+    # The event log parses as JSONL with the documented schema, with
+    # exactly one request.completed per optimize request.
+    if not event_log.exists():
+        fail("serve.toml event_log was configured but never written")
+    events = []
+    for line in event_log.read_text().splitlines():
+        event = json.loads(line)
+        if event.get("schema") != "repro-events/1":
+            fail(f"event with wrong schema: {line}")
+        if "ts" not in event or "event" not in event:
+            fail(f"event missing ts/event: {line}")
+        events.append(event)
+    kinds = {e["event"] for e in events}
+    if "server.started" not in kinds or "request.accepted" not in kinds:
+        fail(f"expected lifecycle events, saw kinds {sorted(kinds)}")
+    completed = [e for e in events if e["event"] == "request.completed"
+                 and e.get("trace_id") == SMOKE_TRACE_ID]
+    if len(completed) != 1:
+        fail(f"expected exactly 1 request.completed for "
+             f"{SMOKE_TRACE_ID}, found {len(completed)}")
+    if completed[0].get("status") != "done":
+        fail(f"completed event not done: {completed[0]}")
+    print(f"server_smoke: event log has {len(events)} valid "
+          "repro-events/1 lines, one completed per request")
+
+    # The flight recorder shows the smoke requests.
+    _, answer, _ = http(f"{url}/v1/debug/requests?n=100")
+    entries = [e for e in answer["requests"]
+               if e.get("trace_id") == SMOKE_TRACE_ID]
+    if len(entries) != 1 or entries[0].get("outcome") != "done":
+        fail(f"flight recorder missing the traced request: {entries}")
+    if len(answer["requests"]) < len(KERNELS) + 1:
+        fail(f"flight recorder shows {len(answer['requests'])} requests; "
+             f"expected at least {len(KERNELS) + 1}")
+    print("server_smoke: flight recorder shows the smoke requests")
+
+    # The merged per-request Chrome trace: daemon spans and — when the
+    # fork pool is warm — at least one worker lane in the same file.
+    trace_path = trace_dir / f"{SMOKE_TRACE_ID}.trace.json"
+    if not trace_path.exists():
+        fail(f"no merged trace at {trace_path}")
+    trace = json.loads(trace_path.read_text())
+    spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+    names = {e["name"] for e in spans}
+    if "queue_wait" not in names or "run" not in names:
+        fail(f"daemon spans missing from the trace: {sorted(names)}")
+    if not any(n.startswith("saturate:") for n in names):
+        fail(f"engine spans missing from the trace: {sorted(names)}")
+    lanes = {e["tid"] for e in spans}
+    if health["pool"]["warm"] and len(lanes) < 2:
+        fail(f"pool is warm but the trace has one lane: {lanes}")
+    print(f"server_smoke: merged trace spans {len(lanes)} process lanes")
+
+
+def export_artifacts(work: Path) -> None:
+    """Copy the event log + merged trace out for CI artifact upload."""
+    destination = os.environ.get("REPRO_SMOKE_ARTIFACTS")
+    if not destination:
+        return
+    target = Path(destination)
+    target.mkdir(parents=True, exist_ok=True)
+    for source in (work / "events.jsonl",
+                   work / "traces" / f"{SMOKE_TRACE_ID}.trace.json"):
+        if source.exists():
+            (target / source.name).write_bytes(source.read_bytes())
+    print(f"server_smoke: artifacts exported to {target}")
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as raw:
         work = Path(raw)
+        (work / "serve.toml").write_text(
+            "[observability]\n"
+            f'event_log = "{work / "events.jsonl"}"\n'
+            f'trace_dir = "{work / "traces"}"\n'
+        )
         log_path = work / "serve.log"
         with open(log_path, "w") as log:
             daemon = subprocess.Popen(
-                [sys.executable, "-m", "repro", "serve", "--port", "0", "-q"],
+                [sys.executable, "-m", "repro", "serve", "--port", "0",
+                 "--config", str(work / "serve.toml"), "-q"],
                 env=ENV, cwd=work, stdout=log, stderr=subprocess.STDOUT,
             )
         try:
@@ -104,10 +236,13 @@ def main() -> int:
             with urllib.request.urlopen(f"{url}/v1/metrics", timeout=10) as r:
                 metrics = r.read().decode("utf-8")
             for needle in ("http_requests_total", "jobs_completed_total",
-                           "repro_cache"):
+                           "repro_cache", "e2e_seconds_p50"):
                 if needle not in metrics:
                     fail(f"/v1/metrics is missing {needle!r}")
             print("server_smoke: healthz and metrics look sane")
+
+            check_observability(url, work, health)
+            export_artifacts(work)
         finally:
             daemon.terminate()
             try:
